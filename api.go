@@ -1,0 +1,673 @@
+// Package lineartime is a reproduction of Chlebus, Kowalski and
+// Olkowski, "Deterministic Fault-Tolerant Distributed Computing in
+// Linear Time and Communication" (PODC 2023, arXiv:2305.11644): the
+// paper's consensus, gossiping and checkpointing algorithms for
+// synchronous complete networks with crash or authenticated-Byzantine
+// faults, on expander overlay networks, in both the multi-port and the
+// single-port communication model, together with the baselines the
+// paper compares against and a deterministic simulator to run them.
+//
+// The package exposes one entry point per problem; everything is
+// deterministic given the seed option.
+package lineartime
+
+import (
+	"errors"
+	"fmt"
+
+	"lineartime/internal/bitset"
+	"lineartime/internal/byzantine"
+	"lineartime/internal/checkpoint"
+	"lineartime/internal/consensus"
+	"lineartime/internal/crash"
+	"lineartime/internal/gossip"
+	"lineartime/internal/sim"
+	"lineartime/internal/singleport"
+)
+
+// Algorithm selects the consensus implementation.
+type Algorithm int
+
+// Available consensus algorithms.
+const (
+	// FewCrashes is Few-Crashes-Consensus (§4.3): t < n/5,
+	// O(t + log n) rounds, O(n + t log t) message bits.
+	FewCrashes Algorithm = iota + 1
+	// ManyCrashes is Many-Crashes-Consensus (§4.4): any t < n,
+	// ≤ n + 3(1+lg n) rounds.
+	ManyCrashes
+	// FloodingBaseline is the Θ(n²)-message textbook comparator.
+	FloodingBaseline
+	// SinglePortLinear is Linear-Consensus (§8) in the single-port
+	// model: O(t + log n) rounds, O(n + t log n) message bits.
+	SinglePortLinear
+	// EarlyStoppingBaseline is the related-work early-stopping
+	// comparator: min(f+3, t+3) rounds for f actual crashes, Θ(n²)
+	// messages per round.
+	EarlyStoppingBaseline
+	// CoordinatorBaseline is the rotating-coordinator comparator:
+	// t+1 rounds, Θ(t·n) messages.
+	CoordinatorBaseline
+)
+
+// String implements fmt.Stringer.
+func (a Algorithm) String() string {
+	switch a {
+	case FewCrashes:
+		return "few-crashes"
+	case ManyCrashes:
+		return "many-crashes"
+	case FloodingBaseline:
+		return "flooding"
+	case SinglePortLinear:
+		return "single-port"
+	case EarlyStoppingBaseline:
+		return "early-stopping"
+	case CoordinatorBaseline:
+		return "rotating-coordinator"
+	default:
+		return fmt.Sprintf("Algorithm(%d)", int(a))
+	}
+}
+
+// CrashEvent schedules one crash: node Node fails at round Round with
+// only its first Keep messages of that round delivered (Keep < 0
+// delivers all).
+type CrashEvent struct {
+	Node  int
+	Round int
+	Keep  int
+}
+
+// ByzantineStrategy selects the behaviour of corrupted nodes in
+// Byzantine runs.
+type ByzantineStrategy int
+
+// Available Byzantine behaviours.
+const (
+	// Silence: corrupted nodes send nothing.
+	Silence ByzantineStrategy = iota + 1
+	// Equivocate: corrupted sources send conflicting signed values.
+	Equivocate
+	// Spam: corrupted nodes flood fabricated sets and inquiries.
+	Spam
+)
+
+type options struct {
+	seed          uint64
+	algorithm     Algorithm
+	crashes       []CrashEvent
+	randomCrashes int
+	crashHorizon  int
+	concurrent    bool
+	singlePort    bool
+	byzStrategy   ByzantineStrategy
+	byzNodes      []int
+	degree        int
+}
+
+// Option configures a run.
+type Option func(*options)
+
+// WithSeed fixes the seed deriving overlays, adversaries and keys.
+func WithSeed(seed uint64) Option { return func(o *options) { o.seed = seed } }
+
+// WithAlgorithm selects the consensus algorithm (default FewCrashes).
+func WithAlgorithm(a Algorithm) Option { return func(o *options) { o.algorithm = a } }
+
+// WithCrashSchedule installs an exact crash schedule.
+func WithCrashSchedule(events ...CrashEvent) Option {
+	return func(o *options) { o.crashes = append(o.crashes, events...) }
+}
+
+// WithRandomCrashes crashes up to f pseudo-random nodes at
+// pseudo-random rounds below horizon.
+func WithRandomCrashes(f, horizon int) Option {
+	return func(o *options) { o.randomCrashes, o.crashHorizon = f, horizon }
+}
+
+// WithConcurrentRuntime runs on the goroutine-per-node engine instead
+// of the sequential one (multi-port only; results are identical).
+func WithConcurrentRuntime() Option { return func(o *options) { o.concurrent = true } }
+
+// WithSinglePortModel runs gossip or checkpointing in the single-port
+// model (§8 adaptations). For consensus use
+// WithAlgorithm(SinglePortLinear) instead.
+func WithSinglePortModel() Option { return func(o *options) { o.singlePort = true } }
+
+// WithByzantine corrupts the listed nodes with the given strategy
+// (Byzantine runs only).
+func WithByzantine(strategy ByzantineStrategy, nodes ...int) Option {
+	return func(o *options) { o.byzStrategy, o.byzNodes = strategy, nodes }
+}
+
+// WithOverlayDegree overrides the little-overlay degree (advanced).
+func WithOverlayDegree(d int) Option { return func(o *options) { o.degree = d } }
+
+func buildOptions(opts []Option) options {
+	o := options{algorithm: FewCrashes, crashHorizon: 64}
+	for _, fn := range opts {
+		fn(&o)
+	}
+	return o
+}
+
+func (o *options) adversary(n, t int) sim.Adversary {
+	if len(o.crashes) > 0 {
+		events := make([]crash.Event, len(o.crashes))
+		for i, e := range o.crashes {
+			events[i] = crash.Event{Node: e.Node, Round: e.Round, Keep: e.Keep}
+		}
+		return crash.NewSchedule(events)
+	}
+	if o.randomCrashes > 0 {
+		f := o.randomCrashes
+		if f > t {
+			f = t
+		}
+		return crash.NewRandom(n, f, o.crashHorizon, o.seed+101)
+	}
+	return nil
+}
+
+// Metrics reports the paper's two performance measures for a run.
+type Metrics struct {
+	Rounds      int
+	Messages    int64
+	Bits        int64
+	ByzMessages int64
+	// PerPart breaks the non-faulty message count down by algorithm
+	// part (e.g. "aea/flood", "scv/inquiry") when the protocol
+	// exposes its schedule; nil otherwise.
+	PerPart map[string]int64
+}
+
+// PartLabeler is implemented by protocols that can attribute rounds to
+// the paper's algorithm parts; runs install it on the engine so
+// reports can break messages down per part.
+type PartLabeler interface {
+	PartAt(round int) string
+}
+
+// partLabelerOf returns the schedule labeler shared by a run's
+// protocols, if they provide one (schedules are identical across
+// nodes, so the first protocol's labeler covers the system).
+func partLabelerOf(ps []sim.Protocol) func(int) string {
+	if len(ps) == 0 {
+		return nil
+	}
+	if pl, ok := ps[0].(PartLabeler); ok {
+		return pl.PartAt
+	}
+	return nil
+}
+
+// ConsensusReport is the outcome of RunConsensus.
+type ConsensusReport struct {
+	Algorithm Algorithm
+	N, T      int
+	Metrics   Metrics
+	// Decisions[i] is 0 or 1, or -1 for nodes that crashed or (in
+	// pathological configurations) did not decide.
+	Decisions []int
+	Crashed   []int
+	// Agreement and Validity summarize the §2 correctness conditions
+	// over the surviving nodes.
+	Agreement bool
+	Validity  bool
+}
+
+// RunConsensus solves binary consensus among n nodes with fault bound
+// t and the given inputs.
+func RunConsensus(n, t int, inputs []bool, opts ...Option) (*ConsensusReport, error) {
+	if len(inputs) != n {
+		return nil, fmt.Errorf("lineartime: %d inputs for n=%d", len(inputs), n)
+	}
+	o := buildOptions(opts)
+
+	type decider interface {
+		Decision() (bool, bool)
+	}
+	ps := make([]sim.Protocol, n)
+	ds := make([]decider, n)
+	var schedule int
+	singlePort := false
+
+	switch o.algorithm {
+	case FewCrashes:
+		top, err := consensus.NewTopology(n, t, consensus.TopologyOptions{Seed: o.seed, Degree: o.degree})
+		if err != nil {
+			return nil, err
+		}
+		for i := 0; i < n; i++ {
+			m := consensus.NewFewCrashes(i, top, inputs[i])
+			ps[i], ds[i] = m, m
+			schedule = m.ScheduleLength()
+		}
+	case ManyCrashes:
+		top, err := consensus.NewManyTopology(n, t, consensus.TopologyOptions{Seed: o.seed, Degree: o.degree})
+		if err != nil {
+			return nil, err
+		}
+		for i := 0; i < n; i++ {
+			m := consensus.NewManyCrashes(i, top, inputs[i])
+			ps[i], ds[i] = m, m
+			schedule = m.ScheduleLength()
+		}
+	case FloodingBaseline:
+		for i := 0; i < n; i++ {
+			m := consensus.NewFlooding(i, n, t, inputs[i])
+			ps[i], ds[i] = m, m
+			schedule = m.ScheduleLength()
+		}
+	case SinglePortLinear:
+		top, err := consensus.NewTopology(n, t, consensus.TopologyOptions{Seed: o.seed, Degree: o.degree})
+		if err != nil {
+			return nil, err
+		}
+		for i := 0; i < n; i++ {
+			m := singleport.New(i, top, inputs[i])
+			ps[i], ds[i] = m, m
+			schedule = m.ScheduleLength()
+		}
+		singlePort = true
+	case EarlyStoppingBaseline:
+		for i := 0; i < n; i++ {
+			m := consensus.NewEarlyStopping(i, n, t, inputs[i])
+			ps[i], ds[i] = m, m
+			schedule = m.MaxRounds()
+		}
+	case CoordinatorBaseline:
+		for i := 0; i < n; i++ {
+			m := consensus.NewRotatingCoordinator(i, n, t, inputs[i])
+			ps[i], ds[i] = m, m
+			schedule = m.ScheduleLength()
+		}
+	default:
+		return nil, fmt.Errorf("lineartime: unknown algorithm %v", o.algorithm)
+	}
+
+	res, err := runEngine(o, sim.Config{
+		Protocols:   ps,
+		PartLabeler: partLabelerOf(ps),
+		Adversary:   o.adversary(n, t),
+		MaxRounds:   schedule + 8,
+		SinglePort:  singlePort,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	report := &ConsensusReport{
+		Algorithm: o.algorithm,
+		N:         n,
+		T:         t,
+		Metrics:   toMetrics(res),
+		Decisions: make([]int, n),
+		Crashed:   res.Crashed.Elements(),
+		Agreement: true,
+		Validity:  true,
+	}
+	any0, any1 := false, false
+	for _, in := range inputs {
+		if in {
+			any1 = true
+		} else {
+			any0 = true
+		}
+	}
+	first := -1
+	for i := 0; i < n; i++ {
+		report.Decisions[i] = -1
+		if res.Crashed.Contains(i) {
+			continue
+		}
+		v, ok := ds[i].Decision()
+		if !ok {
+			report.Agreement = false
+			continue
+		}
+		d := 0
+		if v {
+			d = 1
+		}
+		report.Decisions[i] = d
+		if first < 0 {
+			first = d
+		} else if first != d {
+			report.Agreement = false
+		}
+		if (d == 1 && !any1) || (d == 0 && !any0) {
+			report.Validity = false
+		}
+	}
+	return report, nil
+}
+
+func runEngine(o options, cfg sim.Config) (*sim.Result, error) {
+	if o.concurrent {
+		if cfg.SinglePort {
+			return nil, errors.New("lineartime: concurrent runtime is multi-port only")
+		}
+		return sim.RunConcurrent(cfg)
+	}
+	return sim.Run(cfg)
+}
+
+func toMetrics(res *sim.Result) Metrics {
+	m := Metrics{
+		Rounds:      res.Metrics.Rounds,
+		Messages:    res.Metrics.Messages,
+		Bits:        res.Metrics.Bits,
+		ByzMessages: res.Metrics.ByzMessages,
+	}
+	if len(res.Metrics.PerPart) > 0 {
+		m.PerPart = make(map[string]int64, len(res.Metrics.PerPart))
+		for k, v := range res.Metrics.PerPart {
+			m.PerPart[k] = v
+		}
+	}
+	return m
+}
+
+// GossipReport is the outcome of RunGossip.
+type GossipReport struct {
+	N, T    int
+	Metrics Metrics
+	Crashed []int
+	// Extant[i] maps node names to rumors as decided by node i (nil
+	// for crashed nodes).
+	Extant []map[int]uint64
+	// Complete reports whether every surviving node's extant set
+	// contains every surviving node's rumor.
+	Complete bool
+	// Baseline selects all-to-all gossip instead of the §5 algorithm.
+}
+
+// RunGossip solves gossiping among n nodes with fault bound t < n/5.
+// rumors[i] is node i's input. If baseline is true the all-to-all
+// comparator runs instead of the §5 algorithm.
+func RunGossip(n, t int, rumors []uint64, baseline bool, opts ...Option) (*GossipReport, error) {
+	if len(rumors) != n {
+		return nil, fmt.Errorf("lineartime: %d rumors for n=%d", len(rumors), n)
+	}
+	o := buildOptions(opts)
+	ps := make([]sim.Protocol, n)
+	extants := make([]func() *gossip.ExtantSet, n)
+	var schedule int
+	switch {
+	case baseline:
+		for i := 0; i < n; i++ {
+			m := gossip.NewAllToAll(i, n, gossip.Rumor(rumors[i]))
+			ps[i] = m
+			extants[i] = m.Extant
+			schedule = m.ScheduleLength()
+		}
+	case o.singlePort:
+		top, err := consensus.NewTopology(n, t, consensus.TopologyOptions{Seed: o.seed, Degree: o.degree})
+		if err != nil {
+			return nil, err
+		}
+		sched, err := singleport.NewGossipSchedule(top, o.seed)
+		if err != nil {
+			return nil, err
+		}
+		for i := 0; i < n; i++ {
+			m := singleport.NewSPGossip(i, sched, gossip.Rumor(rumors[i]))
+			ps[i] = m
+			extants[i] = m.Extant
+			schedule = m.ScheduleLength()
+		}
+	default:
+		top, err := consensus.NewTopology(n, t, consensus.TopologyOptions{Seed: o.seed, Degree: o.degree})
+		if err != nil {
+			return nil, err
+		}
+		for i := 0; i < n; i++ {
+			m := gossip.New(i, top, gossip.Rumor(rumors[i]))
+			ps[i] = m
+			extants[i] = m.Extant
+			schedule = m.ScheduleLength()
+		}
+	}
+	res, err := runEngine(o, sim.Config{
+		Protocols:   ps,
+		PartLabeler: partLabelerOf(ps),
+		Adversary:   o.adversary(n, t),
+		MaxRounds:   schedule + 8,
+		SinglePort:  o.singlePort && !baseline,
+	})
+	if err != nil {
+		return nil, err
+	}
+	report := &GossipReport{
+		N:        n,
+		T:        t,
+		Metrics:  toMetrics(res),
+		Crashed:  res.Crashed.Elements(),
+		Extant:   make([]map[int]uint64, n),
+		Complete: true,
+	}
+	for i := 0; i < n; i++ {
+		if res.Crashed.Contains(i) {
+			continue
+		}
+		e := extants[i]()
+		view := make(map[int]uint64, e.Count())
+		e.Known().ForEach(func(j int) { view[j] = uint64(e.Rumor(j)) })
+		report.Extant[i] = view
+		for j := 0; j < n; j++ {
+			if !res.Crashed.Contains(j) {
+				if _, ok := view[j]; !ok {
+					report.Complete = false
+				}
+			}
+		}
+	}
+	return report, nil
+}
+
+// CheckpointReport is the outcome of RunCheckpointing.
+type CheckpointReport struct {
+	N, T    int
+	Metrics Metrics
+	Crashed []int
+	// ExtantSet is the agreed set of node names (nil when agreement
+	// failed, which the Agreement flag records).
+	ExtantSet []int
+	Agreement bool
+	// Baseline reports whether the O(tn) comparator was used.
+	Baseline bool
+}
+
+// RunCheckpointing solves checkpointing among n nodes with fault bound
+// t < n/5. If baseline is true the direct O(tn)-message comparator
+// runs instead of the §6 algorithm.
+func RunCheckpointing(n, t int, baseline bool, opts ...Option) (*CheckpointReport, error) {
+	o := buildOptions(opts)
+	ps := make([]sim.Protocol, n)
+	outs := make([]func() (*bitset.Set, bool), n)
+	var schedule int
+	switch {
+	case baseline:
+		for i := 0; i < n; i++ {
+			m := checkpoint.NewDirect(i, n, t)
+			ps[i] = m
+			outs[i] = m.Decision
+			schedule = m.ScheduleLength()
+		}
+	case o.singlePort:
+		top, err := consensus.NewTopology(n, t, consensus.TopologyOptions{Seed: o.seed, Degree: o.degree})
+		if err != nil {
+			return nil, err
+		}
+		sched, err := singleport.NewGossipSchedule(top, o.seed)
+		if err != nil {
+			return nil, err
+		}
+		for i := 0; i < n; i++ {
+			m := singleport.NewSPCheckpointing(i, sched)
+			ps[i] = m
+			outs[i] = m.Decision
+			schedule = m.ScheduleLength()
+		}
+	default:
+		top, err := consensus.NewTopology(n, t, consensus.TopologyOptions{Seed: o.seed, Degree: o.degree})
+		if err != nil {
+			return nil, err
+		}
+		for i := 0; i < n; i++ {
+			m := checkpoint.New(i, top)
+			ps[i] = m
+			outs[i] = m.Decision
+			schedule = m.ScheduleLength()
+		}
+	}
+	res, err := runEngine(o, sim.Config{
+		Protocols:   ps,
+		PartLabeler: partLabelerOf(ps),
+		Adversary:   o.adversary(n, t),
+		MaxRounds:   schedule + 8,
+		SinglePort:  o.singlePort && !baseline,
+	})
+	if err != nil {
+		return nil, err
+	}
+	report := &CheckpointReport{
+		N:         n,
+		T:         t,
+		Metrics:   toMetrics(res),
+		Crashed:   res.Crashed.Elements(),
+		Agreement: true,
+		Baseline:  baseline,
+	}
+	var agreed *bitset.Set
+	for i := 0; i < n; i++ {
+		if res.Crashed.Contains(i) {
+			continue
+		}
+		set, ok := outs[i]()
+		if !ok {
+			report.Agreement = false
+			continue
+		}
+		if agreed == nil {
+			agreed = set
+		} else if !agreed.Equal(set) {
+			report.Agreement = false
+		}
+	}
+	if agreed != nil && report.Agreement {
+		report.ExtantSet = agreed.Elements()
+	}
+	return report, nil
+}
+
+// ByzantineReport is the outcome of RunByzantineConsensus.
+type ByzantineReport struct {
+	N, T    int
+	L       int
+	Metrics Metrics
+	// Decisions[i] holds honest node i's decision; corrupted nodes
+	// have ok=false entries.
+	Decisions []uint64
+	Decided   []bool
+	Corrupted []int
+	Agreement bool
+	// Baseline reports whether all-nodes Dolev–Strong was used.
+	Baseline bool
+}
+
+// RunByzantineConsensus solves authenticated-Byzantine consensus among
+// n nodes with fault bound t < n/2. Corrupted nodes and their strategy
+// come from WithByzantine. If baseline is true the all-nodes
+// Dolev–Strong comparator runs instead of AB-Consensus.
+func RunByzantineConsensus(n, t int, inputs []uint64, baseline bool, opts ...Option) (*ByzantineReport, error) {
+	if len(inputs) != n {
+		return nil, fmt.Errorf("lineartime: %d inputs for n=%d", len(inputs), n)
+	}
+	o := buildOptions(opts)
+	cfg, err := byzantine.NewConfig(n, t, o.seed)
+	if err != nil {
+		return nil, err
+	}
+	if len(o.byzNodes) > t {
+		return nil, fmt.Errorf("lineartime: %d corrupted nodes exceed t=%d", len(o.byzNodes), t)
+	}
+
+	corrupted := make(map[int]bool, len(o.byzNodes))
+	for _, id := range o.byzNodes {
+		if id < 0 || id >= n {
+			return nil, fmt.Errorf("lineartime: corrupted node %d out of range", id)
+		}
+		corrupted[id] = true
+	}
+
+	ps := make([]sim.Protocol, n)
+	type decider interface {
+		Decision() (uint64, bool)
+	}
+	ds := make([]decider, n)
+	byz := bitset.New(n)
+	for i := 0; i < n; i++ {
+		if corrupted[i] {
+			byz.Add(i)
+			switch o.byzStrategy {
+			case Equivocate:
+				ps[i] = byzantine.NewEquivocator(i, cfg, cfg.Authority.Signer(i), inputs[i], inputs[i]+1)
+			case Spam:
+				ps[i] = byzantine.NewSpammer(i, cfg, cfg.Authority.Signer(i))
+			default:
+				ps[i] = byzantine.NewSilent(cfg)
+			}
+			continue
+		}
+		if baseline {
+			m := byzantine.NewDSAll(i, cfg, cfg.Authority.Signer(i), inputs[i])
+			ps[i], ds[i] = m, m
+		} else {
+			m := byzantine.NewABConsensus(i, cfg, cfg.Authority.Signer(i), inputs[i])
+			ps[i], ds[i] = m, m
+		}
+	}
+	maxRounds := cfg.ScheduleLength() + 8
+	res, err := sim.Run(sim.Config{
+		Protocols:   ps,
+		PartLabeler: partLabelerOf(ps),
+		Byzantine:   byz,
+		MaxRounds:   maxRounds,
+	})
+	if err != nil {
+		return nil, err
+	}
+	report := &ByzantineReport{
+		N:         n,
+		T:         t,
+		L:         cfg.L,
+		Metrics:   toMetrics(res),
+		Decisions: make([]uint64, n),
+		Decided:   make([]bool, n),
+		Corrupted: append([]int(nil), o.byzNodes...),
+		Agreement: true,
+		Baseline:  baseline,
+	}
+	var agreed *uint64
+	for i := 0; i < n; i++ {
+		if ds[i] == nil {
+			continue
+		}
+		v, ok := ds[i].Decision()
+		if !ok {
+			report.Agreement = false
+			continue
+		}
+		report.Decisions[i] = v
+		report.Decided[i] = true
+		if agreed == nil {
+			agreed = &v
+		} else if *agreed != v {
+			report.Agreement = false
+		}
+	}
+	return report, nil
+}

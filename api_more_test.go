@@ -1,0 +1,134 @@
+package lineartime
+
+import (
+	"testing"
+)
+
+func TestRunConsensusEarlyStopping(t *testing.T) {
+	n, tt := 40, 10
+	inputs := boolInputs(n, func(i int) bool { return i%2 == 0 })
+	r, err := RunConsensus(n, tt, inputs,
+		WithSeed(2),
+		WithAlgorithm(EarlyStoppingBaseline))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Agreement || !r.Validity {
+		t.Fatalf("agreement=%v validity=%v", r.Agreement, r.Validity)
+	}
+	// With zero crashes the early-stopping baseline finishes in O(1)
+	// rounds — its distinguishing feature.
+	if r.Metrics.Rounds > 6 {
+		t.Fatalf("early stopping took %d rounds with no crashes", r.Metrics.Rounds)
+	}
+
+	crashed, err := RunConsensus(n, tt, inputs,
+		WithSeed(2),
+		WithAlgorithm(EarlyStoppingBaseline),
+		WithRandomCrashes(tt, tt))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !crashed.Agreement || !crashed.Validity {
+		t.Fatal("early stopping broke under crashes")
+	}
+}
+
+func TestRunGossipSinglePort(t *testing.T) {
+	n, tt := 50, 10
+	rumors := make([]uint64, n)
+	for i := range rumors {
+		rumors[i] = uint64(777 + i)
+	}
+	r, err := RunGossip(n, tt, rumors, false,
+		WithSeed(3),
+		WithSinglePortModel(),
+		WithCrashSchedule(CrashEvent{Node: 8, Round: 0, Keep: 0}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Complete {
+		t.Fatal("single-port gossip incomplete")
+	}
+	for i, view := range r.Extant {
+		if view == nil {
+			continue
+		}
+		if _, ok := view[8]; ok {
+			t.Fatalf("node %d includes silently-crashed node 8", i)
+		}
+	}
+	// Single-port rounds far exceed multi-port (port multiplexing).
+	multi, err := RunGossip(n, tt, rumors, false, WithSeed(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Metrics.Rounds <= multi.Metrics.Rounds {
+		t.Fatalf("single-port rounds %d ≤ multi-port %d", r.Metrics.Rounds, multi.Metrics.Rounds)
+	}
+}
+
+func TestRunCheckpointingSinglePort(t *testing.T) {
+	n, tt := 50, 10
+	r, err := RunCheckpointing(n, tt, false,
+		WithSeed(4),
+		WithSinglePortModel(),
+		WithCrashSchedule(CrashEvent{Node: 6, Round: 0, Keep: 0}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Agreement {
+		t.Fatal("single-port checkpointing disagreement")
+	}
+	for _, v := range r.ExtantSet {
+		if v == 6 {
+			t.Fatal("silently-crashed node in single-port extant set")
+		}
+	}
+}
+
+func TestRunMajorityVote(t *testing.T) {
+	n, tt := 60, 12
+	votes := boolInputs(n, func(i int) bool { return i < 40 })
+	r, err := RunMajorityVote(n, tt, votes, WithSeed(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Agreement {
+		t.Fatal("majority disagreement")
+	}
+	if !r.YesWins || r.YesVotes != 40 || r.Ballots != 60 {
+		t.Fatalf("tally %d/%d yesWins=%v, want 40/60 yes", r.YesVotes, r.Ballots, r.YesWins)
+	}
+
+	minority, err := RunMajorityVote(n, tt, boolInputs(n, func(i int) bool { return i < 20 }),
+		WithSeed(5), WithRandomCrashes(tt, 40))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !minority.Agreement {
+		t.Fatal("majority disagreement under crashes")
+	}
+	if minority.YesWins {
+		t.Fatal("20/60 yes votes won")
+	}
+	if _, err := RunMajorityVote(10, 2, nil); err == nil {
+		t.Fatal("missing votes accepted")
+	}
+}
+
+func TestAlgorithmStrings(t *testing.T) {
+	cases := map[Algorithm]string{
+		FewCrashes:            "few-crashes",
+		ManyCrashes:           "many-crashes",
+		FloodingBaseline:      "flooding",
+		SinglePortLinear:      "single-port",
+		EarlyStoppingBaseline: "early-stopping",
+		Algorithm(42):         "Algorithm(42)",
+	}
+	for a, want := range cases {
+		if got := a.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", int(a), got, want)
+		}
+	}
+}

@@ -1,0 +1,209 @@
+// Command linearsim runs any algorithm of the library on a simulated
+// synchronous network and prints the paper's two performance metrics
+// (rounds, communication) together with the correctness verdicts.
+//
+// Examples:
+//
+//	linearsim -problem consensus -algo few-crashes -n 200 -t 40 -crashes 40
+//	linearsim -problem consensus -algo single-port -n 100 -t 20
+//	linearsim -problem gossip -n 150 -t 30
+//	linearsim -problem checkpoint -n 150 -t 30 -baseline
+//	linearsim -problem byzantine -n 100 -t 10 -byz equivocate -byzcount 10
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"lineartime"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "linearsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("linearsim", flag.ContinueOnError)
+	var (
+		problem  = fs.String("problem", "consensus", "consensus | gossip | checkpoint | byzantine")
+		algo     = fs.String("algo", "few-crashes", "consensus algorithm: few-crashes | many-crashes | flooding | single-port | early-stopping | rotating-coordinator")
+		n        = fs.Int("n", 100, "number of nodes")
+		t        = fs.Int("t", 20, "fault bound")
+		seed     = fs.Uint64("seed", 1, "deterministic seed")
+		crashes  = fs.Int("crashes", 0, "random crashes to inject (≤ t)")
+		horizon  = fs.Int("horizon", 64, "last round at which random crashes may happen")
+		baseline = fs.Bool("baseline", false, "run the comparator instead of the paper's algorithm")
+		byz      = fs.String("byz", "silence", "byzantine strategy: silence | equivocate | spam")
+		byzCount = fs.Int("byzcount", 0, "number of corrupted nodes (byzantine problem)")
+		ones     = fs.Int("ones", -1, "consensus: number of nodes with input 1 (-1 = every third)")
+		trace    = fs.Bool("trace", false, "print a transcript summary (few-crashes consensus only)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *trace {
+		return runTraced(*n, *t, *seed, *crashes, *horizon)
+	}
+
+	opts := []lineartime.Option{lineartime.WithSeed(*seed)}
+	if *crashes > 0 {
+		opts = append(opts, lineartime.WithRandomCrashes(*crashes, *horizon))
+	}
+
+	switch *problem {
+	case "consensus":
+		return runConsensus(*algo, *n, *t, *ones, *baseline, opts)
+	case "gossip":
+		return runGossip(*n, *t, *baseline, opts)
+	case "checkpoint":
+		return runCheckpoint(*n, *t, *baseline, opts)
+	case "byzantine":
+		return runByzantine(*n, *t, *byz, *byzCount, *baseline, opts)
+	default:
+		return fmt.Errorf("unknown problem %q", *problem)
+	}
+}
+
+func algorithmFromName(name string, baseline bool) (lineartime.Algorithm, error) {
+	if baseline {
+		return lineartime.FloodingBaseline, nil
+	}
+	switch name {
+	case "few-crashes":
+		return lineartime.FewCrashes, nil
+	case "many-crashes":
+		return lineartime.ManyCrashes, nil
+	case "flooding":
+		return lineartime.FloodingBaseline, nil
+	case "single-port":
+		return lineartime.SinglePortLinear, nil
+	case "early-stopping":
+		return lineartime.EarlyStoppingBaseline, nil
+	case "rotating-coordinator":
+		return lineartime.CoordinatorBaseline, nil
+	default:
+		return 0, fmt.Errorf("unknown algorithm %q", name)
+	}
+}
+
+func runConsensus(algoName string, n, t, ones int, baseline bool, opts []lineartime.Option) error {
+	algo, err := algorithmFromName(algoName, baseline)
+	if err != nil {
+		return err
+	}
+	inputs := make([]bool, n)
+	for i := range inputs {
+		if ones < 0 {
+			inputs[i] = i%3 == 0
+		} else {
+			inputs[i] = i < ones
+		}
+	}
+	r, err := lineartime.RunConsensus(n, t, inputs, append(opts, lineartime.WithAlgorithm(algo))...)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("consensus  algo=%-12s n=%d t=%d\n", r.Algorithm, r.N, r.T)
+	printMetrics(r.Metrics)
+	fmt.Printf("crashed:   %d nodes\n", len(r.Crashed))
+	fmt.Printf("agreement: %v   validity: %v\n", r.Agreement, r.Validity)
+	return nil
+}
+
+func runGossip(n, t int, baseline bool, opts []lineartime.Option) error {
+	rumors := make([]uint64, n)
+	for i := range rumors {
+		rumors[i] = uint64(1000 + i)
+	}
+	r, err := lineartime.RunGossip(n, t, rumors, baseline, opts...)
+	if err != nil {
+		return err
+	}
+	kind := "gossip(§5)"
+	if baseline {
+		kind = "gossip(all-to-all)"
+	}
+	fmt.Printf("%-10s n=%d t=%d\n", kind, r.N, r.T)
+	printMetrics(r.Metrics)
+	fmt.Printf("crashed:   %d nodes\n", len(r.Crashed))
+	fmt.Printf("complete:  %v\n", r.Complete)
+	return nil
+}
+
+func runCheckpoint(n, t int, baseline bool, opts []lineartime.Option) error {
+	r, err := lineartime.RunCheckpointing(n, t, baseline, opts...)
+	if err != nil {
+		return err
+	}
+	kind := "checkpoint(§6)"
+	if baseline {
+		kind = "checkpoint(direct)"
+	}
+	fmt.Printf("%-10s n=%d t=%d\n", kind, r.N, r.T)
+	printMetrics(r.Metrics)
+	fmt.Printf("crashed:   %d nodes\n", len(r.Crashed))
+	fmt.Printf("agreement: %v   extant set size: %d\n", r.Agreement, len(r.ExtantSet))
+	return nil
+}
+
+func runByzantine(n, t int, strategy string, count int, baseline bool, opts []lineartime.Option) error {
+	var strat lineartime.ByzantineStrategy
+	switch strategy {
+	case "silence":
+		strat = lineartime.Silence
+	case "equivocate":
+		strat = lineartime.Equivocate
+	case "spam":
+		strat = lineartime.Spam
+	default:
+		return fmt.Errorf("unknown byzantine strategy %q", strategy)
+	}
+	if count > t {
+		count = t
+	}
+	corrupted := make([]int, 0, count)
+	for i := 0; i < count; i++ {
+		corrupted = append(corrupted, i)
+	}
+	inputs := make([]uint64, n)
+	for i := range inputs {
+		inputs[i] = uint64(100 + i)
+	}
+	if count > 0 {
+		opts = append(opts, lineartime.WithByzantine(strat, corrupted...))
+	}
+	r, err := lineartime.RunByzantineConsensus(n, t, inputs, baseline, opts...)
+	if err != nil {
+		return err
+	}
+	kind := "ab-consensus(§7)"
+	if baseline {
+		kind = "dolev-strong-all"
+	}
+	fmt.Printf("%-10s n=%d t=%d little=%d corrupted=%d (%s)\n", kind, r.N, r.T, r.L, count, strategy)
+	printMetrics(r.Metrics)
+	fmt.Printf("agreement: %v   byz messages: %d\n", r.Agreement, r.Metrics.ByzMessages)
+	return nil
+}
+
+func printMetrics(m lineartime.Metrics) {
+	fmt.Printf("rounds:    %d\n", m.Rounds)
+	fmt.Printf("messages:  %d (non-faulty)\n", m.Messages)
+	fmt.Printf("bits:      %d\n", m.Bits)
+	if len(m.PerPart) > 0 {
+		parts := make([]string, 0, len(m.PerPart))
+		for p := range m.PerPart {
+			parts = append(parts, p)
+		}
+		sort.Strings(parts)
+		fmt.Println("per part:")
+		for _, p := range parts {
+			fmt.Printf("  %-16s %d\n", p, m.PerPart[p])
+		}
+	}
+}

@@ -1,0 +1,69 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunAllProblems(t *testing.T) {
+	cases := [][]string{
+		{"-problem", "consensus", "-n", "60", "-t", "12", "-crashes", "12"},
+		{"-problem", "consensus", "-algo", "many-crashes", "-n", "60", "-t", "40"},
+		{"-problem", "consensus", "-algo", "flooding", "-n", "40", "-t", "8"},
+		{"-problem", "consensus", "-algo", "single-port", "-n", "40", "-t", "8"},
+		{"-problem", "consensus", "-baseline", "-n", "40", "-t", "8"},
+		{"-problem", "consensus", "-ones", "10", "-n", "40", "-t", "8"},
+		{"-problem", "gossip", "-n", "50", "-t", "10"},
+		{"-problem", "gossip", "-baseline", "-n", "50", "-t", "10"},
+		{"-problem", "checkpoint", "-n", "50", "-t", "10"},
+		{"-problem", "checkpoint", "-baseline", "-n", "50", "-t", "10"},
+		{"-problem", "byzantine", "-n", "40", "-t", "4", "-byz", "equivocate", "-byzcount", "4"},
+		{"-problem", "byzantine", "-n", "40", "-t", "4", "-byz", "spam", "-byzcount", "2"},
+		{"-problem", "byzantine", "-n", "30", "-t", "3", "-baseline"},
+		{"-problem", "byzantine", "-n", "30", "-t", "3", "-byzcount", "9"}, // clamped to t
+	}
+	for _, args := range cases {
+		t.Run(strings.Join(args, " "), func(t *testing.T) {
+			if err := run(args); err != nil {
+				t.Fatalf("run(%v): %v", args, err)
+			}
+		})
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	cases := [][]string{
+		{"-problem", "nonsense"},
+		{"-problem", "consensus", "-algo", "nonsense"},
+		{"-problem", "byzantine", "-byz", "nonsense"},
+		{"-problem", "consensus", "-n", "10", "-t", "9"}, // t > n/5 for few-crashes
+		{"-badflag"},
+	}
+	for _, args := range cases {
+		t.Run(strings.Join(args, " "), func(t *testing.T) {
+			if err := run(args); err == nil {
+				t.Fatalf("run(%v) succeeded, want error", args)
+			}
+		})
+	}
+}
+
+func TestAlgorithmFromName(t *testing.T) {
+	for _, name := range []string{"few-crashes", "many-crashes", "flooding", "single-port"} {
+		if _, err := algorithmFromName(name, false); err != nil {
+			t.Errorf("algorithmFromName(%q): %v", name, err)
+		}
+	}
+	if a, err := algorithmFromName("anything", true); err != nil || a.String() != "flooding" {
+		t.Errorf("baseline override broken: %v %v", a, err)
+	}
+}
+
+func TestRunTraced(t *testing.T) {
+	if err := run([]string{"-trace", "-n", "50", "-t", "10", "-crashes", "10"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-trace", "-n", "10", "-t", "9"}); err == nil {
+		t.Fatal("invalid topology accepted in trace mode")
+	}
+}

@@ -1,0 +1,60 @@
+package main
+
+import (
+	"fmt"
+
+	"lineartime/internal/consensus"
+	"lineartime/internal/crash"
+	"lineartime/internal/sim"
+	"lineartime/internal/trace"
+)
+
+// runTraced runs Few-Crashes-Consensus with the transcript recorder
+// attached and prints the traffic analysis: per-part attribution plus
+// the recorder's per-round/per-node profile. It builds the stack
+// directly on the internal packages because the observer hook is an
+// engine-level diagnostic, not part of the public API.
+func runTraced(n, t int, seed uint64, crashes, horizon int) error {
+	top, err := consensus.NewTopology(n, t, consensus.TopologyOptions{Seed: seed})
+	if err != nil {
+		return err
+	}
+	rec := trace.NewRecorder(n)
+	ms := make([]*consensus.FewCrashes, n)
+	ps := make([]sim.Protocol, n)
+	for i := 0; i < n; i++ {
+		ms[i] = consensus.NewFewCrashes(i, top, i%3 == 0)
+		ps[i] = ms[i]
+	}
+	var adv sim.Adversary
+	if crashes > 0 {
+		adv = crash.NewRandom(n, crashes, horizon, seed+101)
+	}
+	res, err := sim.Run(sim.Config{
+		Protocols:   ps,
+		Adversary:   adv,
+		Observer:    rec,
+		PartLabeler: ms[0].PartAt,
+		MaxRounds:   ms[0].ScheduleLength() + 8,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("few-crashes consensus, n=%d t=%d (traced)\n\n", n, t)
+	fmt.Print(rec.Summary())
+	fmt.Printf("\ntraffic profile (%d buckets over %d rounds):\n  ", 10, res.Metrics.Rounds)
+	for _, c := range rec.TrafficProfile(10) {
+		fmt.Printf("%6d", c)
+	}
+	fmt.Println()
+	if len(res.Metrics.PerPart) > 0 {
+		fmt.Println("\nper part:")
+		for part, count := range res.Metrics.PerPart {
+			fmt.Printf("  %-16s %d\n", part, count)
+		}
+	}
+	if quiet := rec.QuietNodes(); len(quiet) > 0 {
+		fmt.Printf("\nquiet nodes (never sent): %v\n", quiet)
+	}
+	return nil
+}

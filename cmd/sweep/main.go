@@ -1,0 +1,393 @@
+// Command sweep regenerates the experiment series of EXPERIMENTS.md:
+// one markdown table per experiment id from the DESIGN.md index
+// (E2–E11), covering every performance theorem of the paper.
+//
+// Usage:
+//
+//	sweep            # run everything
+//	sweep -exp E4    # one experiment
+//	sweep -quick     # smaller sizes (CI-friendly)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+
+	"lineartime"
+	"lineartime/internal/consensus"
+	"lineartime/internal/crash"
+	"lineartime/internal/lowerbound"
+	"lineartime/internal/sim"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "sweep:", err)
+		os.Exit(1)
+	}
+}
+
+type experiment struct {
+	id    string
+	title string
+	fn    func(quick bool) error
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("sweep", flag.ContinueOnError)
+	exp := fs.String("exp", "", "experiment id (E2..E11); empty = all")
+	quick := fs.Bool("quick", false, "smaller sizes")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	experiments := []experiment{
+		{"E2", "Theorem 5 — Almost-Everywhere Agreement", sweepAEA},
+		{"E3", "Theorem 6 — Spread-Common-Value", sweepSCV},
+		{"E4", "Theorem 7 — Few-Crashes-Consensus", sweepFewCrashes},
+		{"E5", "Theorem 8 / Corollary 1 — Many-Crashes-Consensus", sweepManyCrashes},
+		{"E6", "Theorem 9 — Gossip", sweepGossip},
+		{"E7", "Theorem 10 — Checkpointing vs O(tn) baseline", sweepCheckpointing},
+		{"E8", "Theorem 11 — AB-Consensus (authenticated Byzantine)", sweepByzantine},
+		{"E9", "Theorem 12 — single-port Linear-Consensus", sweepSinglePort},
+		{"E10", "Theorem 13 — lower-bound constructions", sweepLowerBound},
+		{"E11", "§1 comparison — message crossover vs flooding", sweepCrossover},
+	}
+	for _, e := range experiments {
+		if *exp != "" && e.id != *exp {
+			continue
+		}
+		fmt.Printf("## %s: %s\n\n", e.id, e.title)
+		if err := e.fn(*quick); err != nil {
+			return fmt.Errorf("%s: %w", e.id, err)
+		}
+		fmt.Println()
+	}
+	return nil
+}
+
+func sizes(quick bool, all ...int) []int {
+	if quick && len(all) > 2 {
+		return all[:2]
+	}
+	return all
+}
+
+func sweepAEA(quick bool) error {
+	fmt.Println("| n | t | deciders | deciders/n | rounds | messages | msgs/n |")
+	fmt.Println("|---|---|----------|-----------|--------|----------|--------|")
+	for _, n := range sizes(quick, 250, 500, 1000, 2000) {
+		t := n / 6
+		top, err := consensus.NewTopology(n, t, consensus.TopologyOptions{Seed: 1})
+		if err != nil {
+			return err
+		}
+		ms := make([]*consensus.AEA, n)
+		ps := make([]sim.Protocol, n)
+		for i := 0; i < n; i++ {
+			ms[i] = consensus.NewAEA(i, top, i%3 == 0, 0, true)
+			ps[i] = ms[i]
+		}
+		adv := crash.NewTargetLittle(top.L, t, 3)
+		res, err := sim.Run(sim.Config{Protocols: ps, Adversary: adv, MaxRounds: ms[0].ScheduleLength() + 4})
+		if err != nil {
+			return err
+		}
+		deciders := 0
+		for i, m := range ms {
+			if res.Crashed.Contains(i) {
+				continue
+			}
+			if _, ok := m.Decided(); ok {
+				deciders++
+			}
+		}
+		fmt.Printf("| %d | %d | %d | %.2f | %d | %d | %.1f |\n",
+			n, t, deciders, float64(deciders)/float64(n),
+			res.Metrics.Rounds, res.Metrics.Messages,
+			float64(res.Metrics.Messages)/float64(n))
+	}
+	fmt.Println("\nClaim: ≥ 3n/5 deciders, O(t) rounds, O(n) messages under little-node-targeted crashes.")
+	return nil
+}
+
+func sweepSCV(quick bool) error {
+	fmt.Println("| n | t | branch | rounds | messages | all decided |")
+	fmt.Println("|---|---|--------|--------|----------|-------------|")
+	type cfg struct{ n, t int }
+	cases := []cfg{{400, 10}, {400, 80}, {1600, 30}, {1600, 320}}
+	if quick {
+		cases = cases[:2]
+	}
+	for _, c := range cases {
+		branch := "t²≤n"
+		if c.t*c.t > c.n {
+			branch = "t²>n"
+		}
+		top, err := consensus.NewTopology(c.n, c.t, consensus.TopologyOptions{Seed: 2})
+		if err != nil {
+			return err
+		}
+		ms := make([]*consensus.SCV, c.n)
+		ps := make([]sim.Protocol, c.n)
+		for i := 0; i < c.n; i++ {
+			ms[i] = consensus.NewSCV(i, top, i < 3*c.n/5, true, 0, true)
+			ps[i] = ms[i]
+		}
+		res, err := sim.Run(sim.Config{Protocols: ps, MaxRounds: ms[0].ScheduleLength() + 4})
+		if err != nil {
+			return err
+		}
+		all := true
+		for _, m := range ms {
+			if _, ok := m.Decided(); !ok {
+				all = false
+			}
+		}
+		fmt.Printf("| %d | %d | %s | %d | %d | %v |\n",
+			c.n, c.t, branch, res.Metrics.Rounds, res.Metrics.Messages, all)
+	}
+	fmt.Println("\nClaim: O(log t) rounds, O(t log t) messages, every node decides.")
+	return nil
+}
+
+func sweepFewCrashes(quick bool) error {
+	fmt.Println("| n | t | rounds | rounds/t | bits | bits/n |")
+	fmt.Println("|---|---|--------|----------|------|--------|")
+	for _, n := range sizes(quick, 128, 256, 512, 1024, 2048) {
+		t := n / 6
+		r, err := lineartime.RunConsensus(n, t, thirds(n),
+			lineartime.WithSeed(1), lineartime.WithRandomCrashes(t, 5*t))
+		if err != nil {
+			return err
+		}
+		if !r.Agreement || !r.Validity {
+			return fmt.Errorf("correctness violated at n=%d", n)
+		}
+		fmt.Printf("| %d | %d | %d | %.2f | %d | %.1f |\n",
+			n, t, r.Metrics.Rounds, float64(r.Metrics.Rounds)/float64(t),
+			r.Metrics.Bits, float64(r.Metrics.Bits)/float64(n))
+	}
+	fmt.Println("\nClaim: O(t + log n) rounds (rounds/t flat) and O(n + t log t) bits.")
+	return nil
+}
+
+func sweepManyCrashes(quick bool) error {
+	fmt.Println("| n | t | α | rounds | n+3(1+lg n) | messages |")
+	fmt.Println("|---|---|---|--------|-------------|----------|")
+	n := 256
+	if quick {
+		n = 128
+	}
+	lg := int(math.Ceil(math.Log2(float64(n))))
+	for _, alpha := range []float64{0.2, 0.5, 0.9} {
+		t := int(alpha * float64(n))
+		if err := manyRow(n, t, lg); err != nil {
+			return err
+		}
+	}
+	if err := manyRow(n, n-1, lg); err != nil { // Corollary 1
+		return err
+	}
+	fmt.Println("\nClaim: ≤ n + 3(1+lg n) rounds for any t < n (Corollary 1 row: t = n−1).")
+	return nil
+}
+
+func manyRow(n, t, lg int) error {
+	r, err := lineartime.RunConsensus(n, t, thirds(n),
+		lineartime.WithSeed(3),
+		lineartime.WithAlgorithm(lineartime.ManyCrashes),
+		lineartime.WithRandomCrashes(t, n))
+	if err != nil {
+		return err
+	}
+	if !r.Agreement || !r.Validity {
+		return fmt.Errorf("correctness violated at t=%d", t)
+	}
+	fmt.Printf("| %d | %d | %.2f | %d | %d | %d |\n",
+		n, t, float64(t)/float64(n), r.Metrics.Rounds, n+3*(1+lg), r.Metrics.Messages)
+	return nil
+}
+
+func sweepGossip(quick bool) error {
+	fmt.Println("| n | t | rounds | lg n · lg t | messages | msgs/n |")
+	fmt.Println("|---|---|--------|--------------|----------|--------|")
+	for _, n := range sizes(quick, 128, 256, 512, 1024, 2048) {
+		t := n / 6
+		rumors := make([]uint64, n)
+		for i := range rumors {
+			rumors[i] = uint64(i)
+		}
+		r, err := lineartime.RunGossip(n, t, rumors, false,
+			lineartime.WithSeed(1), lineartime.WithRandomCrashes(t, 60))
+		if err != nil {
+			return err
+		}
+		if !r.Complete {
+			return fmt.Errorf("gossip incomplete at n=%d", n)
+		}
+		lglg := math.Log2(float64(n)) * math.Log2(float64(t))
+		fmt.Printf("| %d | %d | %d | %.0f | %d | %.1f |\n",
+			n, t, r.Metrics.Rounds, lglg, r.Metrics.Messages,
+			float64(r.Metrics.Messages)/float64(n))
+	}
+	fmt.Println("\nClaim: O(log n · log t) rounds and O(n + t log n log t) messages.")
+	return nil
+}
+
+func sweepCheckpointing(quick bool) error {
+	fmt.Println("| n | t | algo rounds | algo msgs | baseline rounds | baseline msgs | ratio |")
+	fmt.Println("|---|---|-------------|-----------|-----------------|---------------|-------|")
+	for _, n := range sizes(quick, 128, 256, 512, 1024) {
+		t := n / 6
+		algo, err := lineartime.RunCheckpointing(n, t, false,
+			lineartime.WithSeed(1), lineartime.WithRandomCrashes(t, 60))
+		if err != nil {
+			return err
+		}
+		base, err := lineartime.RunCheckpointing(n, t, true,
+			lineartime.WithSeed(1), lineartime.WithRandomCrashes(t, 60))
+		if err != nil {
+			return err
+		}
+		if !algo.Agreement || !base.Agreement {
+			return fmt.Errorf("agreement violated at n=%d", n)
+		}
+		fmt.Printf("| %d | %d | %d | %d | %d | %d | %.2f |\n",
+			n, t, algo.Metrics.Rounds, algo.Metrics.Messages,
+			base.Metrics.Rounds, base.Metrics.Messages,
+			float64(base.Metrics.Messages)/float64(algo.Metrics.Messages))
+	}
+	fmt.Println("\nClaim: the §6 algorithm's messages beat the direct Θ(t·n²) exchange by a factor growing with n.")
+	return nil
+}
+
+func sweepByzantine(quick bool) error {
+	fmt.Println("| n | t=√n/2 | strategy | rounds | messages | t²+n | agreement |")
+	fmt.Println("|---|--------|----------|--------|----------|------|-----------|")
+	for _, n := range sizes(quick, 100, 400, 900, 1600) {
+		t := int(math.Sqrt(float64(n)) / 2)
+		if t < 1 {
+			t = 1
+		}
+		inputs := make([]uint64, n)
+		for i := range inputs {
+			inputs[i] = uint64(i)
+		}
+		for _, strat := range []struct {
+			name string
+			s    lineartime.ByzantineStrategy
+		}{{"silence", lineartime.Silence}, {"equivocate", lineartime.Equivocate}, {"spam", lineartime.Spam}} {
+			corrupted := make([]int, 0, t)
+			for i := 0; i < t; i++ {
+				corrupted = append(corrupted, i)
+			}
+			r, err := lineartime.RunByzantineConsensus(n, t, inputs, false,
+				lineartime.WithSeed(1),
+				lineartime.WithByzantine(strat.s, corrupted...))
+			if err != nil {
+				return err
+			}
+			fmt.Printf("| %d | %d | %s | %d | %d | %d | %v |\n",
+				n, t, strat.name, r.Metrics.Rounds, r.Metrics.Messages, t*t+n, r.Agreement)
+		}
+	}
+	fmt.Println("\nClaim: O(t) rounds, O(t²+n) non-faulty messages, agreement under every strategy.")
+	return nil
+}
+
+func sweepSinglePort(quick bool) error {
+	fmt.Println("| n | t | rounds | rounds/(t+lg n) | bits | bits/n |")
+	fmt.Println("|---|---|--------|------------------|------|--------|")
+	for _, n := range sizes(quick, 128, 256, 512, 1024) {
+		t := n / 6
+		r, err := lineartime.RunConsensus(n, t, thirds(n),
+			lineartime.WithSeed(1),
+			lineartime.WithAlgorithm(lineartime.SinglePortLinear),
+			lineartime.WithRandomCrashes(t, 3*t))
+		if err != nil {
+			return err
+		}
+		if !r.Agreement || !r.Validity {
+			return fmt.Errorf("correctness violated at n=%d", n)
+		}
+		denom := float64(t) + math.Log2(float64(n))
+		fmt.Printf("| %d | %d | %d | %.1f | %d | %.1f |\n",
+			n, t, r.Metrics.Rounds, float64(r.Metrics.Rounds)/denom,
+			r.Metrics.Bits, float64(r.Metrics.Bits)/float64(n))
+	}
+	fmt.Println("\nClaim: Θ(t + log n) rounds (the ratio column is the compilation constant) and O(n + t log n) bits.")
+	return nil
+}
+
+func sweepLowerBound(quick bool) error {
+	fmt.Println("Divergence (Ω(log n) argument): diverged-node counts per single-port round vs the 3^i bound")
+	fmt.Println()
+	fmt.Println("| n | series (per round) | 3^i violated | full divergence at round | log₃(n) |")
+	fmt.Println("|---|--------------------|--------------|--------------------------|---------|")
+	for _, n := range sizes(quick, 81, 243, 729) {
+		series, err := lowerbound.DivergenceSeries(n, 24)
+		if err != nil {
+			return err
+		}
+		head := series
+		if len(head) > 12 {
+			head = head[:12]
+		}
+		fmt.Printf("| %d | %v | %v | %d | %.1f |\n",
+			n, head, lowerbound.CheckDivergenceInvariant(series) >= 0,
+			lowerbound.RoundsToFullDivergence(series, n),
+			math.Log(float64(n))/math.Log(3))
+	}
+	fmt.Println()
+	fmt.Println("Isolation (Ω(t) argument): first round the victim hears anything, crash budget t")
+	fmt.Println()
+	fmt.Println("| n | t | first contact round | t/2 bound |")
+	fmt.Println("|---|---|---------------------|-----------|")
+	for _, t := range sizes(quick, 8, 16, 32, 64) {
+		first, err := lowerbound.FirstContactRound(128, t, 5, 400)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("| 128 | %d | %d | %d |\n", t, first, t/2)
+	}
+	fmt.Println("\nClaim: divergence ≤ 3^i per round (so Ω(log n) rounds) and isolation ≥ t/2 rounds (so Ω(t)).")
+	return nil
+}
+
+func sweepCrossover(quick bool) error {
+	fmt.Println("| n | t | few-crashes bits | flooding bits | coordinator bits | flood/algo | coord/algo |")
+	fmt.Println("|---|---|------------------|---------------|------------------|------------|------------|")
+	for _, n := range sizes(quick, 64, 128, 256, 512, 1024) {
+		t := n / 6
+		algo, err := lineartime.RunConsensus(n, t, thirds(n), lineartime.WithSeed(1))
+		if err != nil {
+			return err
+		}
+		flood, err := lineartime.RunConsensus(n, t, thirds(n),
+			lineartime.WithSeed(1), lineartime.WithAlgorithm(lineartime.FloodingBaseline))
+		if err != nil {
+			return err
+		}
+		coord, err := lineartime.RunConsensus(n, t, thirds(n),
+			lineartime.WithSeed(1), lineartime.WithAlgorithm(lineartime.CoordinatorBaseline))
+		if err != nil {
+			return err
+		}
+		fmt.Printf("| %d | %d | %d | %d | %d | %.2f | %.2f |\n",
+			n, t, algo.Metrics.Bits, flood.Metrics.Bits, coord.Metrics.Bits,
+			float64(flood.Metrics.Bits)/float64(algo.Metrics.Bits),
+			float64(coord.Metrics.Bits)/float64(algo.Metrics.Bits))
+	}
+	fmt.Println("\nClaim: the baselines' Θ(n²) and Θ(t·n) bits diverge from the algorithm's O(n + t log t); both ratios grow with n.")
+	return nil
+}
+
+func thirds(n int) []bool {
+	in := make([]bool, n)
+	for i := range in {
+		in[i] = i%3 == 0
+	}
+	return in
+}

@@ -1,0 +1,27 @@
+package main
+
+import "testing"
+
+func TestTable1Runs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("table1 regeneration skipped in -short mode")
+	}
+	if err := run([]string{"-n", "128", "-seed", "1"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTable1BadFlags(t *testing.T) {
+	if err := run([]string{"-bogus"}); err == nil {
+		t.Fatal("bad flag accepted")
+	}
+}
+
+func TestBoundary(t *testing.T) {
+	if got := boundary(1024, 1); got != 102 {
+		t.Fatalf("boundary(1024,1) = %d, want 102", got)
+	}
+	if got := boundary(1024, 2); got != 10 {
+		t.Fatalf("boundary(1024,2) = %d, want 10", got)
+	}
+}

@@ -1,0 +1,101 @@
+package lineartime_test
+
+import (
+	"fmt"
+
+	"lineartime"
+)
+
+// The Example functions double as godoc documentation and as tests:
+// every run is deterministic, so the outputs are exact.
+
+func ExampleRunConsensus() {
+	const n, t = 60, 12
+	inputs := make([]bool, n)
+	for i := n / 2; i < n; i++ {
+		inputs[i] = true
+	}
+	report, err := lineartime.RunConsensus(n, t, inputs,
+		lineartime.WithSeed(1),
+		lineartime.WithCrashSchedule(lineartime.CrashEvent{Node: 2, Round: 0, Keep: 0}),
+	)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println("agreement:", report.Agreement)
+	fmt.Println("validity:", report.Validity)
+	fmt.Println("crashed:", report.Crashed)
+	// Output:
+	// agreement: true
+	// validity: true
+	// crashed: [2]
+}
+
+func ExampleRunCheckpointing() {
+	report, err := lineartime.RunCheckpointing(50, 10, false,
+		lineartime.WithSeed(1),
+		lineartime.WithCrashSchedule(lineartime.CrashEvent{Node: 7, Round: 0, Keep: 0}),
+	)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	inSet := false
+	for _, v := range report.ExtantSet {
+		if v == 7 {
+			inSet = true
+		}
+	}
+	fmt.Println("agreement:", report.Agreement)
+	fmt.Println("silently crashed node in snapshot:", inSet)
+	fmt.Println("snapshot size:", len(report.ExtantSet))
+	// Output:
+	// agreement: true
+	// silently crashed node in snapshot: false
+	// snapshot size: 49
+}
+
+func ExampleRunMajorityVote() {
+	const n, t = 60, 12
+	votes := make([]bool, n)
+	for i := 0; i < 38; i++ {
+		votes[i] = true
+	}
+	report, err := lineartime.RunMajorityVote(n, t, votes, lineartime.WithSeed(1))
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Printf("tally: %d/%d, yes wins: %v\n", report.YesVotes, report.Ballots, report.YesWins)
+	// Output:
+	// tally: 38/60, yes wins: true
+}
+
+func ExampleRunByzantineConsensus() {
+	const n, t = 40, 4
+	proposals := make([]uint64, n)
+	for i := range proposals {
+		proposals[i] = uint64(100 + i)
+	}
+	report, err := lineartime.RunByzantineConsensus(n, t, proposals, false,
+		lineartime.WithSeed(1),
+		lineartime.WithByzantine(lineartime.Equivocate, 0, 1),
+	)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	var committed uint64
+	for i, ok := range report.Decided {
+		if ok {
+			committed = report.Decisions[i]
+			break
+		}
+	}
+	fmt.Println("agreement:", report.Agreement)
+	fmt.Println("committed:", committed)
+	// Output:
+	// agreement: true
+	// committed: 119
+}

@@ -1,0 +1,80 @@
+// Byzantine-ledger: authenticated Byzantine agreement on the next
+// ledger entry among 120 replicas of which up to 10 are malicious —
+// the AB-Consensus algorithm of §7.
+//
+// Each honest replica proposes a (numeric) candidate entry; corrupted
+// replicas try three strategies in turn: staying silent, equivocating
+// (signing two different entries to different peers), and spamming
+// fabricated "authenticated" sets that claim a giant bogus entry. The
+// run demonstrates that agreement lands on a real proposal every time,
+// that the bogus entry never wins, and that the non-faulty message
+// count stays near the O(t² + n) bound rather than the Θ(n²) of
+// running Dolev–Strong among all replicas.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"lineartime"
+)
+
+func main() {
+	const n, t = 120, 10
+
+	proposals := make([]uint64, n)
+	for i := range proposals {
+		proposals[i] = uint64(5000 + i) // candidate ledger entries
+	}
+
+	corrupted := make([]int, 0, t)
+	for i := 0; i < t; i++ {
+		corrupted = append(corrupted, 3*i) // spread through the little nodes
+	}
+
+	for _, strat := range []struct {
+		name string
+		s    lineartime.ByzantineStrategy
+	}{
+		{"silence", lineartime.Silence},
+		{"equivocate", lineartime.Equivocate},
+		{"spam", lineartime.Spam},
+	} {
+		report, err := lineartime.RunByzantineConsensus(n, t, proposals, false,
+			lineartime.WithSeed(7),
+			lineartime.WithByzantine(strat.s, corrupted...),
+		)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if !report.Agreement {
+			log.Fatalf("%s: replicas disagree on the ledger entry", strat.name)
+		}
+		var entry uint64
+		for i, ok := range report.Decided {
+			if ok {
+				entry = report.Decisions[i]
+				break
+			}
+		}
+		if entry >= 1<<32 {
+			log.Fatalf("%s: fabricated entry %d committed", strat.name, entry)
+		}
+		fmt.Printf("strategy=%-10s committed entry %d | rounds=%d honest-msgs=%d byz-msgs=%d\n",
+			strat.name, entry, report.Metrics.Rounds,
+			report.Metrics.Messages, report.Metrics.ByzMessages)
+	}
+
+	// Cost comparison against Dolev–Strong run by every replica.
+	ab, err := lineartime.RunByzantineConsensus(n, t, proposals, false, lineartime.WithSeed(7))
+	if err != nil {
+		log.Fatal(err)
+	}
+	ds, err := lineartime.RunByzantineConsensus(n, t, proposals, true, lineartime.WithSeed(7))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nfault-free cost: AB-Consensus %d msgs vs all-nodes Dolev–Strong %d msgs (%.1fx)\n",
+		ab.Metrics.Messages, ds.Metrics.Messages,
+		float64(ds.Metrics.Messages)/float64(ab.Metrics.Messages))
+}

@@ -1,0 +1,57 @@
+// Majority-poll: the §9 extension — a fault-tolerant referendum. 90
+// voters, up to 15 may crash mid-poll; all survivors must agree on the
+// exact tally, not just the verdict, so an auditor asking any replica
+// gets the same numbers.
+//
+// The poll is intentionally close (46 yes / 44 no) and the adversary
+// crashes yes-voters, demonstrating the subtle point: the agreed
+// ballot set (who counts) is itself agreed upon, so a voter that died
+// before being heard is excluded consistently everywhere rather than
+// counted by some replicas and not others.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"lineartime"
+)
+
+func main() {
+	const n, t = 90, 15
+
+	votes := make([]bool, n)
+	for i := 0; i < 46; i++ {
+		votes[i] = true // nodes 0..45 vote yes
+	}
+
+	// The adversary silences three yes-voters before they can speak
+	// and one mid-poll.
+	report, err := lineartime.RunMajorityVote(n, t, votes,
+		lineartime.WithSeed(2026),
+		lineartime.WithCrashSchedule(
+			lineartime.CrashEvent{Node: 0, Round: 0, Keep: 0},
+			lineartime.CrashEvent{Node: 1, Round: 0, Keep: 0},
+			lineartime.CrashEvent{Node: 2, Round: 0, Keep: 0},
+			lineartime.CrashEvent{Node: 3, Round: 30, Keep: 2},
+		),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if !report.Agreement {
+		log.Fatal("replicas disagree on the tally")
+	}
+
+	fmt.Printf("electorate: %d, crash bound: %d, crashed: %d\n", n, t, len(report.Crashed))
+	fmt.Printf("agreed tally: %d yes of %d counted ballots\n", report.YesVotes, report.Ballots)
+	fmt.Printf("verdict:      yes wins = %v\n", report.YesWins)
+	fmt.Printf("cost:         %d rounds, %d messages\n",
+		report.Metrics.Rounds, report.Metrics.Messages)
+
+	// The silenced yes-voters must be consistently excluded.
+	if report.Ballots > n-3 {
+		log.Fatalf("silenced voters leaked into the ballot set (%d ballots)", report.Ballots)
+	}
+	fmt.Println("\nevery replica reports identical numbers — audit-stable under crashes")
+}

@@ -1,0 +1,137 @@
+package lineartime
+
+import (
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// Golden regression tests: every run is deterministic given its seed,
+// so the exact metrics of fixed configurations are frozen in
+// testdata/golden.json. An unintended change to any protocol, overlay
+// construction, adversary or the engine shifts a number here.
+// Regenerate intentionally with:
+//
+//	go test -run TestGolden -update .
+
+var updateGolden = flag.Bool("update", false, "rewrite testdata/golden.json")
+
+type goldenEntry struct {
+	Rounds   int   `json:"rounds"`
+	Messages int64 `json:"messages"`
+	Bits     int64 `json:"bits"`
+	Crashed  int   `json:"crashed"`
+}
+
+func goldenRuns(t *testing.T) map[string]goldenEntry {
+	t.Helper()
+	got := make(map[string]goldenEntry)
+
+	record := func(name string, m Metrics, crashed int) {
+		got[name] = goldenEntry{
+			Rounds:   m.Rounds,
+			Messages: m.Messages,
+			Bits:     m.Bits,
+			Crashed:  crashed,
+		}
+	}
+
+	inputs := boolInputs(60, func(i int) bool { return i%3 == 0 })
+	for _, algo := range []Algorithm{FewCrashes, ManyCrashes, FloodingBaseline, EarlyStoppingBaseline, CoordinatorBaseline, SinglePortLinear} {
+		r, err := RunConsensus(60, 12, inputs,
+			WithSeed(1), WithAlgorithm(algo), WithRandomCrashes(12, 30))
+		if err != nil {
+			t.Fatalf("%v: %v", algo, err)
+		}
+		if !r.Agreement || !r.Validity {
+			t.Fatalf("%v: correctness violated", algo)
+		}
+		record("consensus/"+algo.String(), r.Metrics, len(r.Crashed))
+	}
+
+	rumors := make([]uint64, 60)
+	for i := range rumors {
+		rumors[i] = uint64(i)
+	}
+	g, err := RunGossip(60, 12, rumors, false, WithSeed(1), WithRandomCrashes(12, 30))
+	if err != nil {
+		t.Fatal(err)
+	}
+	record("gossip/multi-port", g.Metrics, len(g.Crashed))
+
+	gs, err := RunGossip(60, 12, rumors, false, WithSeed(1), WithSinglePortModel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	record("gossip/single-port", gs.Metrics, len(gs.Crashed))
+
+	c, err := RunCheckpointing(60, 12, false, WithSeed(1), WithRandomCrashes(12, 30))
+	if err != nil {
+		t.Fatal(err)
+	}
+	record("checkpointing/multi-port", c.Metrics, len(c.Crashed))
+
+	byzInputs := make([]uint64, 60)
+	for i := range byzInputs {
+		byzInputs[i] = uint64(100 + i)
+	}
+	b, err := RunByzantineConsensus(60, 6, byzInputs, false,
+		WithSeed(1), WithByzantine(Equivocate, 0, 1, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	record("byzantine/ab-consensus", b.Metrics, 0)
+
+	votes := boolInputs(60, func(i int) bool { return i < 35 })
+	m, err := RunMajorityVote(60, 12, votes, WithSeed(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	record("majority/vote", m.Metrics, len(m.Crashed))
+
+	return got
+}
+
+func TestGoldenMetrics(t *testing.T) {
+	path := filepath.Join("testdata", "golden.json")
+	got := goldenRuns(t)
+
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		data, err := json.MarshalIndent(got, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("golden file rewritten with %d entries", len(got))
+		return
+	}
+
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update to create): %v", err)
+	}
+	var want map[string]goldenEntry
+	if err := json.Unmarshal(data, &want); err != nil {
+		t.Fatal(err)
+	}
+	if len(want) != len(got) {
+		t.Fatalf("golden file has %d entries, runs produced %d", len(want), len(got))
+	}
+	for name, w := range want {
+		g, ok := got[name]
+		if !ok {
+			t.Errorf("%s: missing from runs", name)
+			continue
+		}
+		if g != w {
+			t.Errorf("%s: metrics drifted:\n got %+v\nwant %+v", name, g, w)
+		}
+	}
+}

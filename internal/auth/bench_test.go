@@ -1,0 +1,42 @@
+package auth
+
+import (
+	"testing"
+)
+
+func BenchmarkSign(b *testing.B) {
+	a := NewAuthority(64, 1)
+	s := a.Signer(3)
+	msg := ValueMessage(3, 42)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = s.Sign(msg)
+	}
+}
+
+func BenchmarkVerify(b *testing.B) {
+	a := NewAuthority(64, 1)
+	msg := ValueMessage(3, 42)
+	sig := a.Signer(3).Sign(msg)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !a.Verify(msg, sig) {
+			b.Fatal("verification failed")
+		}
+	}
+}
+
+func BenchmarkVerifyChain(b *testing.B) {
+	a := NewAuthority(64, 1)
+	msg := ValueMessage(0, 9)
+	chain := make([]Signature, 0, 16)
+	for i := 0; i < 16; i++ {
+		chain = append(chain, a.Signer(i).Sign(msg))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !a.VerifyChain(msg, chain, 16) {
+			b.Fatal("chain verification failed")
+		}
+	}
+}

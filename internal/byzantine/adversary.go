@@ -1,0 +1,149 @@
+package byzantine
+
+import (
+	"lineartime/internal/auth"
+	"lineartime/internal/sim"
+)
+
+// The types below are concrete Byzantine node behaviours. Each holds
+// only its own Signer, so the no-forgery guarantee of the model is
+// structural: nothing in these implementations can mint another
+// node's signature. They halt at the honest schedule end (the paper
+// measures time until non-faulty nodes halt; the engine additionally
+// ignores Byzantine nodes for termination).
+
+// Silent is the crash-like Byzantine node: it never sends anything.
+type Silent struct {
+	cfg    *Config
+	halted bool
+}
+
+// NewSilent creates a silent Byzantine node.
+func NewSilent(cfg *Config) *Silent { return &Silent{cfg: cfg} }
+
+// Send implements sim.Protocol.
+func (s *Silent) Send(int) []sim.Envelope { return nil }
+
+// Deliver implements sim.Protocol.
+func (s *Silent) Deliver(round int, _ []sim.Envelope) {
+	if round >= s.cfg.ScheduleLength()-1 {
+		s.halted = true
+	}
+}
+
+// Halted implements sim.Protocol.
+func (s *Silent) Halted() bool { return s.halted }
+
+// Equivocator is a Byzantine little node that, as a Dolev–Strong
+// source, sends value A to half of the little nodes and value B to the
+// other half (both correctly self-signed), trying to split the honest
+// view. Dolev–Strong forces its instance to the null value at every
+// honest node instead.
+type Equivocator struct {
+	id     int
+	cfg    *Config
+	signer *auth.Signer
+	a, b   uint64
+	halted bool
+}
+
+// NewEquivocator creates an equivocating source. The signer must be
+// the node's own handle.
+func NewEquivocator(id int, cfg *Config, signer *auth.Signer, valueA, valueB uint64) *Equivocator {
+	return &Equivocator{id: id, cfg: cfg, signer: signer, a: valueA, b: valueB}
+}
+
+// Send implements sim.Protocol.
+func (e *Equivocator) Send(round int) []sim.Envelope {
+	if round != 0 || !e.cfg.IsLittle(e.id) {
+		return nil
+	}
+	itemA := Relay{Source: e.id, Value: e.a,
+		Chain: []auth.Signature{e.signer.Sign(auth.ValueMessage(e.id, e.a))}}
+	itemB := Relay{Source: e.id, Value: e.b,
+		Chain: []auth.Signature{e.signer.Sign(auth.ValueMessage(e.id, e.b))}}
+	var out []sim.Envelope
+	for i := 0; i < e.cfg.L; i++ {
+		if i == e.id {
+			continue
+		}
+		item := itemA
+		if i%2 == 1 {
+			item = itemB
+		}
+		out = append(out, sim.Envelope{From: e.id, To: i, Payload: RelayBatch{Items: []Relay{item}}})
+	}
+	return out
+}
+
+// Deliver implements sim.Protocol.
+func (e *Equivocator) Deliver(round int, _ []sim.Envelope) {
+	if round >= e.cfg.ScheduleLength()-1 {
+		e.halted = true
+	}
+}
+
+// Halted implements sim.Protocol.
+func (e *Equivocator) Halted() bool { return e.halted }
+
+// Spammer floods the system every round: fabricated common sets with
+// junk endorsements to everyone it can and (validly signed) inquiries
+// to every little node, trying to waste honest verification and
+// response budget. Honest nodes drop the invalid sets; little nodes
+// answer at most one inquiry per round from it, the overhead the
+// Theorem 11 accounting already charges (≤ t Byzantine inquiries per
+// little node).
+type Spammer struct {
+	id     int
+	cfg    *Config
+	signer *auth.Signer
+	halted bool
+}
+
+// NewSpammer creates a flooding Byzantine node.
+func NewSpammer(id int, cfg *Config, signer *auth.Signer) *Spammer {
+	return &Spammer{id: id, cfg: cfg, signer: signer}
+}
+
+// Send implements sim.Protocol.
+func (s *Spammer) Send(round int) []sim.Envelope {
+	c := s.cfg
+	junk := CommonSet{
+		Values:  make([]uint64, c.L),
+		Present: make([]bool, c.L),
+	}
+	for i := range junk.Values {
+		junk.Values[i] = ^uint64(0) // the max-value grab
+		junk.Present[i] = true
+	}
+	// Self-endorsed only: validCommonSet requires L−t distinct little
+	// signatures, which the spammer cannot produce.
+	junk.Endorsements = []auth.Signature{s.signer.Sign(auth.SetMessage(junk.Values, junk.Present))}
+
+	var out []sim.Envelope
+	for i := 0; i < c.L; i++ {
+		if i == s.id {
+			continue
+		}
+		out = append(out, sim.Envelope{From: s.id, To: i, Payload: junk})
+		out = append(out, sim.Envelope{From: s.id, To: i,
+			Payload: SignedInquiry{Sig: s.signer.Sign(auth.InquiryMessage(s.id))}})
+	}
+	return out
+}
+
+// Deliver implements sim.Protocol.
+func (s *Spammer) Deliver(round int, _ []sim.Envelope) {
+	if round >= s.cfg.ScheduleLength()-1 {
+		s.halted = true
+	}
+}
+
+// Halted implements sim.Protocol.
+func (s *Spammer) Halted() bool { return s.halted }
+
+var (
+	_ sim.Protocol = (*Silent)(nil)
+	_ sim.Protocol = (*Equivocator)(nil)
+	_ sim.Protocol = (*Spammer)(nil)
+)

@@ -1,0 +1,143 @@
+package byzantine
+
+import (
+	"lineartime/internal/auth"
+	"lineartime/internal/sim"
+)
+
+// DSAll is the comparator from Dolev–Strong [24] run by all n nodes
+// directly: n parallel authenticated broadcasts among everyone, t+2
+// rounds, then decide the maximum extracted value. Message complexity
+// Θ(n²) per round in the worst case — the profile AB-Consensus
+// improves to O(t² + n) (§7, Table 1 row "authenticated Byzantine").
+type DSAll struct {
+	id     int
+	cfg    *Config
+	signer *auth.Signer
+	input  uint64
+
+	accepted map[int][]uint64
+	pending  []Relay
+
+	decided  bool
+	decision uint64
+	halted   bool
+}
+
+// NewDSAll creates the baseline machine for node id.
+func NewDSAll(id int, cfg *Config, signer *auth.Signer, input uint64) *DSAll {
+	d := &DSAll{id: id, cfg: cfg, signer: signer, input: input,
+		accepted: make(map[int][]uint64, cfg.N)}
+	d.accepted[id] = []uint64{input}
+	return d
+}
+
+// ScheduleLength returns the fixed round count, t + 2.
+func (d *DSAll) ScheduleLength() int { return d.cfg.T + 2 }
+
+// Decision returns the decided value, if any.
+func (d *DSAll) Decision() (uint64, bool) { return d.decision, d.decided }
+
+func (d *DSAll) everyone() []int {
+	out := make([]int, 0, d.cfg.N-1)
+	for i := 0; i < d.cfg.N; i++ {
+		if i != d.id {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// Send implements sim.Protocol.
+func (d *DSAll) Send(round int) []sim.Envelope {
+	var batch RelayBatch
+	switch {
+	case round == 0:
+		batch.Items = []Relay{{
+			Source: d.id,
+			Value:  d.input,
+			Chain:  []auth.Signature{d.signer.Sign(auth.ValueMessage(d.id, d.input))},
+		}}
+	case round < d.ScheduleLength() && len(d.pending) > 0:
+		batch.Items = d.pending
+		d.pending = nil
+	default:
+		return nil
+	}
+	targets := d.everyone()
+	out := make([]sim.Envelope, 0, len(targets))
+	for _, to := range targets {
+		out = append(out, sim.Envelope{From: d.id, To: to, Payload: batch})
+	}
+	return out
+}
+
+// Deliver implements sim.Protocol.
+func (d *DSAll) Deliver(round int, inbox []sim.Envelope) {
+	for _, env := range inbox {
+		batch, ok := env.Payload.(RelayBatch)
+		if !ok {
+			continue
+		}
+		for _, item := range batch.Items {
+			if item.Source < 0 || item.Source >= d.cfg.N || len(item.Chain) < round+1 {
+				continue
+			}
+			if len(item.Chain) == 0 || item.Chain[0].Signer != item.Source {
+				continue
+			}
+			if !d.validChain(item) {
+				continue
+			}
+			vs := d.accepted[item.Source]
+			if containsValue(vs, item.Value) || len(vs) >= 2 {
+				continue
+			}
+			d.accepted[item.Source] = append(vs, item.Value)
+			if round+1 < d.ScheduleLength() && !chainHasSigner(item.Chain, d.id) {
+				d.pending = append(d.pending, Relay{
+					Source: item.Source,
+					Value:  item.Value,
+					Chain: append(append([]auth.Signature(nil), item.Chain...),
+						d.signer.Sign(auth.ValueMessage(item.Source, item.Value))),
+				})
+			}
+		}
+	}
+	if round == d.ScheduleLength()-1 {
+		best, found := uint64(0), false
+		for s := 0; s < d.cfg.N; s++ {
+			if vs := d.accepted[s]; len(vs) == 1 {
+				if !found || vs[0] > best {
+					best, found = vs[0], true
+				}
+			}
+		}
+		if found {
+			d.decided, d.decision = true, best
+		}
+		d.halted = true
+	}
+}
+
+// validChain verifies all signatures with distinct signers (any node
+// may sign in the all-nodes variant).
+func (d *DSAll) validChain(item Relay) bool {
+	msg := auth.ValueMessage(item.Source, item.Value)
+	seen := make(map[int]bool, len(item.Chain))
+	for _, sig := range item.Chain {
+		if sig.Signer < 0 || sig.Signer >= d.cfg.N || seen[sig.Signer] {
+			return false
+		}
+		seen[sig.Signer] = true
+		if !d.cfg.Authority.Verify(msg, sig) {
+			return false
+		}
+	}
+	return true
+}
+
+// Halted implements sim.Protocol.
+func (d *DSAll) Halted() bool { return d.halted }
+
+var _ sim.Protocol = (*DSAll)(nil)

@@ -1,0 +1,119 @@
+// Package byzantine implements the authenticated-Byzantine-fault
+// algorithms of §7: the Dolev–Strong broadcast sub-routine
+// (DS-algorithm, run in parallel by the little nodes) and algorithm
+// AB-Consensus (Figure 7, Theorem 11: consensus for t < n/2 in O(t)
+// rounds with O(t² + n) messages sent by non-faulty nodes), plus the
+// all-nodes Dolev–Strong comparator and concrete Byzantine node
+// behaviours (silent, equivocating, spamming).
+package byzantine
+
+import (
+	"fmt"
+	"math"
+
+	"lineartime/internal/auth"
+	"lineartime/internal/expander"
+)
+
+// Config is the shared, publicly-known configuration of one
+// AB-Consensus system: identities, overlays and schedule.
+type Config struct {
+	N, T int
+	// L is the number of little nodes: min(5t, n), at least 5.
+	L int
+	// Authority is the PKI simulation.
+	Authority *auth.Authority
+	// Broadcast is the expander H used by Part 3.
+	Broadcast *expander.Overlay
+
+	// Endorsements is the number of little-node signatures a common
+	// set must carry to be "authenticated": L − t (the paper's 4t when
+	// L = 5t), at least 1.
+	Endorsements int
+
+	// Schedule boundaries (rounds).
+	dsRounds   int // Part 1a: parallel Dolev–Strong, t+2 rounds
+	endorseEnd int // Part 1b: one endorsement round
+	relatedEnd int // Part 2: one related-notification round
+	part3End   int // Part 3: slow propagation over H
+	part4End   int // Part 4: inquiry + response
+}
+
+// NewConfig builds the system configuration for n nodes, at most t
+// authenticated-Byzantine faults, t < n/2.
+func NewConfig(n, t int, seed uint64) (*Config, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("byzantine: need n ≥ 2, got %d", n)
+	}
+	if t < 0 || 2*t >= n {
+		return nil, fmt.Errorf("byzantine: need t < n/2, got t=%d n=%d", t, n)
+	}
+	l := 5 * t
+	if l < 5 {
+		l = 5
+	}
+	if l > n {
+		l = n
+	}
+	endorse := l - t
+	if endorse < 1 {
+		endorse = 1
+	}
+	h, err := expander.NewBroadcastGraph(n, seed+21)
+	if err != nil {
+		return nil, err
+	}
+	c := &Config{
+		N:            n,
+		T:            t,
+		L:            l,
+		Authority:    auth.NewAuthority(n, seed),
+		Broadcast:    h,
+		Endorsements: endorse,
+	}
+	c.dsRounds = t + 2
+	c.endorseEnd = c.dsRounds + 1
+	c.relatedEnd = c.endorseEnd + 1
+	c.part3End = c.relatedEnd + c.part3Rounds()
+	c.part4End = c.part3End + 2
+	return c, nil
+}
+
+// part3Rounds mirrors Spread-Common-Value Part 1:
+// ⌈log_{3/2}((2n/5)/max{t, n/t})⌉ rounds, floored at ⌈lg n⌉ so the
+// scaled-degree H is always covered.
+func (c *Config) part3Rounds() int {
+	t := c.T
+	if t < 1 {
+		t = 1
+	}
+	denom := math.Max(float64(t), float64(c.N)/float64(t))
+	k := int(math.Ceil(math.Log(2*float64(c.N)/5/denom) / math.Log(1.5)))
+	if k < 0 {
+		k = 0
+	}
+	rounds := 1 + k
+	if min := expander.CeilLog2(c.N); rounds < min {
+		rounds = min
+	}
+	return rounds
+}
+
+// ScheduleLength returns the fixed number of rounds of AB-Consensus.
+func (c *Config) ScheduleLength() int { return c.part4End }
+
+// IsLittle reports whether id is a little node.
+func (c *Config) IsLittle(id int) bool { return id < c.L }
+
+// RelatedOf returns the non-little nodes related to little node i
+// (same remainder modulo L, §7 Part 2).
+func (c *Config) RelatedOf(i int) []int {
+	var out []int
+	for j := c.L + i; j < c.N; j += c.L {
+		out = append(out, j)
+	}
+	return out
+}
+
+// LittleOf returns the little node related to node j.
+func (c *Config) LittleOf(j int) int { return j % c.L }

@@ -1,0 +1,210 @@
+package consensus
+
+import (
+	"lineartime/internal/probe"
+	"lineartime/internal/sim"
+)
+
+// AEA is the per-node state machine of algorithm
+// Almost-Everywhere-Agreement (Figure 1): three parts on the little
+// overlay G —
+//
+//	Part 1 (5t−1 rounds): little nodes flood rumor 1,
+//	Part 2 (2+lg(5t) rounds): local probing; survivors decide,
+//	Part 3 (1 round): little deciders notify their related nodes.
+//
+// The protocol guarantees (Theorem 5, t < n/5): at least 3n/5 nodes
+// decide, all decisions equal, every decision is some node's input,
+// O(t) rounds and O(n) one-bit messages.
+//
+// AEA embeds into Few-Crashes-Consensus via the `base` round offset:
+// rounds before base are ignored, and the machine never halts on its
+// own when standalone is false (the embedding protocol halts).
+type AEA struct {
+	id  int
+	top *Topology
+
+	candidate bool
+	flooded   bool // sent the rumor-1 flood already
+	pending   bool // flood at the next Send
+	probing   *probe.Probing
+
+	decided    bool
+	decision   bool
+	standalone bool
+	halted     bool
+
+	base, p1End, p2End, p3End int
+}
+
+// NewAEA creates the AEA machine for node id with the given binary
+// input, starting at protocol round `base`.
+func NewAEA(id int, top *Topology, input bool, base int, standalone bool) *AEA {
+	a := &AEA{
+		id:         id,
+		top:        top,
+		candidate:  input,
+		standalone: standalone,
+		base:       base,
+	}
+	part1 := 5*top.T - 1
+	if part1 < 1 {
+		part1 = 1
+	}
+	// Scaled-degree overlays can have diameter above 5t−1 on tiny
+	// instances; flooding must cover the little graph, so never go
+	// below γ (≥ 2 + lg L ≥ diameter of a verified expander).
+	if g := top.Little.P.Gamma; part1 < g {
+		part1 = g
+	}
+	a.p1End = base + part1
+	a.p2End = a.p1End + top.Little.P.Gamma
+	a.p3End = a.p2End + 1
+	if top.IsLittle(id) {
+		a.probing = probe.New(top.Little.G.Neighbors(id), top.Little.P.Gamma, top.Little.P.Delta)
+	}
+	return a
+}
+
+// ScheduleLength returns the number of rounds AEA occupies.
+func (a *AEA) ScheduleLength() int { return a.p3End - a.base }
+
+// End returns the first round after AEA's schedule.
+func (a *AEA) End() int { return a.p3End }
+
+// Decided returns the decision, if one was reached.
+func (a *AEA) Decided() (value, ok bool) { return a.decision, a.decided }
+
+// Send implements sim.Protocol.
+func (a *AEA) Send(round int) []sim.Envelope {
+	switch {
+	case round < a.base:
+		return nil
+	case round < a.p1End:
+		return a.sendPart1(round)
+	case round < a.p2End:
+		return a.sendPart2()
+	case round < a.p3End:
+		return a.sendPart3()
+	default:
+		return nil
+	}
+}
+
+func (a *AEA) sendPart1(round int) []sim.Envelope {
+	if !a.top.IsLittle(a.id) {
+		return nil // non-little nodes stay idle through Part 1
+	}
+	first := round == a.base
+	if (first && a.candidate && !a.flooded) || a.pending {
+		a.flooded = true
+		a.pending = false
+		nbrs := a.top.Little.G.Neighbors(a.id)
+		out := make([]sim.Envelope, 0, len(nbrs))
+		for _, to := range nbrs {
+			out = append(out, sim.Envelope{From: a.id, To: to, Payload: sim.Bit(true)})
+		}
+		return out
+	}
+	return nil
+}
+
+func (a *AEA) sendPart2() []sim.Envelope {
+	if a.probing == nil {
+		return nil
+	}
+	targets := a.probing.SendTargets()
+	out := make([]sim.Envelope, 0, len(targets))
+	for _, to := range targets {
+		out = append(out, sim.Envelope{From: a.id, To: to, Payload: sim.Probe{Rumor: sim.Bit(a.candidate)}})
+	}
+	return out
+}
+
+func (a *AEA) sendPart3() []sim.Envelope {
+	if !a.top.IsLittle(a.id) || !a.decided {
+		return nil
+	}
+	related := a.top.RelatedOf(a.id)
+	out := make([]sim.Envelope, 0, len(related))
+	for _, to := range related {
+		out = append(out, sim.Envelope{From: a.id, To: to, Payload: sim.Bit(a.decision)})
+	}
+	return out
+}
+
+// Deliver implements sim.Protocol.
+func (a *AEA) Deliver(round int, inbox []sim.Envelope) {
+	switch {
+	case round < a.base:
+		return
+	case round < a.p1End:
+		a.deliverPart1(round, inbox)
+	case round < a.p2End:
+		a.deliverPart2(inbox)
+	case round < a.p3End:
+		a.deliverPart3(inbox)
+	}
+	if a.standalone && round == a.p3End-1 {
+		a.halted = true
+	}
+}
+
+func (a *AEA) deliverPart1(round int, inbox []sim.Envelope) {
+	if !a.top.IsLittle(a.id) || a.candidate {
+		return
+	}
+	for _, env := range inbox {
+		if b, ok := env.Payload.(sim.Bit); ok && bool(b) {
+			a.candidate = true
+			if !a.flooded && round+1 < a.p1End {
+				a.pending = true
+			}
+			return
+		}
+	}
+}
+
+func (a *AEA) deliverPart2(inbox []sim.Envelope) {
+	if a.probing == nil {
+		return
+	}
+	count := 0
+	for _, env := range inbox {
+		p, ok := env.Payload.(sim.Probe)
+		if !ok {
+			continue
+		}
+		count++
+		if bool(p.Rumor) && !a.candidate {
+			// Figure 1 Part 2(b); Lemma 4 shows survivors never
+			// actually take this branch when t < n/5.
+			a.candidate = true
+		}
+	}
+	a.probing.Observe(count)
+	if a.probing.Done() && a.probing.Survived() && !a.decided {
+		a.decided = true
+		a.decision = a.candidate
+	}
+}
+
+func (a *AEA) deliverPart3(inbox []sim.Envelope) {
+	if a.top.IsLittle(a.id) || a.decided {
+		return
+	}
+	for _, env := range inbox {
+		if env.From == a.top.LittleOf(a.id) {
+			if b, ok := env.Payload.(sim.Bit); ok {
+				a.decided = true
+				a.decision = bool(b)
+				return
+			}
+		}
+	}
+}
+
+// Halted implements sim.Protocol.
+func (a *AEA) Halted() bool { return a.halted }
+
+var _ sim.Protocol = (*AEA)(nil)

@@ -1,0 +1,87 @@
+package consensus
+
+import (
+	"testing"
+
+	"lineartime/internal/crash"
+	"lineartime/internal/sim"
+)
+
+func runCoordinator(t *testing.T, n, tt int, inputs []bool, adv sim.Adversary) ([]*RotatingCoordinator, *sim.Result) {
+	t.Helper()
+	ms := make([]*RotatingCoordinator, n)
+	ps := make([]sim.Protocol, n)
+	for i := 0; i < n; i++ {
+		ms[i] = NewRotatingCoordinator(i, n, tt, inputs[i])
+		ps[i] = ms[i]
+	}
+	res, err := sim.Run(sim.Config{Protocols: ps, Adversary: adv, MaxRounds: tt + 4})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	return ms, res
+}
+
+func collectCoordinator(ms []*RotatingCoordinator) []*bool {
+	out := make([]*bool, len(ms))
+	for i, m := range ms {
+		if v, ok := m.Decision(); ok {
+			v := v
+			out[i] = &v
+		}
+	}
+	return out
+}
+
+func TestCoordinatorNoFaults(t *testing.T) {
+	for _, pattern := range []string{"zero", "one", "half", "single"} {
+		n, tt := 40, 10
+		inputs := inputsPattern(n, pattern, 1)
+		ms, res := runCoordinator(t, n, tt, inputs, nil)
+		checkConsensus(t, "coordinator-"+pattern, inputs, collectCoordinator(ms), res.Crashed.Contains)
+	}
+}
+
+func TestCoordinatorCrashingCoordinators(t *testing.T) {
+	// Crash the first t coordinators mid-broadcast: each delivers to
+	// exactly one node, the worst case for agreement.
+	n, tt := 30, 8
+	inputs := inputsPattern(n, "half", 3)
+	events := make([]crash.Event, 0, tt)
+	for i := 0; i < tt; i++ {
+		events = append(events, crash.Event{Node: i, Round: i, Keep: 1})
+	}
+	ms, res := runCoordinator(t, n, tt, inputs, crash.NewSchedule(events))
+	checkConsensus(t, "coordinator-chain", inputs, collectCoordinator(ms), res.Crashed.Contains)
+}
+
+func TestCoordinatorRandomAdversaries(t *testing.T) {
+	n, tt := 30, 8
+	for seed := uint64(0); seed < 6; seed++ {
+		inputs := inputsPattern(n, "random", seed)
+		ms, res := runCoordinator(t, n, tt, inputs, crash.NewRandom(n, tt, tt+1, seed))
+		checkConsensus(t, "coordinator-random", inputs, collectCoordinator(ms), res.Crashed.Contains)
+	}
+}
+
+func TestCoordinatorMessageProfile(t *testing.T) {
+	// Θ(t·n): exactly (t+1)(n−1) in the fault-free run.
+	n, tt := 40, 10
+	inputs := inputsPattern(n, "half", 1)
+	_, res := runCoordinator(t, n, tt, inputs, nil)
+	want := int64((tt + 1) * (n - 1))
+	if res.Metrics.Messages != want {
+		t.Fatalf("messages = %d, want %d", res.Metrics.Messages, want)
+	}
+	if res.Metrics.Rounds != tt+1 {
+		t.Fatalf("rounds = %d, want t+1", res.Metrics.Rounds)
+	}
+}
+
+func TestCoordinatorExtremeT(t *testing.T) {
+	// t ≥ n: schedule caps at n coordinators.
+	m := NewRotatingCoordinator(0, 10, 20, true)
+	if m.ScheduleLength() != 10 {
+		t.Fatalf("schedule = %d, want n", m.ScheduleLength())
+	}
+}

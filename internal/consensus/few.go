@@ -1,0 +1,79 @@
+package consensus
+
+import (
+	"lineartime/internal/sim"
+)
+
+// FewCrashes is algorithm Few-Crashes-Consensus (Figure 3): execute
+// Almost-Everywhere-Agreement, adopt its decision as a common value,
+// then execute Spread-Common-Value and decide on the spread value.
+// Theorem 7: for t < n/5 it solves consensus in O(t + log n) rounds
+// with O(n + t log t) one-bit messages.
+type FewCrashes struct {
+	id  int
+	top *Topology
+
+	aea *AEA
+	scv *SCV
+
+	handoff bool // AEA decision transferred into SCV
+	halted  bool
+	end     int
+}
+
+// NewFewCrashes creates the machine for node id with the given input.
+func NewFewCrashes(id int, top *Topology, input bool) *FewCrashes {
+	aea := NewAEA(id, top, input, 0, false)
+	scv := NewSCV(id, top, false, false, aea.End(), false)
+	return &FewCrashes{id: id, top: top, aea: aea, scv: scv, end: scv.End()}
+}
+
+// ScheduleLength returns the total number of rounds of the protocol.
+func (f *FewCrashes) ScheduleLength() int { return f.end }
+
+// Decision returns the consensus decision, if reached.
+func (f *FewCrashes) Decision() (value, ok bool) {
+	if v, ok := f.scv.Decided(); ok {
+		return v, true
+	}
+	return f.aea.Decided()
+}
+
+// Send implements sim.Protocol.
+func (f *FewCrashes) Send(round int) []sim.Envelope {
+	f.maybeHandoff(round)
+	if round < f.aea.End() {
+		return f.aea.Send(round)
+	}
+	return f.scv.Send(round)
+}
+
+// Deliver implements sim.Protocol.
+func (f *FewCrashes) Deliver(round int, inbox []sim.Envelope) {
+	if round < f.aea.End() {
+		f.aea.Deliver(round, inbox)
+	} else {
+		f.scv.Deliver(round, inbox)
+	}
+	if round == f.end-1 {
+		f.halted = true
+	}
+}
+
+// maybeHandoff moves the AEA decision into SCV at the boundary round.
+func (f *FewCrashes) maybeHandoff(round int) {
+	if f.handoff || round < f.aea.End() {
+		return
+	}
+	f.handoff = true
+	if v, ok := f.aea.Decided(); ok {
+		f.scv.decided = true
+		f.scv.value = v
+		f.scv.adopted = true
+	}
+}
+
+// Halted implements sim.Protocol.
+func (f *FewCrashes) Halted() bool { return f.halted }
+
+var _ sim.Protocol = (*FewCrashes)(nil)

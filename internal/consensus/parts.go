@@ -1,0 +1,75 @@
+package consensus
+
+// PartAt methods map protocol rounds to the paper's algorithm parts so
+// the engine can attribute messages per part (the granularity at which
+// the proofs state their communication bounds).
+
+// PartAt implements the part labeling for Almost-Everywhere-Agreement.
+func (a *AEA) PartAt(round int) string {
+	switch {
+	case round < a.base:
+		return ""
+	case round < a.p1End:
+		return "aea/flood"
+	case round < a.p2End:
+		return "aea/probing"
+	case round < a.p3End:
+		return "aea/notify"
+	default:
+		return ""
+	}
+}
+
+// PartAt implements the part labeling for Spread-Common-Value.
+func (s *SCV) PartAt(round int) string {
+	switch {
+	case round < s.base:
+		return ""
+	case round < s.p1End:
+		return "scv/broadcast"
+	case round < s.p2End:
+		return "scv/inquiry"
+	default:
+		return ""
+	}
+}
+
+// PartAt implements the part labeling for Few-Crashes-Consensus.
+func (f *FewCrashes) PartAt(round int) string {
+	if round < f.aea.End() {
+		return f.aea.PartAt(round)
+	}
+	return f.scv.PartAt(round)
+}
+
+// PartAt implements the part labeling for Many-Crashes-Consensus.
+func (m *ManyCrashes) PartAt(round int) string {
+	switch {
+	case round < m.p1End:
+		return "flood"
+	case round < m.p2End:
+		return "probing"
+	case round < m.p3End:
+		return "inquiry"
+	default:
+		return ""
+	}
+}
+
+// PartAt implements the part labeling for the vector consensus.
+func (v *VectorFewCrashes) PartAt(round int) string {
+	switch {
+	case round < v.p1End:
+		return "aea/flood"
+	case round < v.p2End:
+		return "aea/probing"
+	case round < v.p3End:
+		return "aea/notify"
+	case round < v.scvP1End:
+		return "scv/broadcast"
+	case round < v.endRound:
+		return "scv/inquiry"
+	default:
+		return ""
+	}
+}

@@ -1,0 +1,182 @@
+package consensus
+
+import (
+	"lineartime/internal/sim"
+)
+
+// SCV is the per-node state machine of algorithm Spread-Common-Value
+// (Figure 2). An instance starts with ≥ 3n/5 nodes holding a common
+// value (here: a bit) and all others holding null; it ends with every
+// non-faulty node decided on the common value (Theorem 6: O(log t)
+// rounds, O(t log t) messages, t < n/5).
+//
+// Part 1 broadcasts the value over the expander H for
+// 1 + ⌈log_{3/2}((2n/5)/max{t, n/t})⌉ rounds. Part 2 has the
+// stragglers inquire: if t² ≤ n they ask every little node directly;
+// otherwise they run ⌈lg(t+1)⌉ two-round phases over the growing
+// graphs G_i, followed by the same little-node fallback, which makes
+// termination-with-decision unconditional whenever any non-faulty
+// little node holds the value (the paper's branch structure, unified).
+type SCV struct {
+	id  int
+	top *Topology
+
+	decided bool
+	value   bool
+	adopted bool // adopted in the previous Part 1 round → forward next Send
+
+	inquirers  []int // inquiry senders of the current phase's first round
+	standalone bool
+	halted     bool
+
+	base, p1End, p2End int
+	phases             int // G_i phases before the fallback phase
+}
+
+// NewSCV creates the SCV machine for node id starting at round base.
+// hasValue/value carry the node's initialization (the paper's
+// dedicated variable: common value or null).
+func NewSCV(id int, top *Topology, hasValue, value bool, base int, standalone bool) *SCV {
+	s := &SCV{
+		id:         id,
+		top:        top,
+		decided:    hasValue,
+		value:      value,
+		adopted:    hasValue, // initialized holders broadcast at round base
+		standalone: standalone,
+		base:       base,
+	}
+	s.phases = top.scvInquiryPhases()
+	s.p1End = base + top.scvPart1Rounds()
+	s.p2End = s.p1End + 2*(s.phases+1) // +1: little-node fallback phase
+	return s
+}
+
+// ScheduleLength returns the number of rounds SCV occupies.
+func (s *SCV) ScheduleLength() int { return s.p2End - s.base }
+
+// End returns the first round after SCV's schedule.
+func (s *SCV) End() int { return s.p2End }
+
+// Decided returns the adopted common value, if any.
+func (s *SCV) Decided() (value, ok bool) { return s.value, s.decided }
+
+// phaseAt maps a round in Part 2 to (phase index 0..phases, first/second round).
+func (s *SCV) phaseAt(round int) (phase int, first bool) {
+	off := round - s.p1End
+	return off / 2, off%2 == 0
+}
+
+// inquiryTargets returns the nodes that an undecided node inquires in
+// the given phase: G_{phase+1} neighbors for the growing-graph phases,
+// every little node for the final fallback phase.
+func (s *SCV) inquiryTargets(phase int) []int {
+	if phase >= s.phases { // fallback
+		targets := make([]int, 0, s.top.L)
+		for i := 0; i < s.top.L; i++ {
+			if i != s.id {
+				targets = append(targets, i)
+			}
+		}
+		return targets
+	}
+	overlay, err := s.top.Inquiry.Phase(phase + 1)
+	if err != nil {
+		// Families are memoized and constructed from verified seeds;
+		// failure here means the topology itself is unusable.
+		panic("consensus: inquiry overlay unavailable: " + err.Error())
+	}
+	return overlay.G.Neighbors(s.id)
+}
+
+// Send implements sim.Protocol.
+func (s *SCV) Send(round int) []sim.Envelope {
+	switch {
+	case round < s.base:
+		return nil
+	case round < s.p1End:
+		if !s.adopted {
+			return nil
+		}
+		s.adopted = false
+		nbrs := s.top.Broadcast.G.Neighbors(s.id)
+		out := make([]sim.Envelope, 0, len(nbrs))
+		for _, to := range nbrs {
+			out = append(out, sim.Envelope{From: s.id, To: to, Payload: sim.Bit(s.value)})
+		}
+		return out
+	case round < s.p2End:
+		_, first := s.phaseAt(round)
+		if first {
+			s.inquirers = s.inquirers[:0]
+			if s.decided {
+				return nil
+			}
+			phase, _ := s.phaseAt(round)
+			targets := s.inquiryTargets(phase)
+			out := make([]sim.Envelope, 0, len(targets))
+			for _, to := range targets {
+				out = append(out, sim.Envelope{From: s.id, To: to, Payload: sim.Inquiry{}})
+			}
+			return out
+		}
+		if !s.decided || len(s.inquirers) == 0 {
+			return nil
+		}
+		out := make([]sim.Envelope, 0, len(s.inquirers))
+		for _, to := range s.inquirers {
+			out = append(out, sim.Envelope{From: s.id, To: to, Payload: sim.Bit(s.value)})
+		}
+		return out
+	default:
+		return nil
+	}
+}
+
+// Deliver implements sim.Protocol.
+func (s *SCV) Deliver(round int, inbox []sim.Envelope) {
+	switch {
+	case round < s.base:
+		return
+	case round < s.p1End:
+		if !s.decided {
+			for _, env := range inbox {
+				if b, ok := env.Payload.(sim.Bit); ok {
+					s.decided = true
+					s.value = bool(b)
+					if round+1 < s.p1End {
+						s.adopted = true
+					}
+					break
+				}
+			}
+		}
+	case round < s.p2End:
+		_, first := s.phaseAt(round)
+		if first {
+			if s.decided {
+				for _, env := range inbox {
+					if _, ok := env.Payload.(sim.Inquiry); ok {
+						s.inquirers = append(s.inquirers, env.From)
+					}
+				}
+			}
+		} else if !s.decided {
+			for _, env := range inbox {
+				if b, ok := env.Payload.(sim.Bit); ok {
+					s.decided = true
+					s.value = bool(b)
+					break
+				}
+			}
+		}
+	}
+	if s.standalone && round == s.p2End-1 {
+		s.halted = true
+	}
+}
+
+// Halted implements sim.Protocol.
+func (s *SCV) Halted() bool { return s.halted }
+
+var _ sim.Protocol = (*SCV)(nil)

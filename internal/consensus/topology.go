@@ -1,0 +1,122 @@
+// Package consensus implements the paper's crash-fault agreement
+// algorithms: Almost-Everywhere-Agreement (§4.1), Spread-Common-Value
+// (§4.2), Few-Crashes-Consensus (§4.3), Many-Crashes-Consensus (§4.4),
+// plus the flooding baseline used for the §1 comparisons and a
+// majority-vote extension (§9).
+//
+// All protocols are deterministic state machines for the sim engine.
+// Nodes sharing a run must share a *Topology (or *ManyTopology), which
+// fixes the overlay graphs; the paper's "graphs known to every node"
+// assumption is realized by constructing them from (n, t, seed).
+package consensus
+
+import (
+	"fmt"
+	"math"
+
+	"lineartime/internal/expander"
+)
+
+// Topology bundles the overlays for the t < n/5 algorithm family.
+type Topology struct {
+	// N is the number of nodes, T the crash bound.
+	N, T int
+	// L is the number of little nodes: min(5t, n), at least 5 when n
+	// allows (so tiny instances still have a non-degenerate overlay).
+	L int
+	// Little is the overlay G on the little nodes (vertices are node
+	// names 0..L-1), standing in for the G(5t, 5^8) Ramanujan graph.
+	Little *expander.Overlay
+	// Broadcast is the graph H of degree ≥ 64 on all nodes (§4.2).
+	Broadcast *expander.Overlay
+	// Inquiry is the graph family G_i on all nodes (Lemma 5).
+	Inquiry *expander.InquiryFamily
+}
+
+// TopologyOptions tunes topology construction.
+type TopologyOptions struct {
+	// Seed derives every overlay deterministically. Two topologies
+	// with equal (N, T, Seed, Degree) are identical.
+	Seed uint64
+	// Degree overrides the little-overlay degree (0 = default).
+	Degree int
+}
+
+// NewTopology constructs the shared overlays for n nodes and crash
+// bound t with t < n/5 (the assumption of §4.1–§4.3, §5–§6).
+func NewTopology(n, t int, opts TopologyOptions) (*Topology, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("consensus: need n ≥ 2, got %d", n)
+	}
+	if t < 0 || 5*t > n {
+		return nil, fmt.Errorf("consensus: need 5t ≤ n (5t=%d, n=%d)", 5*t, n)
+	}
+	l := 5 * t
+	if l < 5 {
+		l = 5 // degenerate t ∈ {0}: keep a small functional overlay
+	}
+	if l > n {
+		l = n
+	}
+	little, err := expander.New(l, expander.Options{Degree: opts.Degree, Seed: opts.Seed + 1})
+	if err != nil {
+		return nil, fmt.Errorf("little overlay: %w", err)
+	}
+	h, err := expander.NewBroadcastGraph(n, opts.Seed+2)
+	if err != nil {
+		return nil, err
+	}
+	return &Topology{
+		N:         n,
+		T:         t,
+		L:         l,
+		Little:    little,
+		Broadcast: h,
+		Inquiry:   expander.NewInquiryFamily(n, 8, opts.Seed+3),
+	}, nil
+}
+
+// IsLittle reports whether node id is a little node.
+func (tp *Topology) IsLittle(id int) bool { return id < tp.L }
+
+// RelatedOf returns the non-little nodes related to little node i:
+// all j ≥ L with j ≡ i (mod L). (§4.1 Part 3.)
+func (tp *Topology) RelatedOf(i int) []int {
+	var out []int
+	for j := tp.L + i; j < tp.N; j += tp.L {
+		out = append(out, j)
+	}
+	return out
+}
+
+// LittleOf returns the little node related to a non-little node j.
+func (tp *Topology) LittleOf(j int) int { return j % tp.L }
+
+// scvPart1Rounds returns the Part 1 length of Spread-Common-Value:
+// 1 + ⌈log_{3/2}( (2n/5) / max{t, n/t} )⌉ (§4.2, Figure 2), clamped
+// to at least 1 and extended by the overlay diameter slack that
+// scaled-degree graphs need (the paper's H has ∆ = 64; ours may be
+// smaller on small n, so we never go below ⌈lg n⌉).
+func (tp *Topology) scvPart1Rounds() int {
+	t := tp.T
+	if t < 1 {
+		t = 1
+	}
+	denom := math.Max(float64(t), float64(tp.N)/float64(t))
+	k := math.Ceil(math.Log(2*float64(tp.N)/5/denom) / math.Log(1.5))
+	rounds := 1 + int(k)
+	if min := expander.CeilLog2(tp.N); rounds < min {
+		rounds = min
+	}
+	return rounds
+}
+
+// scvInquiryPhases returns the number of G_i inquiry phases of SCV
+// Part 2 before the little-node fallback phase: 0 when t² ≤ n (the
+// paper's direct branch), otherwise ⌈lg(t+1)⌉.
+func (tp *Topology) scvInquiryPhases() int {
+	if tp.T*tp.T <= tp.N {
+		return 0
+	}
+	return expander.CeilLog2(tp.T + 1)
+}

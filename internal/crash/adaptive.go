@@ -1,0 +1,79 @@
+package crash
+
+import (
+	"sort"
+
+	"lineartime/internal/sim"
+)
+
+// Adaptive is the strongest adversary the model admits (§2: the
+// adversary sees the algorithm and the execution): it watches the
+// traffic and crashes, every `period` rounds, the alive node that has
+// sent the most messages so far — decapitating whatever backbone the
+// protocol is building — until the budget t is spent. Each crash keeps
+// a one-message prefix, the information-leak minimum.
+type Adaptive struct {
+	budget int
+	period int
+
+	sent    map[sim.NodeID]int
+	crashed map[sim.NodeID]bool
+	last    int // round of the most recent crash, -1 initially
+}
+
+// NewAdaptive creates the adversary with crash budget t, striking at
+// most once every period rounds (period ≥ 1).
+func NewAdaptive(t, period int) *Adaptive {
+	if period < 1 {
+		period = 1
+	}
+	return &Adaptive{
+		budget:  t,
+		period:  period,
+		sent:    make(map[sim.NodeID]int),
+		crashed: make(map[sim.NodeID]bool),
+		last:    -1,
+	}
+}
+
+// FilterSend implements sim.Adversary.
+func (a *Adaptive) FilterSend(round int, from sim.NodeID, outbox []sim.Envelope) ([]sim.Envelope, bool) {
+	a.sent[from] += len(outbox)
+	if a.budget <= 0 || a.crashed[from] {
+		return outbox, false
+	}
+	if a.last >= 0 && round-a.last < a.period {
+		return outbox, false
+	}
+	if from != a.busiest() {
+		return outbox, false
+	}
+	a.budget--
+	a.crashed[from] = true
+	a.last = round
+	if len(outbox) > 1 {
+		return outbox[:1], true
+	}
+	return outbox, true
+}
+
+// busiest returns the alive node with the highest send count
+// (deterministic tie-break by id).
+func (a *Adaptive) busiest() sim.NodeID {
+	ids := make([]sim.NodeID, 0, len(a.sent))
+	for id := range a.sent {
+		if !a.crashed[id] {
+			ids = append(ids, id)
+		}
+	}
+	sort.Ints(ids)
+	best, bestCount := sim.NodeID(-1), -1
+	for _, id := range ids {
+		if a.sent[id] > bestCount {
+			best, bestCount = id, a.sent[id]
+		}
+	}
+	return best
+}
+
+var _ sim.Adversary = (*Adaptive)(nil)

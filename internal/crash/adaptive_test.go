@@ -1,0 +1,82 @@
+package crash
+
+import (
+	"testing"
+
+	"lineartime/internal/sim"
+)
+
+func TestAdaptiveTargetsBusiest(t *testing.T) {
+	a := NewAdaptive(2, 1)
+	// Round 0: node 7 sends a burst, others quiet. Node order matters:
+	// the adversary sees sends in id order, so feed low ids first.
+	for id := 0; id < 7; id++ {
+		if _, crash := a.FilterSend(0, id, envs(id, 1)); crash && id != 0 {
+			t.Fatalf("node %d crashed before the burst", id)
+		}
+	}
+	out, crash := a.FilterSend(0, 7, envs(7, 10))
+	if !crash {
+		// Node 0 may have been the first victim (all counts equal at
+		// its turn); then node 7 falls in a later round.
+		if _, crash2 := a.FilterSend(1, 7, envs(7, 10)); !crash2 {
+			t.Fatal("busiest node never crashed")
+		}
+		return
+	}
+	if len(out) != 1 {
+		t.Fatalf("crash kept %d messages, want 1", len(out))
+	}
+}
+
+func TestAdaptiveBudgetAndPeriod(t *testing.T) {
+	a := NewAdaptive(3, 5)
+	crashes := 0
+	for round := 0; round < 40; round++ {
+		for id := 0; id < 10; id++ {
+			if _, crash := a.FilterSend(round, id, envs(id, 2)); crash {
+				crashes++
+			}
+		}
+	}
+	if crashes != 3 {
+		t.Fatalf("crashes = %d, want budget 3", crashes)
+	}
+}
+
+func TestAdaptivePeriodSpacing(t *testing.T) {
+	a := NewAdaptive(10, 4)
+	var rounds []int
+	for round := 0; round < 30; round++ {
+		for id := 0; id < 6; id++ {
+			if _, crash := a.FilterSend(round, id, envs(id, 2)); crash {
+				rounds = append(rounds, round)
+			}
+		}
+	}
+	for i := 1; i < len(rounds); i++ {
+		if rounds[i]-rounds[i-1] < 4 {
+			t.Fatalf("crashes at rounds %v violate the period", rounds)
+		}
+	}
+	if len(rounds) == 0 {
+		t.Fatal("no crashes at all")
+	}
+}
+
+func TestAdaptiveNeverDoubleCrashes(t *testing.T) {
+	a := NewAdaptive(5, 1)
+	victims := map[sim.NodeID]int{}
+	for round := 0; round < 20; round++ {
+		for id := 0; id < 4; id++ {
+			if _, crash := a.FilterSend(round, id, envs(id, 1)); crash {
+				victims[id]++
+			}
+		}
+	}
+	for id, c := range victims {
+		if c > 1 {
+			t.Fatalf("node %d crashed %d times", id, c)
+		}
+	}
+}

@@ -1,0 +1,225 @@
+// Package crash provides the adversary strategies used to exercise the
+// fault-tolerance of the algorithms. The paper's adversary (§2) knows
+// the algorithm, picks which ≤ t nodes crash and when, and may cut a
+// crashing node's final multicast short so only a chosen subset of its
+// last messages is delivered. Each strategy here is deterministic
+// given its seed, so every experiment is reproducible.
+package crash
+
+import (
+	"sort"
+
+	"lineartime/internal/rng"
+	"lineartime/internal/sim"
+)
+
+// Event schedules one crash: the node fails at Round and only the
+// first Keep of its outgoing messages that round are delivered
+// (Keep < 0 keeps all of them — "crash after send").
+type Event struct {
+	Node  sim.NodeID
+	Round int
+	Keep  int
+}
+
+// Schedule is a fixed crash schedule, the most direct rendering of the
+// paper's existential adversary: tests construct the exact pattern a
+// proof reasons about.
+type Schedule struct {
+	byRound map[int][]Event
+	total   int
+}
+
+// NewSchedule builds a schedule from events. Multiple events may share
+// a round; duplicate nodes are allowed and ignored after the first.
+func NewSchedule(events []Event) *Schedule {
+	s := &Schedule{byRound: make(map[int][]Event, len(events))}
+	seen := make(map[sim.NodeID]bool, len(events))
+	for _, e := range events {
+		if seen[e.Node] {
+			continue
+		}
+		seen[e.Node] = true
+		s.byRound[e.Round] = append(s.byRound[e.Round], e)
+		s.total++
+	}
+	for r := range s.byRound {
+		evs := s.byRound[r]
+		sort.Slice(evs, func(i, j int) bool { return evs[i].Node < evs[j].Node })
+	}
+	return s
+}
+
+// Total returns the number of scheduled crashes.
+func (s *Schedule) Total() int { return s.total }
+
+// FilterSend implements sim.Adversary.
+func (s *Schedule) FilterSend(round int, from sim.NodeID, outbox []sim.Envelope) ([]sim.Envelope, bool) {
+	for _, e := range s.byRound[round] {
+		if e.Node != from {
+			continue
+		}
+		if e.Keep < 0 || e.Keep >= len(outbox) {
+			return outbox, true
+		}
+		return outbox[:e.Keep], true
+	}
+	return outbox, false
+}
+
+var _ sim.Adversary = (*Schedule)(nil)
+
+// Random crashes up to t distinct nodes at pseudo-random rounds within
+// [0, horizon), each keeping a pseudo-random prefix of its final
+// outbox. It is the workload for the randomized safety sweeps.
+type Random struct {
+	schedule *Schedule
+}
+
+// NewRandom constructs a random adversary for n nodes, at most t
+// crashes, crash rounds below horizon.
+func NewRandom(n, t, horizon int, seed uint64) *Random {
+	r := rng.New(seed)
+	if t > n {
+		t = n
+	}
+	perm := r.Perm(n)
+	events := make([]Event, 0, t)
+	for i := 0; i < t; i++ {
+		keep := -1
+		if r.Intn(2) == 0 {
+			keep = r.Intn(8)
+		}
+		events = append(events, Event{
+			Node:  perm[i],
+			Round: r.Intn(horizon),
+			Keep:  keep,
+		})
+	}
+	return &Random{schedule: NewSchedule(events)}
+}
+
+// FilterSend implements sim.Adversary.
+func (a *Random) FilterSend(round int, from sim.NodeID, outbox []sim.Envelope) ([]sim.Envelope, bool) {
+	return a.schedule.FilterSend(round, from, outbox)
+}
+
+var _ sim.Adversary = (*Random)(nil)
+
+// Cascade crashes one chosen node per round starting at round 0, the
+// classic worst case that forces early-stopping consensus to run for
+// f+2 rounds: each crash is timed to invalidate the previous round's
+// progress. Victims are chosen deterministically from the seed,
+// restricted to the first `pool` node names (use pool = 5t to target
+// the little nodes, pool = n for everyone).
+type Cascade struct {
+	victims []sim.NodeID
+	keep    int
+}
+
+// NewCascade schedules t crashes, one per round, drawn from the first
+// pool node names. keep is the number of final-outbox messages each
+// crashing node still delivers (the proofs use small values like 1 to
+// leak information to exactly one neighbor).
+func NewCascade(pool, t, keep int, seed uint64) *Cascade {
+	r := rng.New(seed)
+	if t > pool {
+		t = pool
+	}
+	perm := r.Perm(pool)
+	return &Cascade{victims: perm[:t], keep: keep}
+}
+
+// FilterSend implements sim.Adversary.
+func (a *Cascade) FilterSend(round int, from sim.NodeID, outbox []sim.Envelope) ([]sim.Envelope, bool) {
+	if round < len(a.victims) && a.victims[round] == from {
+		if a.keep < 0 || a.keep >= len(outbox) {
+			return outbox, true
+		}
+		return outbox[:a.keep], true
+	}
+	return outbox, false
+}
+
+var _ sim.Adversary = (*Cascade)(nil)
+
+// TargetLittle crashes t of the 5t little nodes at round 0 before they
+// send anything, the direct attack on the survival-set machinery of
+// Theorem 2: the adversary spends its whole budget shrinking the
+// little-node overlay.
+type TargetLittle struct {
+	victims map[sim.NodeID]bool
+}
+
+// NewTargetLittle picks t victims among the first little node names.
+func NewTargetLittle(little, t int, seed uint64) *TargetLittle {
+	r := rng.New(seed)
+	if t > little {
+		t = little
+	}
+	perm := r.Perm(little)
+	victims := make(map[sim.NodeID]bool, t)
+	for _, v := range perm[:t] {
+		victims[v] = true
+	}
+	return &TargetLittle{victims: victims}
+}
+
+// FilterSend implements sim.Adversary.
+func (a *TargetLittle) FilterSend(round int, from sim.NodeID, outbox []sim.Envelope) ([]sim.Envelope, bool) {
+	if round == 0 && a.victims[from] {
+		return nil, true
+	}
+	return outbox, false
+}
+
+var _ sim.Adversary = (*TargetLittle)(nil)
+
+// Isolate cuts one chosen node off from the world: starting at round 0
+// it crashes, round by round, every node that the victim sends to or
+// that sends to the victim, up to a budget of t crashes — the
+// adversary of the Ω(t) single-port lower bound (Theorem 13). The
+// victim itself is never crashed.
+type Isolate struct {
+	victim  sim.NodeID
+	budget  int
+	crashed map[sim.NodeID]bool
+}
+
+// NewIsolate builds the isolation adversary around victim with budget t.
+func NewIsolate(victim sim.NodeID, t int) *Isolate {
+	return &Isolate{victim: victim, budget: t, crashed: make(map[sim.NodeID]bool)}
+}
+
+// FilterSend implements sim.Adversary. Any node exchanging a message
+// with the victim is crashed before the message is delivered, while
+// messages from the victim are suppressed by crashing their recipients
+// on first contact.
+func (a *Isolate) FilterSend(round int, from sim.NodeID, outbox []sim.Envelope) ([]sim.Envelope, bool) {
+	if from == a.victim {
+		// The victim's messages vanish: every recipient is crashed at
+		// its own send step this round (handled below when that node
+		// sends) — but delivery happens this round, so we must cut the
+		// victim's outbox directly. Crashing the victim is forbidden;
+		// instead we spend budget crashing recipients, modelled as
+		// dropping the victim's outbox while budget remains.
+		drop := 0
+		for range outbox {
+			if a.budget > 0 {
+				a.budget--
+				drop++
+			}
+		}
+		return outbox[drop:], false
+	}
+	for _, env := range outbox {
+		if env.To == a.victim && a.budget > 0 && !a.crashed[from] {
+			a.budget--
+			a.crashed[from] = true
+			return nil, true
+		}
+	}
+	return outbox, false
+}
+
+var _ sim.Adversary = (*Isolate)(nil)

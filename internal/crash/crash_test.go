@@ -1,0 +1,161 @@
+package crash
+
+import (
+	"testing"
+
+	"lineartime/internal/sim"
+)
+
+func envs(from, k int) []sim.Envelope {
+	out := make([]sim.Envelope, k)
+	for i := range out {
+		out[i] = sim.Envelope{From: from, To: (from + i + 1) % 100, Payload: sim.Bit(true)}
+	}
+	return out
+}
+
+func TestScheduleCrashAndKeep(t *testing.T) {
+	s := NewSchedule([]Event{
+		{Node: 3, Round: 2, Keep: 1},
+		{Node: 4, Round: 2, Keep: -1},
+	})
+	if s.Total() != 2 {
+		t.Fatalf("Total = %d, want 2", s.Total())
+	}
+
+	out, crash := s.FilterSend(2, 3, envs(3, 5))
+	if !crash || len(out) != 1 {
+		t.Fatalf("node 3: crash=%v len=%d, want true/1", crash, len(out))
+	}
+	out, crash = s.FilterSend(2, 4, envs(4, 5))
+	if !crash || len(out) != 5 {
+		t.Fatalf("node 4: crash=%v len=%d, want true/5 (keep all)", crash, len(out))
+	}
+	out, crash = s.FilterSend(1, 3, envs(3, 5))
+	if crash || len(out) != 5 {
+		t.Fatal("node 3 crashed in wrong round")
+	}
+	_, crash = s.FilterSend(2, 9, envs(9, 2))
+	if crash {
+		t.Fatal("unscheduled node crashed")
+	}
+}
+
+func TestScheduleDeduplicates(t *testing.T) {
+	s := NewSchedule([]Event{
+		{Node: 1, Round: 0},
+		{Node: 1, Round: 5},
+	})
+	if s.Total() != 1 {
+		t.Fatalf("Total = %d, want 1 after dedup", s.Total())
+	}
+}
+
+func TestRandomBudget(t *testing.T) {
+	a := NewRandom(50, 10, 20, 1)
+	crashes := 0
+	for r := 0; r < 20; r++ {
+		for id := 0; id < 50; id++ {
+			if _, crash := a.FilterSend(r, id, envs(id, 3)); crash {
+				crashes++
+			}
+		}
+	}
+	if crashes > 10 {
+		t.Fatalf("random adversary crashed %d > 10 nodes", crashes)
+	}
+	if crashes == 0 {
+		t.Fatal("random adversary crashed nobody")
+	}
+}
+
+func TestRandomDeterministic(t *testing.T) {
+	a, b := NewRandom(30, 8, 10, 7), NewRandom(30, 8, 10, 7)
+	for r := 0; r < 10; r++ {
+		for id := 0; id < 30; id++ {
+			oa, ca := a.FilterSend(r, id, envs(id, 4))
+			ob, cb := b.FilterSend(r, id, envs(id, 4))
+			if ca != cb || len(oa) != len(ob) {
+				t.Fatalf("random adversaries with equal seeds diverged at r=%d id=%d", r, id)
+			}
+		}
+	}
+}
+
+func TestCascadeOnePerRound(t *testing.T) {
+	a := NewCascade(20, 5, 1, 3)
+	perRound := make(map[int]int)
+	total := 0
+	for r := 0; r < 10; r++ {
+		for id := 0; id < 20; id++ {
+			if out, crash := a.FilterSend(r, id, envs(id, 4)); crash {
+				perRound[r]++
+				total++
+				if len(out) != 1 {
+					t.Fatalf("cascade keep=1 delivered %d", len(out))
+				}
+			}
+		}
+	}
+	if total != 5 {
+		t.Fatalf("cascade crashed %d nodes, want 5", total)
+	}
+	for r, c := range perRound {
+		if c != 1 {
+			t.Fatalf("round %d had %d crashes, want 1", r, c)
+		}
+	}
+}
+
+func TestTargetLittleRoundZeroOnly(t *testing.T) {
+	a := NewTargetLittle(10, 4, 5)
+	crashes := 0
+	for id := 0; id < 10; id++ {
+		if out, crash := a.FilterSend(0, id, envs(id, 3)); crash {
+			crashes++
+			if len(out) != 0 {
+				t.Fatal("target-little delivered messages from a crashed node")
+			}
+		}
+	}
+	if crashes != 4 {
+		t.Fatalf("crashed %d little nodes, want 4", crashes)
+	}
+	for id := 0; id < 10; id++ {
+		if _, crash := a.FilterSend(1, id, envs(id, 3)); crash {
+			t.Fatal("target-little crashed after round 0")
+		}
+	}
+}
+
+func TestIsolateBlocksContact(t *testing.T) {
+	const victim = 7
+	a := NewIsolate(victim, 4)
+
+	// Victim's own sends are suppressed while budget lasts.
+	out, crash := a.FilterSend(0, victim, envs(victim, 2))
+	if crash {
+		t.Fatal("victim was crashed")
+	}
+	if len(out) != 0 {
+		t.Fatalf("victim delivered %d messages, want 0", len(out))
+	}
+
+	// A node sending to the victim is crashed.
+	in := []sim.Envelope{{From: 3, To: victim, Payload: sim.Bit(true)}}
+	out, crash = a.FilterSend(1, 3, in)
+	if !crash || len(out) != 0 {
+		t.Fatalf("contacting node not crashed: crash=%v len=%d", crash, len(out))
+	}
+
+	// Budget exhausted (2 spent on victim sends, 1 on node 3): one more
+	// allowed, then contact goes through.
+	_, crash = a.FilterSend(2, 4, in)
+	if !crash {
+		t.Fatal("fourth budget unit not spent")
+	}
+	out, crash = a.FilterSend(3, 5, []sim.Envelope{{From: 5, To: victim, Payload: sim.Bit(true)}})
+	if crash || len(out) != 1 {
+		t.Fatal("exhausted adversary still intercepting")
+	}
+}

@@ -1,0 +1,55 @@
+package expander
+
+import (
+	"fmt"
+	"testing"
+
+	"lineartime/internal/bitset"
+	"lineartime/internal/rng"
+)
+
+func BenchmarkOverlayConstruction(b *testing.B) {
+	for _, n := range []int{128, 512, 2048} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := New(n, Options{Seed: uint64(i) + 1}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkSurvivalSubset(b *testing.B) {
+	o, err := New(1024, Options{Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	set := bitset.New(1024)
+	r := rng.New(7)
+	for set.Count() < 800 {
+		set.Add(r.Intn(1024))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c := o.SurvivalSubset(set, o.P.Delta)
+		if c.Count() == 0 {
+			b.Fatal("empty survival subset")
+		}
+	}
+}
+
+func BenchmarkDenseNeighborhood(b *testing.B) {
+	o, err := New(512, Options{Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	all := bitset.New(512)
+	all.Fill()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !o.HasDenseNeighborhood(i%512, all, o.P.Gamma, o.P.Delta) {
+			b.Fatal("fault-free dense neighborhood missing")
+		}
+	}
+}

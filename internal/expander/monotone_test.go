@@ -1,0 +1,78 @@
+package expander
+
+import (
+	"testing"
+	"testing/quick"
+
+	"lineartime/internal/bitset"
+	"lineartime/internal/rng"
+)
+
+// Lattice properties of the Theorem 2 fixed point.
+
+// Property: the maximal δ-survival subset is monotone — B1 ⊆ B2
+// implies C(B1) ⊆ C(B2). (C(B1) is δ-surviving inside B2 too, and the
+// peeling fixed point contains every δ-surviving subset.)
+func TestSurvivalSubsetMonotoneQuick(t *testing.T) {
+	o := mustOverlay(t, 150, Options{Seed: 31})
+	prop := func(seed uint64) bool {
+		r := rng.New(seed)
+		b2 := bitset.New(150)
+		for b2.Count() < 120 {
+			b2.Add(r.Intn(150))
+		}
+		b1 := b2.Clone()
+		members := b1.Elements()
+		for i := 0; i < 15 && i < len(members); i++ {
+			b1.Remove(members[r.Intn(len(members))])
+		}
+		c1 := o.SurvivalSubset(b1, o.P.Delta)
+		c2 := o.SurvivalSubset(b2, o.P.Delta)
+		return c1.SubsetOf(c2)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: idempotence — C(C(B)) = C(B).
+func TestSurvivalSubsetIdempotentQuick(t *testing.T) {
+	o := mustOverlay(t, 150, Options{Seed: 33})
+	prop := func(seed uint64) bool {
+		r := rng.New(seed)
+		b := bitset.New(150)
+		for b.Count() < 110 {
+			b.Add(r.Intn(150))
+		}
+		c := o.SurvivalSubset(b, o.P.Delta)
+		cc := o.SurvivalSubset(c, o.P.Delta)
+		return cc.Equal(c)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: δ-monotonicity — raising the threshold shrinks the subset.
+func TestSurvivalSubsetDeltaMonotoneQuick(t *testing.T) {
+	o := mustOverlay(t, 150, Options{Seed: 35})
+	prop := func(seed uint64) bool {
+		r := rng.New(seed)
+		b := bitset.New(150)
+		for b.Count() < 110 {
+			b.Add(r.Intn(150))
+		}
+		prev := o.SurvivalSubset(b, 1)
+		for delta := 2; delta <= o.P.Degree; delta++ {
+			cur := o.SurvivalSubset(b, delta)
+			if !cur.SubsetOf(prev) {
+				return false
+			}
+			prev = cur
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,133 @@
+package expander
+
+import (
+	"testing"
+
+	"lineartime/internal/bitset"
+	"lineartime/internal/rng"
+)
+
+// These tests verify the §3 theorems empirically on the overlays the
+// algorithms actually use — the reproduction's substitute for the
+// paper's Ramanujan-graph proofs.
+
+// Theorem 1 shape: any two disjoint vertex sets of size ℓ(n,d) are
+// connected by an edge.
+func TestTheorem1Expanding(t *testing.T) {
+	o := mustOverlay(t, 400, Options{Seed: 21})
+	ell := o.P.Ell
+	if ell > o.P.N/2 {
+		ell = o.P.N / 2
+	}
+	r := rng.New(9)
+	for trial := 0; trial < 50; trial++ {
+		perm := r.Perm(o.P.N)
+		a, b := bitset.New(o.P.N), bitset.New(o.P.N)
+		for _, v := range perm[:ell] {
+			a.Add(v)
+		}
+		for _, v := range perm[ell : 2*ell] {
+			b.Add(v)
+		}
+		if o.G.EdgesBetween(a, b) == 0 {
+			t.Fatalf("trial %d: disjoint ℓ-sets (ℓ=%d) with no connecting edge", trial, ell)
+		}
+	}
+}
+
+// Theorem 2 shape: for every sampled B with |B| ≥ n − t, the survival
+// subset reaches 3ℓ/4.
+func TestTheorem2CompactnessSeedSweep(t *testing.T) {
+	o := mustOverlay(t, 300, Options{Seed: 22})
+	tBound := 60 // n/5
+	for seed := uint64(0); seed < 20; seed++ {
+		r := rng.New(seed)
+		b := bitset.New(300)
+		b.Fill()
+		removed := 0
+		for removed < tBound {
+			v := r.Intn(300)
+			if b.Contains(v) {
+				b.Remove(v)
+				removed++
+			}
+		}
+		c, ok := o.VerifyCompactness(b, o.P.Ell, o.P.Delta)
+		if !ok {
+			t.Fatalf("seed %d: survival subset %d < 3ℓ/4 = %d",
+				seed, c.Count(), 3*o.P.Ell/4)
+		}
+	}
+}
+
+// Theorem 3 shape: dense neighborhoods grow like min(2^i, ℓ) — in
+// particular a (γ,δ)-dense neighborhood of a surviving vertex spans at
+// least ℓ vertices of the fault-free graph.
+func TestTheorem3DenseNeighborhoodSize(t *testing.T) {
+	o := mustOverlay(t, 256, Options{Seed: 23})
+	all := bitset.New(256)
+	all.Fill()
+	for _, v := range []int{0, 100, 255} {
+		ball := o.G.NeighborhoodOf(v, o.P.Gamma)
+		if ball.Count() < o.P.Ell {
+			t.Fatalf("vertex %d: γ-ball has %d < ℓ = %d vertices", v, ball.Count(), o.P.Ell)
+		}
+	}
+}
+
+// Theorem 4 shape: for |A| = εn and |B| > 4n/(dε), an A–B edge exists.
+func TestTheorem4CrossSetEdges(t *testing.T) {
+	const n = 400
+	o := mustOverlay(t, n, Options{Seed: 24})
+	d := o.P.Degree
+	eps := 0.25
+	sizeA := int(eps * n)
+	sizeB := 4*n/(d*1) + 1 // 4n/(dε) with the ε folded into the slack below
+	if fb := int(4*float64(n)/(float64(d)*eps)) + 1; fb > sizeB {
+		sizeB = fb
+	}
+	if sizeA+sizeB > n {
+		t.Skip("parameters exceed n; theorem vacuous at this scale")
+	}
+	r := rng.New(11)
+	for trial := 0; trial < 50; trial++ {
+		perm := r.Perm(n)
+		a, b := bitset.New(n), bitset.New(n)
+		for _, v := range perm[:sizeA] {
+			a.Add(v)
+		}
+		for _, v := range perm[sizeA : sizeA+sizeB] {
+			b.Add(v)
+		}
+		if o.G.EdgesBetween(a, b) == 0 {
+			t.Fatalf("trial %d: no edge between |A|=%d and |B|=%d", trial, sizeA, sizeB)
+		}
+	}
+}
+
+// Proposition 1 shape, fault-free corner: every vertex of a δ-survival
+// subset has a (γ,δ)-dense neighborhood.
+func TestProposition1SurvivalImpliesDense(t *testing.T) {
+	o := mustOverlay(t, 200, Options{Seed: 25})
+	r := rng.New(13)
+	b := bitset.New(200)
+	b.Fill()
+	for removed := 0; removed < 40; removed++ {
+		v := r.Intn(200)
+		b.Remove(v)
+	}
+	c := o.SurvivalSubset(b, o.P.Delta)
+	checked := 0
+	c.ForEach(func(v int) {
+		if checked >= 10 { // dense-neighborhood checks are costly
+			return
+		}
+		checked++
+		if !o.HasDenseNeighborhood(v, b, o.P.Gamma, o.P.Delta) {
+			t.Errorf("survival-set vertex %d lacks a dense neighborhood", v)
+		}
+	})
+	if checked == 0 {
+		t.Fatal("empty survival subset")
+	}
+}

@@ -1,0 +1,64 @@
+package gossip
+
+import (
+	"lineartime/internal/sim"
+)
+
+// AllToAll is the trivial gossip comparator: every node sends its pair
+// to every other node in round 0 and decides after one round. Θ(n²)
+// messages, O(1) rounds — the message profile the paper's algorithm
+// beats by a factor of n/(t·polylog) (§1 comparison).
+//
+// Correctness under crashes is immediate: a node that crashed before
+// sending anything contributes no pair; a node that halts operational
+// completed its multicast (a node crashed mid-multicast is faulty, so
+// the gossip conditions say nothing about it).
+type AllToAll struct {
+	id, n  int
+	extant *ExtantSet
+	halted bool
+}
+
+// NewAllToAll creates the baseline machine for node id of n.
+func NewAllToAll(id, n int, rumor Rumor) *AllToAll {
+	e := NewExtantSet(n)
+	e.Update(id, rumor)
+	return &AllToAll{id: id, n: n, extant: e}
+}
+
+// ScheduleLength returns the fixed round count (2: send, settle).
+func (a *AllToAll) ScheduleLength() int { return 2 }
+
+// Extant returns the decided extant set.
+func (a *AllToAll) Extant() *ExtantSet { return a.extant }
+
+// Send implements sim.Protocol.
+func (a *AllToAll) Send(round int) []sim.Envelope {
+	if round != 0 {
+		return nil
+	}
+	out := make([]sim.Envelope, 0, a.n-1)
+	for to := 0; to < a.n; to++ {
+		if to != a.id {
+			out = append(out, sim.Envelope{From: a.id, To: to, Payload: PairPayload{Node: a.id, Value: a.extant.Rumor(a.id)}})
+		}
+	}
+	return out
+}
+
+// Deliver implements sim.Protocol.
+func (a *AllToAll) Deliver(round int, inbox []sim.Envelope) {
+	for _, env := range inbox {
+		if p, ok := env.Payload.(PairPayload); ok {
+			a.extant.Update(p.Node, p.Value)
+		}
+	}
+	if round >= 1 {
+		a.halted = true
+	}
+}
+
+// Halted implements sim.Protocol.
+func (a *AllToAll) Halted() bool { return a.halted }
+
+var _ sim.Protocol = (*AllToAll)(nil)

@@ -1,0 +1,103 @@
+// Package gossip implements the fault-tolerant gossiping algorithm of
+// the paper (§5, Figure 5, Theorem 9) and the all-to-all baseline it
+// improves on. Each node starts with a rumor; every non-faulty node
+// must decide on an extant set of (node, rumor) pairs that contains
+// every node that halted operational and excludes every node that
+// crashed before sending anything.
+package gossip
+
+import (
+	"lineartime/internal/bitset"
+	"lineartime/internal/sim"
+)
+
+// Rumor is a node's input value. 64 bits stands in for "linear size"
+// payloads; the simulator's accounting charges RumorBits per pair.
+type Rumor uint64
+
+// RumorBits is the wire size charged per rumor.
+const RumorBits = 64
+
+// ExtantSet is a node's view: for each node name either a proper pair
+// (the rumor) or nil (unknown). The zero value is unusable; use
+// NewExtantSet.
+type ExtantSet struct {
+	known  *bitset.Set
+	rumors []Rumor
+}
+
+// NewExtantSet returns an extant set over n nodes with every pair nil.
+func NewExtantSet(n int) *ExtantSet {
+	return &ExtantSet{known: bitset.New(n), rumors: make([]Rumor, n)}
+}
+
+// Update records the proper pair (node, rumor); later updates for the
+// same node are ignored (pairs are immutable once proper, §5).
+func (e *ExtantSet) Update(node int, rumor Rumor) {
+	if e.known.Contains(node) {
+		return
+	}
+	e.known.Add(node)
+	e.rumors[node] = rumor
+}
+
+// Present reports whether node has a proper pair at this extant set.
+func (e *ExtantSet) Present(node int) bool { return e.known.Contains(node) }
+
+// Rumor returns node's rumor, valid only when Present(node).
+func (e *ExtantSet) Rumor(node int) Rumor { return e.rumors[node] }
+
+// Count returns the number of proper pairs.
+func (e *ExtantSet) Count() int { return e.known.Count() }
+
+// Known returns a copy of the membership set.
+func (e *ExtantSet) Known() *bitset.Set { return e.known.Clone() }
+
+// MergeFrom absorbs every proper pair of other that is nil here.
+func (e *ExtantSet) MergeFrom(other *ExtantSet) {
+	other.known.ForEach(func(node int) {
+		e.Update(node, other.rumors[node])
+	})
+}
+
+// Clone returns an independent copy.
+func (e *ExtantSet) Clone() *ExtantSet {
+	return &ExtantSet{known: e.known.Clone(), rumors: append([]Rumor(nil), e.rumors...)}
+}
+
+// Payload types of the gossip protocol. Sizes follow the paper's
+// "messages of linear size" accounting: an extant-set message costs a
+// membership bitmap plus the carried rumors.
+
+// PairPayload is a response carrying one proper pair.
+type PairPayload struct {
+	Node  int
+	Value Rumor
+}
+
+// SizeBits implements sim.Payload: a node name plus a rumor.
+func (PairPayload) SizeBits() int { return 16 + RumorBits }
+
+// ExtantPayload carries a whole extant set.
+type ExtantPayload struct {
+	Set *ExtantSet
+}
+
+// SizeBits implements sim.Payload.
+func (p ExtantPayload) SizeBits() int {
+	return p.Set.known.Len() + RumorBits*p.Set.Count()
+}
+
+// CompletionPayload carries a completion set (Part 2 bookkeeping).
+type CompletionPayload struct {
+	Set *bitset.Set
+}
+
+// SizeBits implements sim.Payload.
+func (p CompletionPayload) SizeBits() int { return p.Set.Len() }
+
+var (
+	_ sim.Payload = PairPayload{}
+	_ sim.Payload = ExtantPayload{}
+	_ sim.Payload = CompletionPayload{}
+)

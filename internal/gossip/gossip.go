@@ -1,0 +1,254 @@
+package gossip
+
+import (
+	"lineartime/internal/bitset"
+	"lineartime/internal/consensus"
+	"lineartime/internal/probe"
+	"lineartime/internal/sim"
+)
+
+// Gossip is the per-node state machine of algorithm Gossip (Figure 5),
+// assuming t < n/5. It runs two parts of ⌈lg n⌉ phases each. Every
+// phase has two inquiry/response rounds over the growing overlay G_i
+// followed by 2+lg(5t) rounds of local probing on the little overlay G:
+//
+//	Part 1 builds extant sets: little nodes pull absent pairs from
+//	their G_i neighbors and synchronize through probing.
+//	Part 2 builds completion sets: little nodes push their (by then
+//	complete) extant sets to G_i neighbors they have not covered yet,
+//	tracking coverage in completion sets merged through probing.
+//
+// Theorem 9: O(log n · log t) rounds and O(n + t·log n·log t) messages.
+type Gossip struct {
+	id  int
+	top *consensus.Topology
+
+	extant     *ExtantSet
+	completion []bool // completion set; little nodes only
+
+	probing      *probe.Probing
+	survivedPrev bool  // survived the previous phase's probing
+	inquirers    []int // Part 1 inquiry senders awaiting a response
+
+	phases   int // ⌈lg n⌉ per part
+	phaseLen int // 2 + γ
+	p1End    int
+	p2End    int
+	halted   bool
+}
+
+// New creates the gossip machine for node id with the given rumor.
+func New(id int, top *consensus.Topology, rumor Rumor) *Gossip {
+	g := &Gossip{
+		id:           id,
+		top:          top,
+		extant:       NewExtantSet(top.N),
+		survivedPrev: true,
+	}
+	g.extant.Update(id, rumor)
+	gamma := top.Little.P.Gamma
+	g.phases = ceilLog2(top.N)
+	if g.phases < 1 {
+		g.phases = 1
+	}
+	g.phaseLen = 2 + gamma
+	g.p1End = g.phases * g.phaseLen
+	g.p2End = 2 * g.p1End
+	if top.IsLittle(id) {
+		g.probing = probe.New(top.Little.G.Neighbors(id), gamma, top.Little.P.Delta)
+		g.completion = make([]bool, top.N)
+		g.completion[id] = true
+	}
+	return g
+}
+
+func ceilLog2(n int) int {
+	k, v := 0, 1
+	for v < n {
+		v <<= 1
+		k++
+	}
+	return k
+}
+
+// ScheduleLength returns the protocol's fixed round count.
+func (g *Gossip) ScheduleLength() int { return g.p2End }
+
+// Extant returns the node's extant set (the decided output).
+func (g *Gossip) Extant() *ExtantSet { return g.extant }
+
+// position decomposes a round into (part, phase, offset-in-phase).
+func (g *Gossip) position(round int) (part, phase, off int) {
+	if round < g.p1End {
+		return 1, round / g.phaseLen, round % g.phaseLen
+	}
+	r := round - g.p1End
+	return 2, r / g.phaseLen, r % g.phaseLen
+}
+
+// overlayFor returns the inquiry overlay of the given 0-based phase.
+func (g *Gossip) overlayFor(phase int) []int {
+	o, err := g.top.Inquiry.Phase(phase + 1)
+	if err != nil {
+		panic("gossip: inquiry overlay unavailable: " + err.Error())
+	}
+	return o.G.Neighbors(g.id)
+}
+
+// Send implements sim.Protocol.
+func (g *Gossip) Send(round int) []sim.Envelope {
+	if round >= g.p2End {
+		return nil
+	}
+	part, phase, off := g.position(round)
+	little := g.top.IsLittle(g.id)
+	switch off {
+	case 0: // inquiry (Part 1) / push (Part 2) round
+		if !little || (phase > 0 && !g.survivedPrev) {
+			return nil
+		}
+		if part == 1 {
+			var out []sim.Envelope
+			for _, u := range g.overlayFor(phase) {
+				if !g.extant.Present(u) {
+					out = append(out, sim.Envelope{From: g.id, To: u, Payload: sim.Inquiry{}})
+				}
+			}
+			return out
+		}
+		var out []sim.Envelope
+		var snapshot *ExtantSet
+		for _, u := range g.overlayFor(phase) {
+			if !g.completion[u] {
+				g.completion[u] = true
+				if snapshot == nil {
+					snapshot = g.extant.Clone()
+				}
+				out = append(out, sim.Envelope{From: g.id, To: u, Payload: ExtantPayload{Set: snapshot}})
+			}
+		}
+		return out
+	case 1: // response round (Part 1 only)
+		if part == 1 && len(g.inquirers) > 0 {
+			out := make([]sim.Envelope, 0, len(g.inquirers))
+			for _, to := range g.inquirers {
+				out = append(out, sim.Envelope{From: g.id, To: to, Payload: PairPayload{Node: g.id, Value: Rumor(g.extant.Rumor(g.id))}})
+			}
+			g.inquirers = g.inquirers[:0]
+			return out
+		}
+		return nil
+	default: // probing rounds
+		if g.probing == nil {
+			return nil
+		}
+		targets := g.probing.SendTargets()
+		if len(targets) == 0 {
+			return nil
+		}
+		// One snapshot shared by all targets: receivers only read it.
+		var payload sim.Payload
+		if part == 1 {
+			payload = ExtantPayload{Set: g.extant.Clone()}
+		} else {
+			payload = CompletionPayload{Set: completionToSet(g.completion)}
+		}
+		out := make([]sim.Envelope, 0, len(targets))
+		for _, to := range targets {
+			out = append(out, sim.Envelope{From: g.id, To: to, Payload: payload})
+		}
+		return out
+	}
+}
+
+// completionToSet snapshots a completion vector as a bit set.
+func completionToSet(completion []bool) *bitset.Set {
+	s := bitset.New(len(completion))
+	for i, ok := range completion {
+		if ok {
+			s.Add(i)
+		}
+	}
+	return s
+}
+
+// Deliver implements sim.Protocol.
+func (g *Gossip) Deliver(round int, inbox []sim.Envelope) {
+	if round >= g.p2End {
+		return
+	}
+	part, phase, off := g.position(round)
+	switch off {
+	case 0:
+		if part == 1 {
+			for _, env := range inbox {
+				if _, ok := env.Payload.(sim.Inquiry); ok {
+					g.inquirers = append(g.inquirers, env.From)
+				}
+			}
+		} else {
+			// Part 2 push round: receivers absorb pushed extant sets.
+			for _, env := range inbox {
+				if p, ok := env.Payload.(ExtantPayload); ok {
+					g.extant.MergeFrom(p.Set)
+				}
+			}
+		}
+	case 1:
+		if part == 1 {
+			for _, env := range inbox {
+				if p, ok := env.Payload.(PairPayload); ok {
+					g.extant.Update(p.Node, p.Value)
+				}
+			}
+		}
+	default:
+		if g.probing != nil {
+			count := 0
+			for _, env := range inbox {
+				switch p := env.Payload.(type) {
+				case ExtantPayload:
+					count++
+					g.extant.MergeFrom(p.Set)
+				case CompletionPayload:
+					count++
+					p.Set.ForEach(func(v int) { g.completion[v] = true })
+				}
+			}
+			g.probing.Observe(count)
+			if g.probing.Done() {
+				g.survivedPrev = g.probing.Survived()
+				if phase+1 < g.phases || part == 1 {
+					g.probing.Reset()
+				}
+			}
+		}
+	}
+	if round == g.p2End-1 {
+		g.halted = true
+	}
+}
+
+// Halted implements sim.Protocol.
+func (g *Gossip) Halted() bool { return g.halted }
+
+var _ sim.Protocol = (*Gossip)(nil)
+
+// PartAt maps a round to its gossip part and block, for the engine's
+// per-part message attribution.
+func (g *Gossip) PartAt(round int) string {
+	if round >= g.p2End {
+		return ""
+	}
+	part, _, off := g.position(round)
+	switch {
+	case part == 1 && off <= 1:
+		return "p1/inquiry"
+	case part == 1:
+		return "p1/probing"
+	case off == 0:
+		return "p2/push"
+	default:
+		return "p2/probing"
+	}
+}

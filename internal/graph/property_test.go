@@ -1,0 +1,121 @@
+package graph
+
+import (
+	"testing"
+	"testing/quick"
+
+	"lineartime/internal/bitset"
+	"lineartime/internal/rng"
+)
+
+// Structural consistency properties across random graphs and subsets.
+
+func randomSubset(n int, seed uint64, target int) *bitset.Set {
+	s := bitset.New(n)
+	r := rng.New(seed)
+	for s.Count() < target {
+		s.Add(r.Intn(n))
+	}
+	return s
+}
+
+// Property: components of a restriction partition the restriction.
+func TestComponentsPartitionQuick(t *testing.T) {
+	prop := func(seed uint64) bool {
+		g, err := RandomRegular(30, 4, seed)
+		if err != nil {
+			return true
+		}
+		within := randomSubset(30, seed^0xbeef, 18)
+		comps := g.ConnectedComponents(within)
+		seen := bitset.New(30)
+		total := 0
+		for _, c := range comps {
+			if !c.SubsetOf(within) {
+				return false
+			}
+			c.ForEach(func(v int) {
+				if seen.Contains(v) {
+					total = -1 << 20 // overlap
+				}
+				seen.Add(v)
+			})
+			total += c.Count()
+		}
+		return total == within.Count()
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: no edges cross between distinct components.
+func TestComponentsNoCrossEdgesQuick(t *testing.T) {
+	prop := func(seed uint64) bool {
+		g, err := RandomRegular(24, 4, seed)
+		if err != nil {
+			return true
+		}
+		within := randomSubset(24, seed^0xf00d, 12)
+		comps := g.ConnectedComponents(within)
+		for i := range comps {
+			for j := i + 1; j < len(comps); j++ {
+				if g.EdgesBetween(comps[i], comps[j]) != 0 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the induced subgraph's edge count equals vol(S), and its
+// degrees match DegreeIn.
+func TestInducedSubgraphConsistencyQuick(t *testing.T) {
+	prop := func(seed uint64) bool {
+		g, err := RandomRegular(26, 6, seed)
+		if err != nil {
+			return true
+		}
+		s := randomSubset(26, seed^0xc0ffee, 14)
+		sub, names := g.InducedSubgraph(s)
+		if sub.NumEdges() != g.Volume(s) {
+			return false
+		}
+		for i, orig := range names {
+			if sub.Degree(i) != g.DegreeIn(orig, s) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: e(A,B) + e(B,A) symmetry and e(A, V∖A) equals the
+// handshake-complement identity d·|A| − 2·vol(A) for regular graphs.
+func TestBoundaryIdentityQuick(t *testing.T) {
+	const n, d = 24, 4
+	prop := func(seed uint64) bool {
+		g, err := RandomRegular(n, d, seed)
+		if err != nil {
+			return true
+		}
+		a := randomSubset(n, seed^0xabcd, 10)
+		comp := a.Clone()
+		comp.Complement()
+		boundary := g.EdgesBetween(a, comp)
+		if boundary != g.EdgesBetween(comp, a) {
+			return false
+		}
+		return boundary == d*a.Count()-2*g.Volume(a)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,103 @@
+package lowerbound
+
+import (
+	"testing"
+)
+
+func TestDivergenceRespectsInvariant(t *testing.T) {
+	for _, n := range []int{27, 81, 243} {
+		series, err := DivergenceSeries(n, 32)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(series) == 0 {
+			t.Fatal("empty series")
+		}
+		if v := CheckDivergenceInvariant(series); v >= 0 {
+			t.Fatalf("n=%d: divergence %d at round %d exceeds 3^i bound", n, series[v], v)
+		}
+	}
+}
+
+func TestDivergenceNeedsLogRounds(t *testing.T) {
+	// Full divergence of n nodes cannot happen before log_3(n) rounds;
+	// our doubling protocol achieves it in ~log_2(n), inside the window.
+	n := 256
+	series, err := DivergenceSeries(n, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := RoundsToFullDivergence(series, n)
+	if full < 0 {
+		t.Fatal("protocol never reached full divergence")
+	}
+	// log_3(256) ≈ 5.05, so at least 6 rounds (bound with indexing slack).
+	if full < 5 {
+		t.Fatalf("full divergence after %d rounds beats the 3^i bound", full)
+	}
+	// And the doubling protocol should not be far off the optimum.
+	if full > 16 {
+		t.Fatalf("full divergence after %d rounds; expected ≈ log2(n)+1", full)
+	}
+}
+
+func TestDivergenceMonotone(t *testing.T) {
+	series, err := DivergenceSeries(64, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(series); i++ {
+		if series[i] < series[i-1] {
+			t.Fatalf("divergence shrank at round %d: %v", i, series)
+		}
+	}
+}
+
+func TestCheckDivergenceInvariantDetectsViolation(t *testing.T) {
+	if v := CheckDivergenceInvariant([]int{1, 2, 100}); v != 2 {
+		t.Fatalf("violation index = %d, want 2", v)
+	}
+	if v := CheckDivergenceInvariant([]int{3, 9, 27}); v != -1 {
+		t.Fatalf("clean series flagged at %d", v)
+	}
+}
+
+func TestRoundsToFullDivergence(t *testing.T) {
+	if got := RoundsToFullDivergence([]int{1, 3, 8}, 8); got != 3 {
+		t.Fatalf("full divergence round = %d, want 3", got)
+	}
+	if got := RoundsToFullDivergence([]int{1, 3}, 8); got != -1 {
+		t.Fatalf("unreached divergence = %d, want -1", got)
+	}
+}
+
+func TestIsolationDelaysContact(t *testing.T) {
+	// With crash budget t and at most two crashes spent per round, the
+	// victim must stay isolated for at least t/2 rounds.
+	for _, tt := range []int{8, 16, 32} {
+		first, err := FirstContactRound(64, tt, 5, 200)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if first >= 0 && first < tt/2 {
+			t.Fatalf("t=%d: victim contacted at round %d < t/2", tt, first)
+		}
+	}
+}
+
+func TestIsolationEventuallyEnds(t *testing.T) {
+	// Budget exhausted → contact happens (the protocol keeps trying).
+	first, err := FirstContactRound(64, 4, 5, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first < 0 {
+		t.Fatal("victim never contacted despite tiny budget")
+	}
+}
+
+func TestFirstContactValidation(t *testing.T) {
+	if _, err := FirstContactRound(10, 2, 99, 50); err == nil {
+		t.Fatal("out-of-range victim accepted")
+	}
+}

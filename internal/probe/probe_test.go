@@ -1,0 +1,95 @@
+package probe
+
+import "testing"
+
+func TestSurvivesWithEnoughMessages(t *testing.T) {
+	p := New([]int{1, 2, 3, 4}, 3, 2)
+	for i := 0; i < 3; i++ {
+		if !p.Active() {
+			t.Fatalf("round %d: inactive", i)
+		}
+		if got := len(p.SendTargets()); got != 4 {
+			t.Fatalf("round %d: %d targets, want 4", i, got)
+		}
+		p.Observe(2)
+	}
+	if !p.Done() || !p.Survived() {
+		t.Fatalf("done=%v survived=%v, want true/true", p.Done(), p.Survived())
+	}
+}
+
+func TestPausesPermanently(t *testing.T) {
+	p := New([]int{1, 2}, 4, 2)
+	p.Observe(2)
+	p.Observe(1) // below δ → pause
+	if p.Active() {
+		t.Fatal("active after pausing")
+	}
+	if p.SendTargets() != nil {
+		t.Fatal("paused node still has send targets")
+	}
+	p.Observe(100) // recovery is not allowed
+	p.Observe(100)
+	if !p.Done() {
+		t.Fatal("not done after γ observations")
+	}
+	if p.Survived() {
+		t.Fatal("paused node reported survival")
+	}
+	if !p.Paused() {
+		t.Fatal("Paused() false after pause")
+	}
+}
+
+func TestSurvivedOnlyWhenDone(t *testing.T) {
+	p := New([]int{1}, 2, 0)
+	if p.Survived() {
+		t.Fatal("survival reported before completion")
+	}
+	p.Observe(0)
+	p.Observe(0)
+	if !p.Survived() {
+		t.Fatal("δ=0 instance should always survive")
+	}
+}
+
+func TestObserveAfterDoneIgnored(t *testing.T) {
+	p := New([]int{1}, 1, 1)
+	p.Observe(5)
+	p.Observe(0) // ignored
+	if !p.Survived() {
+		t.Fatal("post-completion observation changed the outcome")
+	}
+	if p.Round() != 1 {
+		t.Fatalf("round advanced past γ: %d", p.Round())
+	}
+}
+
+func TestReset(t *testing.T) {
+	p := New([]int{1, 2}, 2, 2)
+	p.Observe(0)
+	p.Observe(0)
+	if p.Survived() {
+		t.Fatal("should have paused")
+	}
+	p.Reset()
+	if p.Done() || p.Paused() || !p.Active() {
+		t.Fatal("reset did not rearm the automaton")
+	}
+	p.Observe(2)
+	p.Observe(2)
+	if !p.Survived() {
+		t.Fatal("fresh instance after Reset did not survive")
+	}
+}
+
+func TestDegenerateParams(t *testing.T) {
+	p := New(nil, 0, -3) // clamped to γ=1, δ=0
+	if p.Gamma() != 1 {
+		t.Fatalf("gamma = %d, want clamped 1", p.Gamma())
+	}
+	p.Observe(0)
+	if !p.Survived() {
+		t.Fatal("δ clamped to 0 should survive")
+	}
+}

@@ -1,0 +1,77 @@
+package sim
+
+import (
+	"fmt"
+	"testing"
+)
+
+// Engine micro-benchmarks: the cost of simulating one round at various
+// message volumes, for both engines. These calibrate how large the
+// experiment sweeps can go.
+
+type broadcaster struct {
+	id, n, fanout, horizon int
+	rounds                 int
+}
+
+func (b *broadcaster) Send(round int) []Envelope {
+	out := make([]Envelope, 0, b.fanout)
+	for k := 1; k <= b.fanout; k++ {
+		out = append(out, Envelope{From: b.id, To: (b.id + k) % b.n, Payload: Bit(true)})
+	}
+	return out
+}
+
+func (b *broadcaster) Deliver(round int, _ []Envelope) { b.rounds++ }
+func (b *broadcaster) Halted() bool                    { return b.rounds >= b.horizon }
+
+func benchEngine(b *testing.B, n, fanout, horizon int, concurrent bool) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		ps := make([]Protocol, n)
+		for j := 0; j < n; j++ {
+			ps[j] = &broadcaster{id: j, n: n, fanout: fanout, horizon: horizon}
+		}
+		cfg := Config{Protocols: ps, MaxRounds: horizon + 2}
+		var res *Result
+		var err error
+		if concurrent {
+			res, err = RunConcurrent(cfg)
+		} else {
+			res, err = Run(cfg)
+		}
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(res.Metrics.Messages), "msgs")
+	}
+}
+
+func BenchmarkEngineSequential(b *testing.B) {
+	for _, c := range []struct{ n, fanout int }{{256, 8}, {1024, 8}, {256, 64}} {
+		b.Run(fmt.Sprintf("n=%d/fanout=%d", c.n, c.fanout), func(b *testing.B) {
+			benchEngine(b, c.n, c.fanout, 20, false)
+		})
+	}
+}
+
+func BenchmarkEngineConcurrent(b *testing.B) {
+	for _, c := range []struct{ n, fanout int }{{256, 8}, {1024, 8}} {
+		b.Run(fmt.Sprintf("n=%d/fanout=%d", c.n, c.fanout), func(b *testing.B) {
+			benchEngine(b, c.n, c.fanout, 20, true)
+		})
+	}
+}
+
+func BenchmarkSinglePortEngine(b *testing.B) {
+	const n, horizon = 512, 64
+	for i := 0; i < b.N; i++ {
+		ps := make([]Protocol, n)
+		for j := 0; j < n; j++ {
+			ps[j] = &relayer{id: j, n: n, lifetime: horizon}
+		}
+		if _, err := Run(Config{Protocols: ps, MaxRounds: horizon + 4, SinglePort: true}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,438 @@
+// Package sim implements the synchronous message-passing system model
+// of the paper (§2): n nodes, lock-step rounds, complete communication
+// graph, crash or Byzantine failures, and two port models:
+//
+//   - multi-port: a node may send to and receive from any set of nodes
+//     in one round;
+//   - single-port: a node may send at most one message and poll at most
+//     one in-port per round. Ports buffer messages and give no signal
+//     (§2, §8), so polling an empty port wastes the round.
+//
+// The engine is deterministic: given the same protocols, adversary and
+// configuration it produces identical transcripts, which the tests use
+// to cross-validate the sequential engine against the concurrent
+// goroutine-based runtime in runtime.go.
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"lineartime/internal/bitset"
+)
+
+// NodeID names a node; nodes are 0..N-1. (The paper uses 1..n; we use
+// 0-based names so that "little nodes" are 0..5t-1 and the related-node
+// relation is j ≡ i mod 5t.)
+type NodeID = int
+
+// Payload is the content of a message. SizeBits is the wire size used
+// for the paper's bit-complexity accounting (§2 "Communication
+// performance").
+type Payload interface {
+	SizeBits() int
+}
+
+// Envelope is one point-to-point message.
+type Envelope struct {
+	From, To NodeID
+	Payload  Payload
+}
+
+// Protocol is the deterministic per-node state machine. The engine
+// calls Send then Deliver exactly once per round while the node is
+// alive and not halted.
+type Protocol interface {
+	// Send returns the messages the node transmits at the given round.
+	Send(round int) []Envelope
+	// Deliver hands the node all messages it receives in this round,
+	// sorted by sender for determinism.
+	Deliver(round int, inbox []Envelope)
+	// Halted reports whether the node has voluntarily halted. Halting
+	// is irrevocable; halted nodes neither send nor receive.
+	Halted() bool
+}
+
+// Poller is implemented by protocols running in the single-port model:
+// in every round the node additionally chooses at most one in-port to
+// poll. Returning ok=false skips polling for the round.
+type Poller interface {
+	Protocol
+	Poll(round int) (from NodeID, ok bool)
+}
+
+// Adversary controls crash failures. FilterSend is invoked once per
+// alive node per round with the node's outbox; returning crash=true
+// crashes the node at this round, with only the returned subset of its
+// outbox delivered (the strongest crash semantics of §2: a crash may
+// interrupt a multicast midway). For surviving nodes implementations
+// must return the outbox unchanged.
+type Adversary interface {
+	FilterSend(round int, from NodeID, outbox []Envelope) (deliver []Envelope, crash bool)
+}
+
+// NoFailures is the trivial adversary that never crashes anyone.
+type NoFailures struct{}
+
+// FilterSend implements Adversary.
+func (NoFailures) FilterSend(_ int, _ NodeID, outbox []Envelope) ([]Envelope, bool) {
+	return outbox, false
+}
+
+var _ Adversary = NoFailures{}
+
+// Metrics aggregates the communication and time performance of a run,
+// matching the paper's two metrics (§2). For Byzantine runs, Messages
+// and Bits count only traffic sent by non-faulty nodes, with faulty
+// traffic tallied separately (the paper's counting rule for §7).
+type Metrics struct {
+	Rounds      int
+	Messages    int64
+	Bits        int64
+	ByzMessages int64
+	ByzBits     int64
+	// PerRoundMessages records non-faulty messages per round, for the
+	// per-part breakdowns in EXPERIMENTS.md.
+	PerRoundMessages []int64
+	// PerPart buckets non-faulty messages by the label returned by
+	// Config.PartLabeler, when one is installed. The paper's proofs
+	// bound each algorithm part separately (Part 1 flood ≤ L·d, Part 2
+	// probing ≤ L·d·γ, ...); this makes those bounds measurable.
+	PerPart map[string]int64
+}
+
+// Config describes a run.
+type Config struct {
+	// Protocols holds one state machine per node; len(Protocols) = n.
+	Protocols []Protocol
+	// Adversary controls crashes. Nil means NoFailures.
+	Adversary Adversary
+	// Byzantine marks nodes whose traffic is excluded from the
+	// non-faulty counters. Nil means none. (Byzantine behaviour itself
+	// is expressed by giving those indices adversarial Protocols.)
+	Byzantine *bitset.Set
+	// MaxRounds caps the run; exceeding it returns ErrNoTermination.
+	MaxRounds int
+	// SinglePort selects the single-port model; every Protocol must
+	// then implement Poller and send at most one message per round.
+	SinglePort bool
+	// PartLabeler optionally maps a round to the algorithm part it
+	// belongs to (all nodes share the schedule, so one function
+	// covers the system); when set, Metrics.PerPart is populated.
+	PartLabeler func(round int) string
+	// Observer optionally receives the run's events (messages as they
+	// are sent, crashes, halts). Sequential engine only; observers see
+	// events in deterministic order.
+	Observer Observer
+}
+
+// Observer receives engine events during a sequential run.
+type Observer interface {
+	// OnMessage fires for every delivered message at send time.
+	OnMessage(round int, env Envelope)
+	// OnCrash fires when the adversary crashes a node.
+	OnCrash(round int, node NodeID)
+	// OnHalt fires when a node halts voluntarily.
+	OnHalt(round int, node NodeID)
+}
+
+// Result is the outcome of a run.
+type Result struct {
+	Metrics Metrics
+	// Crashed is the set of nodes the adversary crashed.
+	Crashed *bitset.Set
+	// HaltedAt[i] is the round at which node i halted voluntarily, or
+	// -1 if it crashed or never halted within the round budget.
+	HaltedAt []int
+}
+
+// ErrNoTermination reports that some non-faulty node did not halt
+// within Config.MaxRounds.
+var ErrNoTermination = errors.New("sim: protocol did not terminate within MaxRounds")
+
+// Run executes the configured system to completion on the sequential
+// engine and returns metrics and fault bookkeeping.
+func Run(cfg Config) (*Result, error) {
+	st, err := newState(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return st.run()
+}
+
+// Stepper drives a run one round at a time, for experiments that
+// inspect protocol state between rounds (the lower-bound divergence
+// measurements of §8 / Theorem 13).
+type Stepper struct {
+	st    *state
+	round int
+	done  bool
+}
+
+// NewStepper prepares a stepped run. Config.MaxRounds still caps the
+// total number of Step calls.
+func NewStepper(cfg Config) (*Stepper, error) {
+	st, err := newState(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Stepper{st: st}, nil
+}
+
+// Step executes one round. It returns done=true once every non-faulty
+// node has halted (no round is executed in that case).
+func (s *Stepper) Step() (done bool, err error) {
+	if s.done || s.st.allDone() {
+		s.done = true
+		s.st.metrics.Rounds = s.round
+		return true, nil
+	}
+	if s.round >= s.st.cfg.MaxRounds {
+		return false, fmt.Errorf("%w (MaxRounds=%d)", ErrNoTermination, s.st.cfg.MaxRounds)
+	}
+	if err := s.st.round(s.round); err != nil {
+		return false, err
+	}
+	s.round++
+	return false, nil
+}
+
+// Round returns the number of rounds executed so far.
+func (s *Stepper) Round() int { return s.round }
+
+// Result returns the run outcome; valid at any point, final once Step
+// reported done.
+func (s *Stepper) Result() *Result { return s.st.result() }
+
+func newState(cfg Config) (*state, error) {
+	n := len(cfg.Protocols)
+	if n == 0 {
+		return nil, errors.New("sim: no protocols")
+	}
+	if cfg.MaxRounds <= 0 {
+		return nil, errors.New("sim: MaxRounds must be positive")
+	}
+	adv := cfg.Adversary
+	if adv == nil {
+		adv = NoFailures{}
+	}
+	isByz := func(id NodeID) bool { return cfg.Byzantine != nil && cfg.Byzantine.Contains(id) }
+
+	st := &state{
+		cfg:      cfg,
+		n:        n,
+		adv:      adv,
+		isByz:    isByz,
+		crashed:  bitset.New(n),
+		haltedAt: make([]int, n),
+	}
+	for i := range st.haltedAt {
+		st.haltedAt[i] = -1
+	}
+	if cfg.SinglePort {
+		st.ports = make([]map[NodeID][]Envelope, n)
+		for i := range st.ports {
+			st.ports[i] = make(map[NodeID][]Envelope)
+		}
+		for i, p := range cfg.Protocols {
+			if _, ok := p.(Poller); !ok {
+				return nil, fmt.Errorf("sim: single-port run requires Poller protocols; node %d is %T", i, p)
+			}
+		}
+	}
+	return st, nil
+}
+
+type state struct {
+	cfg      Config
+	n        int
+	adv      Adversary
+	isByz    func(NodeID) bool
+	crashed  *bitset.Set
+	haltedAt []int
+	metrics  Metrics
+	// ports[to][from] is the single-port in-port buffer.
+	ports []map[NodeID][]Envelope
+}
+
+func (s *state) alive(id NodeID) bool {
+	return !s.crashed.Contains(id) && s.haltedAt[id] < 0
+}
+
+func (s *state) run() (*Result, error) {
+	for r := 0; r < s.cfg.MaxRounds; r++ {
+		if s.allDone() {
+			s.metrics.Rounds = r
+			return s.result(), nil
+		}
+		if err := s.round(r); err != nil {
+			return nil, err
+		}
+	}
+	if s.allDone() {
+		s.metrics.Rounds = s.cfg.MaxRounds
+		return s.result(), nil
+	}
+	return nil, fmt.Errorf("%w (MaxRounds=%d)", ErrNoTermination, s.cfg.MaxRounds)
+}
+
+// allDone reports run completion: every non-faulty node has halted or
+// crashed. Byzantine nodes never gate completion — the paper measures
+// time until the non-faulty nodes halt (§2), and a malicious node
+// could otherwise hold the run open forever.
+func (s *state) allDone() bool {
+	for id := 0; id < s.n; id++ {
+		if s.alive(id) && !s.isByz(id) {
+			return false
+		}
+	}
+	return true
+}
+
+func (s *state) round(r int) error {
+	// Send phase. Collect each alive node's outbox, apply the crash
+	// adversary, and count traffic.
+	inboxes := make([][]Envelope, s.n)
+	crashedThisRound := make([]NodeID, 0, 2)
+	var deposits [][]Envelope
+	if s.cfg.SinglePort {
+		deposits = make([][]Envelope, 0, s.n)
+	}
+	for id := 0; id < s.n; id++ {
+		if !s.alive(id) {
+			continue
+		}
+		out := s.cfg.Protocols[id].Send(r)
+		if err := s.validateOutbox(id, out); err != nil {
+			return err
+		}
+		deliver, crash := s.adv.FilterSend(r, id, out)
+		if crash {
+			crashedThisRound = append(crashedThisRound, id)
+			if s.cfg.Observer != nil {
+				s.cfg.Observer.OnCrash(r, id)
+			}
+		}
+		s.count(r, id, deliver)
+		if s.cfg.Observer != nil {
+			for _, env := range deliver {
+				s.cfg.Observer.OnMessage(r, env)
+			}
+		}
+		if s.cfg.SinglePort {
+			deposits = append(deposits, deliver)
+		} else {
+			for _, env := range deliver {
+				inboxes[env.To] = append(inboxes[env.To], env)
+			}
+		}
+	}
+	for _, id := range crashedThisRound {
+		s.crashed.Add(id)
+	}
+
+	if s.cfg.SinglePort {
+		// Deposit into port buffers, then each alive node polls one port.
+		for _, batch := range deposits {
+			for _, env := range batch {
+				if s.crashed.Contains(env.To) || s.haltedAt[env.To] >= 0 {
+					continue
+				}
+				s.ports[env.To][env.From] = append(s.ports[env.To][env.From], env)
+			}
+		}
+		for id := 0; id < s.n; id++ {
+			if !s.alive(id) {
+				continue
+			}
+			poller, ok := s.cfg.Protocols[id].(Poller)
+			if !ok {
+				return fmt.Errorf("sim: node %d lost Poller capability", id)
+			}
+			if from, wants := poller.Poll(r); wants {
+				if buf := s.ports[id][from]; len(buf) > 0 {
+					inboxes[id] = []Envelope{buf[0]}
+					if len(buf) == 1 {
+						delete(s.ports[id], from)
+					} else {
+						s.ports[id][from] = buf[1:]
+					}
+				}
+			}
+		}
+	}
+
+	// Deliver phase, in node order; inboxes sorted by sender.
+	for id := 0; id < s.n; id++ {
+		if !s.alive(id) {
+			continue
+		}
+		inbox := inboxes[id]
+		sort.Slice(inbox, func(a, b int) bool { return inbox[a].From < inbox[b].From })
+		s.cfg.Protocols[id].Deliver(r, inbox)
+		if s.cfg.Protocols[id].Halted() {
+			s.haltedAt[id] = r
+			if s.cfg.Observer != nil {
+				s.cfg.Observer.OnHalt(r, id)
+			}
+		}
+	}
+	return nil
+}
+
+func (s *state) validateOutbox(id NodeID, out []Envelope) error {
+	if s.cfg.SinglePort && len(out) > 1 {
+		return fmt.Errorf("sim: node %d sent %d messages in single-port round", id, len(out))
+	}
+	for _, env := range out {
+		if env.From != id {
+			return fmt.Errorf("sim: node %d forged sender %d", id, env.From)
+		}
+		if env.To < 0 || env.To >= s.n {
+			return fmt.Errorf("sim: node %d addressed invalid node %d", id, env.To)
+		}
+		if env.To == id {
+			return fmt.Errorf("sim: node %d sent to itself", id)
+		}
+		if env.Payload == nil {
+			return fmt.Errorf("sim: node %d sent nil payload", id)
+		}
+	}
+	return nil
+}
+
+func (s *state) count(r int, from NodeID, deliver []Envelope) {
+	for len(s.metrics.PerRoundMessages) <= r {
+		s.metrics.PerRoundMessages = append(s.metrics.PerRoundMessages, 0)
+	}
+	var label string
+	if s.cfg.PartLabeler != nil && len(deliver) > 0 {
+		label = s.cfg.PartLabeler(r)
+		if s.metrics.PerPart == nil {
+			s.metrics.PerPart = make(map[string]int64)
+		}
+	}
+	for _, env := range deliver {
+		bits := int64(env.Payload.SizeBits())
+		if s.isByz(from) {
+			s.metrics.ByzMessages++
+			s.metrics.ByzBits += bits
+		} else {
+			s.metrics.Messages++
+			s.metrics.Bits += bits
+			s.metrics.PerRoundMessages[r]++
+			if label != "" {
+				s.metrics.PerPart[label]++
+			}
+		}
+	}
+}
+
+func (s *state) result() *Result {
+	return &Result{
+		Metrics:  s.metrics,
+		Crashed:  s.crashed,
+		HaltedAt: s.haltedAt,
+	}
+}

@@ -1,0 +1,378 @@
+package singleport
+
+import (
+	"fmt"
+	"sort"
+
+	"lineartime/internal/bitset"
+	"lineartime/internal/consensus"
+	"lineartime/internal/expander"
+	"lineartime/internal/gossip"
+	"lineartime/internal/probe"
+	"lineartime/internal/sim"
+)
+
+// GossipSchedule compiles the Figure 5 gossip phases to the
+// single-port model and is shared by every node of a run (the paper's
+// "graphs known to every node"). Per phase i of each part the schedule
+// reserves, with d_i the inquiry-overlay degree and d the little
+// overlay degree:
+//
+//	Part 1: d_i inquiry-send slots, d_i inquiry-poll slots, d_i
+//	  response-send slots, d_i response-poll slots, then γ·2d probing
+//	  slots;
+//	Part 2: d_i push-send slots, d_i push-poll slots, then γ·2d
+//	  probing slots.
+//
+// Inquiry overlays are capped at degree Θ(t) (§8: scheduling O(t)
+// links per node suffices), so the total is O(t + log n·log t·d)
+// single-port rounds — the "similar asymptotic running time" of the
+// multi-port Theorem 9 plus the port-multiplexing constants.
+type GossipSchedule struct {
+	Top    *consensus.Topology
+	Family *expander.InquiryFamily
+
+	phases int
+	blocks []gossipBlock
+	total  int
+}
+
+type blockKind int
+
+const (
+	blockInqSend blockKind = iota + 1
+	blockInqPoll
+	blockRespSend
+	blockRespPoll
+	blockPushSend
+	blockPushPoll
+	blockProbe
+)
+
+type gossipBlock struct {
+	kind    blockKind
+	part    int // 1 or 2
+	phase   int // 0-based
+	start   int
+	length  int
+	overlay *expander.Overlay // inquiry overlay for non-probe blocks
+}
+
+// NewGossipSchedule builds the shared schedule for n nodes and crash
+// bound t (t < n/5), deterministically from the topology seed.
+func NewGossipSchedule(top *consensus.Topology, seed uint64) (*GossipSchedule, error) {
+	cap := 8 * top.T
+	if cap < 64 {
+		cap = 64
+	}
+	fam := expander.NewCappedInquiryFamily(top.N, 8, cap, seed+31)
+	s := &GossipSchedule{Top: top, Family: fam}
+	s.phases = expander.CeilLog2(top.N)
+	if s.phases < 1 {
+		s.phases = 1
+	}
+	d := top.Little.P.Degree
+	gamma := top.Little.P.Gamma
+	pos := 0
+	add := func(kind blockKind, part, phase, length int, overlay *expander.Overlay) {
+		s.blocks = append(s.blocks, gossipBlock{
+			kind: kind, part: part, phase: phase, start: pos, length: length, overlay: overlay,
+		})
+		pos += length
+	}
+	for part := 1; part <= 2; part++ {
+		for phase := 0; phase < s.phases; phase++ {
+			overlay, err := fam.Phase(phase + 1)
+			if err != nil {
+				return nil, fmt.Errorf("single-port gossip schedule: %w", err)
+			}
+			di := overlay.P.Degree
+			if part == 1 {
+				add(blockInqSend, part, phase, di, overlay)
+				add(blockInqPoll, part, phase, di, overlay)
+				add(blockRespSend, part, phase, di, overlay)
+				add(blockRespPoll, part, phase, di, overlay)
+			} else {
+				add(blockPushSend, part, phase, di, overlay)
+				add(blockPushPoll, part, phase, di, overlay)
+			}
+			add(blockProbe, part, phase, gamma*2*d, nil)
+		}
+	}
+	s.total = pos
+	return s, nil
+}
+
+// Length returns the total single-port round count.
+func (s *GossipSchedule) Length() int { return s.total }
+
+// locate returns the block containing the round and the offset within.
+func (s *GossipSchedule) locate(round int) (*gossipBlock, int) {
+	i := sort.Search(len(s.blocks), func(i int) bool {
+		return s.blocks[i].start+s.blocks[i].length > round
+	})
+	if i >= len(s.blocks) {
+		return nil, 0
+	}
+	b := &s.blocks[i]
+	return b, round - b.start
+}
+
+// SPGossip is the single-port per-node gossip machine.
+type SPGossip struct {
+	id       int
+	schedule *GossipSchedule
+
+	extant     *gossip.ExtantSet
+	completion []bool
+
+	probing      *probe.Probing
+	survivedPrev bool
+	probeRecv    int
+
+	// inquired[k] marks that inquiry-overlay neighbor k inquired this
+	// node in the current phase.
+	inquired []bool
+	// pushSnapshot is the extant snapshot shared by this phase's pushes.
+	pushSnapshot      *gossip.ExtantSet
+	pushSnapshotPhase int
+
+	halted bool
+}
+
+// NewSPGossip creates the single-port gossip machine for node id.
+func NewSPGossip(id int, schedule *GossipSchedule, rumor gossip.Rumor) *SPGossip {
+	top := schedule.Top
+	g := &SPGossip{
+		id:                id,
+		schedule:          schedule,
+		extant:            gossip.NewExtantSet(top.N),
+		survivedPrev:      true,
+		pushSnapshotPhase: -1,
+	}
+	g.extant.Update(id, rumor)
+	if top.IsLittle(id) {
+		g.probing = probe.New(top.Little.G.Neighbors(id), top.Little.P.Gamma, top.Little.P.Delta)
+		g.completion = make([]bool, top.N)
+		g.completion[id] = true
+	}
+	return g
+}
+
+// ScheduleLength returns the protocol's fixed round count.
+func (g *SPGossip) ScheduleLength() int { return g.schedule.Length() }
+
+// Extant returns the node's extant set (the decided output).
+func (g *SPGossip) Extant() *gossip.ExtantSet { return g.extant }
+
+func (g *SPGossip) neighborAt(b *gossipBlock, slot int) int {
+	nbrs := b.overlay.G.Neighbors(g.id)
+	if slot < 0 || slot >= len(nbrs) {
+		return -1
+	}
+	return nbrs[slot]
+}
+
+func (g *SPGossip) littleNeighborAt(slot int) int {
+	nbrs := g.schedule.Top.Little.G.Neighbors(g.id)
+	if slot < 0 || slot >= len(nbrs) {
+		return -1
+	}
+	return nbrs[slot]
+}
+
+func (g *SPGossip) little() bool { return g.probing != nil }
+
+// eligible reports whether the node may initiate in this phase (§5:
+// survived the previous phase's probing, unconditional in phase 0).
+func (g *SPGossip) eligible(phase int) bool {
+	return g.little() && (phase == 0 || g.survivedPrev)
+}
+
+// Send implements sim.Protocol.
+func (g *SPGossip) Send(round int) []sim.Envelope {
+	b, off := g.schedule.locate(round)
+	if b == nil {
+		return nil
+	}
+	switch b.kind {
+	case blockInqSend:
+		if off == 0 {
+			g.resetInquired(b)
+		}
+		if !g.eligible(b.phase) {
+			return nil
+		}
+		to := g.neighborAt(b, off)
+		if to >= 0 && !g.extant.Present(to) {
+			return []sim.Envelope{{From: g.id, To: to, Payload: sim.Inquiry{}}}
+		}
+	case blockRespSend:
+		to := g.neighborAt(b, off)
+		if to >= 0 && off < len(g.inquired) && g.inquired[off] {
+			return []sim.Envelope{{From: g.id, To: to,
+				Payload: gossip.PairPayload{Node: g.id, Value: g.extant.Rumor(g.id)}}}
+		}
+	case blockPushSend:
+		if !g.eligible(b.phase) {
+			return nil
+		}
+		to := g.neighborAt(b, off)
+		if to >= 0 && !g.completion[to] {
+			g.completion[to] = true
+			if g.pushSnapshotPhase != b.phase {
+				g.pushSnapshot = g.extant.Clone()
+				g.pushSnapshotPhase = b.phase
+			}
+			return []sim.Envelope{{From: g.id, To: to, Payload: gossip.ExtantPayload{Set: g.pushSnapshot}}}
+		}
+	case blockProbe:
+		if !g.little() {
+			return nil
+		}
+		d := g.schedule.Top.Little.P.Degree
+		slot := off % (2 * d)
+		if slot == 0 && off == 0 {
+			g.probeRecv = 0
+		}
+		if slot < d && g.probing.Active() {
+			if to := g.littleNeighborAt(slot); to >= 0 {
+				var payload sim.Payload
+				if b.part == 1 {
+					payload = gossip.ExtantPayload{Set: g.extant.Clone()}
+				} else {
+					payload = gossip.CompletionPayload{Set: completionSet(g.completion)}
+				}
+				return []sim.Envelope{{From: g.id, To: to, Payload: payload}}
+			}
+		}
+	}
+	return nil
+}
+
+func (g *SPGossip) resetInquired(b *gossipBlock) {
+	need := b.overlay.P.Degree
+	if cap(g.inquired) < need {
+		g.inquired = make([]bool, need)
+		return
+	}
+	g.inquired = g.inquired[:need]
+	for i := range g.inquired {
+		g.inquired[i] = false
+	}
+}
+
+// Poll implements sim.Poller.
+func (g *SPGossip) Poll(round int) (sim.NodeID, bool) {
+	b, off := g.schedule.locate(round)
+	if b == nil {
+		return 0, false
+	}
+	switch b.kind {
+	case blockInqPoll, blockPushPoll:
+		if from := g.neighborAt(b, off); from >= 0 {
+			return from, true
+		}
+	case blockRespPoll:
+		if g.little() {
+			if from := g.neighborAt(b, off); from >= 0 {
+				return from, true
+			}
+		}
+	case blockProbe:
+		if g.little() {
+			d := g.schedule.Top.Little.P.Degree
+			slot := off % (2 * d)
+			if slot >= d {
+				if from := g.littleNeighborAt(slot - d); from >= 0 {
+					return from, true
+				}
+			}
+		}
+	}
+	return 0, false
+}
+
+// Deliver implements sim.Protocol.
+func (g *SPGossip) Deliver(round int, inbox []sim.Envelope) {
+	b, off := g.schedule.locate(round)
+	if b != nil {
+		switch b.kind {
+		case blockInqPoll:
+			for _, env := range inbox {
+				if _, ok := env.Payload.(sim.Inquiry); ok {
+					if k := g.neighborIndex(b, env.From); k >= 0 && k < len(g.inquired) {
+						g.inquired[k] = true
+					}
+				}
+			}
+		case blockRespPoll:
+			for _, env := range inbox {
+				if p, ok := env.Payload.(gossip.PairPayload); ok {
+					g.extant.Update(p.Node, p.Value)
+				}
+			}
+		case blockPushPoll:
+			for _, env := range inbox {
+				if p, ok := env.Payload.(gossip.ExtantPayload); ok {
+					g.extant.MergeFrom(p.Set)
+				}
+			}
+		case blockProbe:
+			if g.little() {
+				for _, env := range inbox {
+					switch p := env.Payload.(type) {
+					case gossip.ExtantPayload:
+						g.probeRecv++
+						g.extant.MergeFrom(p.Set)
+					case gossip.CompletionPayload:
+						g.probeRecv++
+						p.Set.ForEach(func(v int) { g.completion[v] = true })
+					}
+				}
+				d := g.schedule.Top.Little.P.Degree
+				if off%(2*d) == 2*d-1 {
+					g.probing.Observe(g.probeRecv)
+					g.probeRecv = 0
+					if g.probing.Done() {
+						g.survivedPrev = g.probing.Survived()
+						g.probing.Reset()
+					}
+				}
+			}
+		}
+	}
+	if round == g.schedule.Length()-1 {
+		g.halted = true
+	}
+}
+
+// neighborIndex returns the index of `from` in this node's adjacency
+// of the block's overlay, or -1.
+func (g *SPGossip) neighborIndex(b *gossipBlock, from int) int {
+	nbrs := b.overlay.G.Neighbors(g.id)
+	i := sort.SearchInts(nbrs, from)
+	if i < len(nbrs) && nbrs[i] == from {
+		return i
+	}
+	return -1
+}
+
+// Halted implements sim.Protocol.
+func (g *SPGossip) Halted() bool { return g.halted }
+
+// completionSet snapshots a completion vector as a bit set.
+func completionSet(completion []bool) *bitset.Set {
+	s := bitset.New(len(completion))
+	for i, ok := range completion {
+		if ok {
+			s.Add(i)
+		}
+	}
+	return s
+}
+
+var (
+	_ sim.Protocol = (*SPGossip)(nil)
+	_ sim.Poller   = (*SPGossip)(nil)
+)

@@ -1,0 +1,67 @@
+package spectral
+
+import (
+	"math"
+	"testing"
+
+	"lineartime/internal/graph"
+)
+
+func TestExactEdgeExpansionKnownGraphs(t *testing.T) {
+	// K_4: every W with |W| ≤ 2 has |∂W|/|W| = (|W|·(4−|W|))/|W| =
+	// 4−|W|; minimum at |W| = 2 → 2.
+	if got := ExactEdgeExpansion(graph.Complete(4)); math.Abs(got-2) > 1e-12 {
+		t.Fatalf("h(K_4) = %v, want 2", got)
+	}
+	// C_8: the minimizing W is a contiguous arc of 4 vertices with
+	// boundary 2 → h = 0.5.
+	if got := ExactEdgeExpansion(graph.Cycle(8)); math.Abs(got-0.5) > 1e-12 {
+		t.Fatalf("h(C_8) = %v, want 0.5", got)
+	}
+	// Disconnected graph: a component is a zero-boundary cut → 0.
+	b := graph.NewBuilder(4)
+	b.AddEdge(0, 1)
+	b.AddEdge(2, 3)
+	if got := ExactEdgeExpansion(b.Build()); got != 0 {
+		t.Fatalf("h(disconnected) = %v, want 0", got)
+	}
+}
+
+func TestExactEdgeExpansionBounds(t *testing.T) {
+	// Ground truth vs spectral bounds on a small random regular graph:
+	// (d−λ)/2 ≤ h(G) ≤ d.
+	const n, d = 18, 6
+	g, err := graph.RandomRegular(n, d, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := ExactEdgeExpansion(g)
+	lambda := SecondEigenvalue(g, Options{Seed: 3, Iterations: 2000})
+	lower := (float64(d) - lambda) / 2
+	if h+1e-9 < lower {
+		t.Fatalf("exact h = %.4f below spectral lower bound %.4f (λ=%.4f)", h, lower, lambda)
+	}
+	if h > float64(d) {
+		t.Fatalf("exact h = %.4f above degree bound %d", h, d)
+	}
+	if h <= 0 {
+		t.Fatal("connected regular graph with zero expansion")
+	}
+}
+
+func TestExactEdgeExpansionDegenerate(t *testing.T) {
+	if got := ExactEdgeExpansion(graph.Complete(1)); got != 0 {
+		t.Fatalf("single vertex h = %v", got)
+	}
+	if got := ExactEdgeExpansion(graph.Complete(0)); got != 0 {
+		t.Fatalf("empty graph h = %v", got)
+	}
+	// Oversized graphs are refused (return 0) rather than hanging.
+	big, err := graph.RandomRegular(40, 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := ExactEdgeExpansion(big); got != 0 {
+		t.Fatalf("oversize guard returned %v", got)
+	}
+}

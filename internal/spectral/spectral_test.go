@@ -1,0 +1,110 @@
+package spectral
+
+import (
+	"math"
+	"testing"
+
+	"lineartime/internal/graph"
+)
+
+func TestCompleteGraphLambda(t *testing.T) {
+	// K_n has eigenvalues n-1 (once) and -1 (n-1 times), so λ = 1.
+	g := graph.Complete(20)
+	lambda := SecondEigenvalue(g, Options{Seed: 1})
+	if math.Abs(lambda-1) > 0.05 {
+		t.Fatalf("K_20 λ = %v, want ≈ 1", lambda)
+	}
+}
+
+func TestCycleLambda(t *testing.T) {
+	// C_n has eigenvalues 2cos(2πk/n); λ = 2cos(2π/n).
+	n := 40
+	g := graph.Cycle(n)
+	want := 2 * math.Cos(2*math.Pi/float64(n))
+	lambda := SecondEigenvalue(g, Options{Seed: 1, Iterations: 4000})
+	if math.Abs(lambda-want) > 0.05 {
+		t.Fatalf("C_%d λ = %v, want ≈ %v", n, lambda, want)
+	}
+}
+
+func TestHypercubeLambda(t *testing.T) {
+	// Q_d has eigenvalues d-2k; λ = d-2 for the second largest, and
+	// |λ_min| = d. So max(|λ2|, |λn|) = d: hypercubes are bipartite.
+	g := graph.Hypercube(4)
+	lambda := SecondEigenvalue(g, Options{Seed: 1, Iterations: 2000})
+	if math.Abs(lambda-4) > 0.1 {
+		t.Fatalf("Q_4 λ = %v, want ≈ 4 (bipartite)", lambda)
+	}
+}
+
+func TestRandomRegularNearRamanujan(t *testing.T) {
+	for _, c := range []struct{ n, d int }{{100, 6}, {200, 8}, {400, 10}} {
+		g, err := graph.RandomRegular(c.n, c.d, 99)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ok, lambda := IsNearRamanujan(g, c.d, 0.25, Options{Seed: 5})
+		if !ok {
+			t.Errorf("RandomRegular(%d,%d): λ = %.3f exceeds 1.25 * %.3f",
+				c.n, c.d, lambda, RamanujanBound(c.d))
+		}
+	}
+}
+
+func TestRamanujanBound(t *testing.T) {
+	if RamanujanBound(1) != 0 {
+		t.Fatal("bound for d=1 should be 0")
+	}
+	if got, want := RamanujanBound(5), 4.0; math.Abs(got-want) > 1e-12 {
+		t.Fatalf("RamanujanBound(5) = %v, want 4", got)
+	}
+}
+
+func TestEdgeExpansionPositiveForExpanders(t *testing.T) {
+	g, err := graph.RandomRegular(128, 8, 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := EdgeExpansion(g, 8, Options{Seed: 2})
+	if h <= 0 {
+		t.Fatalf("expander edge expansion bound = %v, want > 0", h)
+	}
+}
+
+func TestEdgeExpansionZeroFloor(t *testing.T) {
+	// Bipartite hypercube: λ = d, so spectral bound is 0 (floored).
+	g := graph.Hypercube(3)
+	if h := EdgeExpansion(g, 3, Options{Seed: 2, Iterations: 2000}); h != 0 {
+		t.Fatalf("bipartite expansion bound = %v, want 0 floor", h)
+	}
+}
+
+func TestMixingDeviationBelowLambda(t *testing.T) {
+	const n, d = 200, 8
+	g, err := graph.RandomRegular(n, d, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lambda := SecondEigenvalue(g, Options{Seed: 4})
+	dev := MixingDeviation(g, d, 50, 30, 11)
+	if dev > lambda+0.5 {
+		t.Fatalf("observed mixing deviation %.3f exceeds λ %.3f: Expander Mixing Lemma violated", dev, lambda)
+	}
+}
+
+func TestTinyGraphs(t *testing.T) {
+	if l := SecondEigenvalue(graph.Complete(1), Options{}); l != 0 {
+		t.Fatalf("single vertex λ = %v", l)
+	}
+	if l := SecondEigenvalue(graph.Complete(0), Options{}); l != 0 {
+		t.Fatalf("empty graph λ = %v", l)
+	}
+}
+
+func TestDescribe(t *testing.T) {
+	g := graph.Complete(10)
+	s := Describe(g, 9, Options{Seed: 1})
+	if s == "" {
+		t.Fatal("empty description")
+	}
+}

@@ -1,0 +1,153 @@
+// Package trace records and summarizes simulation transcripts via the
+// engine's Observer hook: per-node send/receive histograms, per-round
+// traffic profiles, crash and halt timelines. It exists for debugging
+// protocol schedules and for the traffic analyses in EXPERIMENTS.md
+// (e.g. confirming that the flood parts front-load the traffic and the
+// inquiry parts trail off).
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"lineartime/internal/sim"
+)
+
+// Recorder accumulates a run's events. Install with sim.Config.Observer.
+// Not safe for concurrent engines (the sequential engine delivers
+// events in deterministic order from one goroutine).
+type Recorder struct {
+	n int
+
+	sent     []int64
+	received []int64
+	bits     []int64
+	perRound []int64
+	crashes  []Event
+	halts    []Event
+	messages int64
+}
+
+// Event is a timestamped node event.
+type Event struct {
+	Round int
+	Node  sim.NodeID
+}
+
+// NewRecorder creates a recorder for n nodes.
+func NewRecorder(n int) *Recorder {
+	return &Recorder{
+		n:        n,
+		sent:     make([]int64, n),
+		received: make([]int64, n),
+		bits:     make([]int64, n),
+	}
+}
+
+var _ sim.Observer = (*Recorder)(nil)
+
+// OnMessage implements sim.Observer.
+func (r *Recorder) OnMessage(round int, env sim.Envelope) {
+	for len(r.perRound) <= round {
+		r.perRound = append(r.perRound, 0)
+	}
+	r.perRound[round]++
+	r.messages++
+	if env.From >= 0 && env.From < r.n {
+		r.sent[env.From]++
+		r.bits[env.From] += int64(env.Payload.SizeBits())
+	}
+	if env.To >= 0 && env.To < r.n {
+		r.received[env.To]++
+	}
+}
+
+// OnCrash implements sim.Observer.
+func (r *Recorder) OnCrash(round int, node sim.NodeID) {
+	r.crashes = append(r.crashes, Event{Round: round, Node: node})
+}
+
+// OnHalt implements sim.Observer.
+func (r *Recorder) OnHalt(round int, node sim.NodeID) {
+	r.halts = append(r.halts, Event{Round: round, Node: node})
+}
+
+// Messages returns the total recorded message count.
+func (r *Recorder) Messages() int64 { return r.messages }
+
+// Sent returns node id's send count.
+func (r *Recorder) Sent(id sim.NodeID) int64 { return r.sent[id] }
+
+// Received returns node id's receive count.
+func (r *Recorder) Received(id sim.NodeID) int64 { return r.received[id] }
+
+// Crashes returns the crash timeline in event order.
+func (r *Recorder) Crashes() []Event { return append([]Event(nil), r.crashes...) }
+
+// BusiestRound returns the round with the most traffic and its count.
+func (r *Recorder) BusiestRound() (round int, msgs int64) {
+	for i, c := range r.perRound {
+		if c > msgs {
+			round, msgs = i, c
+		}
+	}
+	return round, msgs
+}
+
+// BusiestNode returns the node with the most sends and its count.
+func (r *Recorder) BusiestNode() (node sim.NodeID, msgs int64) {
+	for i, c := range r.sent {
+		if c > msgs {
+			node, msgs = i, c
+		}
+	}
+	return node, msgs
+}
+
+// QuietNodes returns the nodes that sent nothing (crashed-at-birth
+// victims and pure listeners).
+func (r *Recorder) QuietNodes() []sim.NodeID {
+	var out []sim.NodeID
+	for i, c := range r.sent {
+		if c == 0 {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// TrafficProfile buckets the per-round counts into `buckets` equal
+// spans (for sparkline-style summaries).
+func (r *Recorder) TrafficProfile(buckets int) []int64 {
+	if buckets < 1 || len(r.perRound) == 0 {
+		return nil
+	}
+	out := make([]int64, buckets)
+	span := (len(r.perRound) + buckets - 1) / buckets
+	for i, c := range r.perRound {
+		out[i/span] += c
+	}
+	return out
+}
+
+// Summary renders a compact multi-line report.
+func (r *Recorder) Summary() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "messages: %d over %d rounds\n", r.messages, len(r.perRound))
+	br, bm := r.BusiestRound()
+	fmt.Fprintf(&b, "busiest round: %d (%d msgs)\n", br, bm)
+	bn, bc := r.BusiestNode()
+	fmt.Fprintf(&b, "busiest node:  %d (%d msgs)\n", bn, bc)
+	fmt.Fprintf(&b, "crashes: %d", len(r.crashes))
+	if len(r.crashes) > 0 {
+		rounds := make([]string, 0, len(r.crashes))
+		for _, e := range r.crashes {
+			rounds = append(rounds, fmt.Sprintf("%d@r%d", e.Node, e.Round))
+		}
+		sort.Strings(rounds)
+		fmt.Fprintf(&b, " (%s)", strings.Join(rounds, ", "))
+	}
+	b.WriteByte('\n')
+	return b.String()
+}

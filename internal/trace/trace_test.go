@@ -1,0 +1,125 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"lineartime/internal/consensus"
+	"lineartime/internal/crash"
+	"lineartime/internal/sim"
+)
+
+func runTraced(t *testing.T, n, tt int, adv sim.Adversary) (*Recorder, *sim.Result) {
+	t.Helper()
+	top, err := consensus.NewTopology(n, tt, consensus.TopologyOptions{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := NewRecorder(n)
+	ps := make([]sim.Protocol, n)
+	var schedule int
+	for i := 0; i < n; i++ {
+		m := consensus.NewFewCrashes(i, top, i%2 == 0)
+		ps[i] = m
+		schedule = m.ScheduleLength()
+	}
+	res, err := sim.Run(sim.Config{
+		Protocols: ps,
+		Adversary: adv,
+		Observer:  rec,
+		MaxRounds: schedule + 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rec, res
+}
+
+func TestRecorderMatchesMetrics(t *testing.T) {
+	rec, res := runTraced(t, 60, 12, nil)
+	if rec.Messages() != res.Metrics.Messages {
+		t.Fatalf("recorder saw %d messages, metrics %d", rec.Messages(), res.Metrics.Messages)
+	}
+	var sentSum int64
+	for i := 0; i < 60; i++ {
+		sentSum += rec.Sent(i)
+	}
+	if sentSum != rec.Messages() {
+		t.Fatalf("per-node sends %d != total %d", sentSum, rec.Messages())
+	}
+}
+
+func TestRecorderCrashTimeline(t *testing.T) {
+	adv := crash.NewSchedule([]crash.Event{
+		{Node: 5, Round: 2, Keep: 0},
+		{Node: 9, Round: 4, Keep: 1},
+	})
+	rec, res := runTraced(t, 60, 12, adv)
+	events := rec.Crashes()
+	if len(events) != 2 {
+		t.Fatalf("recorded %d crashes, want 2", len(events))
+	}
+	for _, e := range events {
+		if !res.Crashed.Contains(e.Node) {
+			t.Fatalf("recorded crash of %d not in result", e.Node)
+		}
+	}
+	if events[0].Round != 2 || events[0].Node != 5 {
+		t.Fatalf("first crash event %+v", events[0])
+	}
+}
+
+func TestRecorderAnalytics(t *testing.T) {
+	rec, _ := runTraced(t, 60, 12, nil)
+	if _, msgs := rec.BusiestRound(); msgs == 0 {
+		t.Fatal("no busiest round")
+	}
+	if _, msgs := rec.BusiestNode(); msgs == 0 {
+		t.Fatal("no busiest node")
+	}
+	profile := rec.TrafficProfile(8)
+	if len(profile) != 8 {
+		t.Fatalf("profile buckets = %d", len(profile))
+	}
+	var sum int64
+	for _, c := range profile {
+		sum += c
+	}
+	if sum != rec.Messages() {
+		t.Fatalf("profile sum %d != total %d", sum, rec.Messages())
+	}
+	if rec.TrafficProfile(0) != nil {
+		t.Fatal("zero buckets should yield nil")
+	}
+	if !strings.Contains(rec.Summary(), "messages:") {
+		t.Fatal("summary malformed")
+	}
+}
+
+func TestRecorderQuietNodes(t *testing.T) {
+	// A node crashed at round 0 with nothing delivered never sends.
+	adv := crash.NewSchedule([]crash.Event{{Node: 3, Round: 0, Keep: 0}})
+	rec, _ := runTraced(t, 60, 12, adv)
+	quiet := rec.QuietNodes()
+	found := false
+	for _, q := range quiet {
+		if q == 3 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("silent-crashed node 3 not in quiet list %v", quiet)
+	}
+}
+
+func TestRecorderHalts(t *testing.T) {
+	rec, res := runTraced(t, 60, 12, nil)
+	if len(rec.halts) != 60 {
+		t.Fatalf("recorded %d halts, want 60", len(rec.halts))
+	}
+	for _, e := range rec.halts {
+		if res.HaltedAt[e.Node] != e.Round {
+			t.Fatalf("halt event %+v disagrees with result %d", e, res.HaltedAt[e.Node])
+		}
+	}
+}

@@ -1,0 +1,83 @@
+package lineartime
+
+import (
+	"fmt"
+
+	"lineartime/internal/consensus"
+	"lineartime/internal/majority"
+	"lineartime/internal/sim"
+)
+
+// MajorityReport is the outcome of RunMajorityVote.
+type MajorityReport struct {
+	N, T    int
+	Metrics Metrics
+	Crashed []int
+	// YesWins is the agreed verdict; YesVotes/Ballots the agreed tally.
+	YesWins  bool
+	YesVotes int
+	Ballots  int
+	// Agreement reports whether all surviving nodes reached the same
+	// verdict and tally.
+	Agreement bool
+}
+
+// RunMajorityVote runs the §9 majority-consensus extension: every node
+// casts a binary vote; all surviving nodes agree on the exact tally
+// over an agreed ballot set that contains every survivor, and on the
+// verdict "strictly more than half voted yes". t < n/5.
+func RunMajorityVote(n, t int, votes []bool, opts ...Option) (*MajorityReport, error) {
+	if len(votes) != n {
+		return nil, fmt.Errorf("lineartime: %d votes for n=%d", len(votes), n)
+	}
+	o := buildOptions(opts)
+	top, err := consensus.NewTopology(n, t, consensus.TopologyOptions{Seed: o.seed, Degree: o.degree})
+	if err != nil {
+		return nil, err
+	}
+	ms := make([]*majority.Vote, n)
+	ps := make([]sim.Protocol, n)
+	for i := 0; i < n; i++ {
+		ms[i] = majority.New(i, top, votes[i])
+		ps[i] = ms[i]
+	}
+	res, err := runEngine(o, sim.Config{
+		Protocols:   ps,
+		PartLabeler: partLabelerOf(ps),
+		Adversary:   o.adversary(n, t),
+		MaxRounds:   ms[0].ScheduleLength() + 8,
+	})
+	if err != nil {
+		return nil, err
+	}
+	report := &MajorityReport{
+		N:         n,
+		T:         t,
+		Metrics:   toMetrics(res),
+		Crashed:   res.Crashed.Elements(),
+		Agreement: true,
+	}
+	first := false
+	for i := 0; i < n; i++ {
+		if res.Crashed.Contains(i) {
+			continue
+		}
+		verdict, yes, ballots, ok := ms[i].Verdict()
+		if !ok {
+			report.Agreement = false
+			continue
+		}
+		if !first {
+			report.YesWins = verdict == majority.Yes
+			report.YesVotes = yes
+			report.Ballots = ballots
+			first = true
+			continue
+		}
+		if (verdict == majority.Yes) != report.YesWins ||
+			yes != report.YesVotes || ballots != report.Ballots {
+			report.Agreement = false
+		}
+	}
+	return report, nil
+}

@@ -1,0 +1,117 @@
+package lineartime
+
+import (
+	"testing"
+)
+
+// The per-part breakdown is the measurable form of the paper's
+// per-part communication bounds: Theorem 5's proof charges Part 1 at
+// most L·d messages, Part 2 at most L·d·γ, Part 3 at most n. These
+// tests pin the attribution machinery and the structural bounds.
+
+func TestPerPartBreakdownFewCrashes(t *testing.T) {
+	// t = n/10 keeps L = 5t < n, so Part 3 (little → related) has
+	// actual targets; with t = n/5 every node is little and the part
+	// is legitimately silent.
+	n, tt := 100, 10
+	const little = 50 // 5t
+	inputs := boolInputs(n, func(i int) bool { return i%3 == 0 })
+	r, err := RunConsensus(n, tt, inputs, WithSeed(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Metrics.PerPart) == 0 {
+		t.Fatal("no per-part breakdown")
+	}
+	var sum int64
+	for _, v := range r.Metrics.PerPart {
+		sum += v
+	}
+	if sum != r.Metrics.Messages {
+		t.Fatalf("per-part sum %d != total %d", sum, r.Metrics.Messages)
+	}
+	for _, part := range []string{"aea/flood", "aea/probing", "aea/notify", "scv/broadcast"} {
+		if r.Metrics.PerPart[part] == 0 {
+			t.Errorf("part %q recorded no messages: %v", part, r.Metrics.PerPart)
+		}
+	}
+	// Structural bounds from the Theorem 5 proof: Part 1 ≤ L·d,
+	// Part 3 ≤ n.
+	if got := r.Metrics.PerPart["aea/flood"]; got > int64(little*16) {
+		t.Fatalf("aea/flood = %d exceeds L·d", got)
+	}
+	if got := r.Metrics.PerPart["aea/notify"]; got > int64(n) {
+		t.Fatalf("aea/notify = %d exceeds n", got)
+	}
+}
+
+func TestPerPartBreakdownGossipAndCheckpointing(t *testing.T) {
+	n, tt := 60, 12
+	rumors := make([]uint64, n)
+	for i := range rumors {
+		rumors[i] = uint64(i)
+	}
+	g, err := RunGossip(n, tt, rumors, false, WithSeed(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, part := range []string{"p1/inquiry", "p1/probing", "p2/push", "p2/probing"} {
+		if g.Metrics.PerPart[part] == 0 {
+			t.Errorf("gossip part %q empty: %v", part, g.Metrics.PerPart)
+		}
+	}
+
+	c, err := RunCheckpointing(n, tt, false, WithSeed(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var gossipSum, consSum int64
+	for k, v := range c.Metrics.PerPart {
+		if len(k) > 7 && k[:7] == "gossip/" {
+			gossipSum += v
+		} else {
+			consSum += v
+		}
+	}
+	if gossipSum == 0 || consSum == 0 {
+		t.Fatalf("checkpointing stages not both populated: %v", c.Metrics.PerPart)
+	}
+	if gossipSum+consSum != c.Metrics.Messages {
+		t.Fatalf("stage sums %d+%d != total %d", gossipSum, consSum, c.Metrics.Messages)
+	}
+}
+
+func TestPerPartBreakdownByzantine(t *testing.T) {
+	n, tt := 40, 4
+	inputs := make([]uint64, n)
+	for i := range inputs {
+		inputs[i] = uint64(i)
+	}
+	r, err := RunByzantineConsensus(n, tt, inputs, false, WithSeed(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, part := range []string{"dolev-strong", "endorse", "notify-related", "propagate"} {
+		if r.Metrics.PerPart[part] == 0 {
+			t.Errorf("byzantine part %q empty: %v", part, r.Metrics.PerPart)
+		}
+	}
+}
+
+func TestPerPartBreakdownSinglePort(t *testing.T) {
+	n, tt := 60, 12
+	inputs := boolInputs(n, func(i int) bool { return i%2 == 0 })
+	r, err := RunConsensus(n, tt, inputs, WithSeed(4), WithAlgorithm(SinglePortLinear))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, part := range []string{"flood(2d)", "probing(2d)", "spread(2Δ)"} {
+		if r.Metrics.PerPart[part] == 0 {
+			t.Errorf("single-port part %q empty: %v", part, r.Metrics.PerPart)
+		}
+	}
+	// The ring sweep should be almost free when H-spreading succeeded.
+	if ring := r.Metrics.PerPart["ring-pull"]; ring > int64(4*n) {
+		t.Errorf("ring-pull cost %d unexpectedly high", ring)
+	}
+}

@@ -1,0 +1,69 @@
+package lineartime
+
+import (
+	"math"
+	"testing"
+)
+
+// TestLargeScaleSmoke runs the full consensus stack at n = 4096 — an
+// order of magnitude beyond the sweep sizes — to catch accidental
+// quadratic blowups in the engine or overlay construction. Skipped in
+// -short mode.
+func TestLargeScaleSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large-scale smoke skipped in -short mode")
+	}
+	n := 4096
+	tt := n / 8
+	inputs := boolInputs(n, func(i int) bool { return i%7 == 0 })
+	r, err := RunConsensus(n, tt, inputs,
+		WithSeed(1), WithRandomCrashes(tt, 5*tt))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Agreement || !r.Validity {
+		t.Fatalf("agreement=%v validity=%v at n=%d", r.Agreement, r.Validity, n)
+	}
+	// Bits per node should stay in the same band as the n=2048 sweep
+	// (~210 bits/node): a quadratic leak would blow this up.
+	perNode := float64(r.Metrics.Bits) / float64(n)
+	if perNode > 600 {
+		t.Fatalf("bits per node = %.1f at n=%d; communication no longer linear", perNode, n)
+	}
+	if r.Metrics.Rounds > 6*tt+int(8*math.Log2(float64(n))) {
+		t.Fatalf("rounds = %d beyond the O(t + log n) band", r.Metrics.Rounds)
+	}
+}
+
+// TestSCVHolderThreshold characterizes the 3/5 contract of
+// Spread-Common-Value: with ≥ 3n/5 holders every node decides; the
+// algorithm still completes (and in practice converges) below the
+// threshold as long as some little holders exist, because the fallback
+// phase reaches them — the guarantee, not the mechanism, is what the
+// threshold buys.
+func TestSCVHolderThreshold(t *testing.T) {
+	n, tt := 100, 20
+	run := func(holders int) int {
+		r, err := RunConsensus(n, tt, boolInputs(n, func(i int) bool { return i < holders }),
+			WithSeed(5))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !r.Agreement {
+			t.Fatalf("holders=%d: disagreement", holders)
+		}
+		decided := 0
+		for _, d := range r.Decisions {
+			if d >= 0 {
+				decided++
+			}
+		}
+		return decided
+	}
+	if got := run(3 * n / 5); got != n {
+		t.Fatalf("3n/5 inputs: %d/%d decided", got, n)
+	}
+	if got := run(n / 5); got != n {
+		t.Fatalf("n/5 inputs: %d/%d decided", got, n)
+	}
+}
