@@ -100,6 +100,7 @@ type options struct {
 	randomCrashes int
 	crashHorizon  int
 	concurrent    bool
+	parallelism   int
 	singlePort    bool
 	byzStrategy   ByzantineStrategy
 	byzNodes      []int
@@ -126,9 +127,18 @@ func WithRandomCrashes(f, horizon int) Option {
 	return func(o *options) { o.randomCrashes, o.crashHorizon = f, horizon }
 }
 
-// WithConcurrentRuntime runs on the goroutine-per-node engine instead
-// of the sequential one (multi-port only; results are identical).
+// WithConcurrentRuntime runs on the sharded parallel engine with the
+// default worker count instead of the sequential one (multi-port only;
+// results are identical). Equivalent to WithParallelism(0) plus opting
+// in to the parallel engine.
 func WithConcurrentRuntime() Option { return func(o *options) { o.concurrent = true } }
+
+// WithParallelism runs on the sharded parallel engine with the given
+// number of workers (multi-port only; results are identical to the
+// sequential engine). workers <= 0 selects GOMAXPROCS.
+func WithParallelism(workers int) Option {
+	return func(o *options) { o.concurrent, o.parallelism = true, workers }
+}
 
 // WithSinglePortModel runs gossip or checkpointing in the single-port
 // model (§8 adaptations). For consensus use
@@ -349,7 +359,7 @@ func runEngine(o options, cfg sim.Config) (*sim.Result, error) {
 		if cfg.SinglePort {
 			return nil, errors.New("lineartime: concurrent runtime is multi-port only")
 		}
-		return sim.RunConcurrent(cfg)
+		return sim.RunParallel(cfg, o.parallelism)
 	}
 	return sim.Run(cfg)
 }

@@ -1,0 +1,225 @@
+// Command benchjson runs the simulator engine benchmarks and emits
+// BENCH_sim.json, the machine-readable performance trajectory committed
+// at the repository root (the CHC-COMP-style standing benchmark: each
+// PR that touches the engine regenerates the file, so regressions show
+// up in the diff). It measures ns/round and allocs/round for the
+// sequential and parallel engines at fixed (n, fanout) points, and
+// probes the largest feasible n under a per-round time budget.
+//
+// Usage:
+//
+//	go run ./cmd/benchjson            # write BENCH_sim.json
+//	go run ./cmd/benchjson -o out.json -quick
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"lineartime/internal/sim"
+)
+
+// broadcaster mirrors the benchmark protocol of the engine's
+// engine_bench_test.go: every node sends fanout one-bit messages per
+// round and halts after the horizon, with a persistent outbox so the
+// measurement is of the engine, not the harness.
+type broadcaster struct {
+	id, n, fanout, horizon int
+	rounds                 int
+	out                    []sim.Envelope
+}
+
+func (b *broadcaster) Send(round int) []sim.Envelope {
+	if b.out == nil {
+		b.out = make([]sim.Envelope, 0, b.fanout)
+	}
+	out := b.out[:0]
+	for k := 1; k <= b.fanout; k++ {
+		out = append(out, sim.Envelope{From: b.id, To: (b.id + k) % b.n, Payload: sim.Bit(true)})
+	}
+	b.out = out
+	return out
+}
+
+func (b *broadcaster) Deliver(round int, _ []sim.Envelope) { b.rounds++ }
+func (b *broadcaster) Halted() bool                        { return b.rounds >= b.horizon }
+
+func buildSystem(n, fanout, horizon int) (sim.Config, []*broadcaster) {
+	ps := make([]sim.Protocol, n)
+	bs := make([]*broadcaster, n)
+	for j := 0; j < n; j++ {
+		bs[j] = &broadcaster{id: j, n: n, fanout: fanout, horizon: horizon}
+		ps[j] = bs[j]
+	}
+	return sim.Config{Protocols: ps, MaxRounds: horizon + 2}, bs
+}
+
+// benchPoint is one measured engine configuration.
+type benchPoint struct {
+	Name         string  `json:"name"`
+	Engine       string  `json:"engine"` // "sequential" | "parallel"
+	N            int     `json:"n"`
+	Fanout       int     `json:"fanout"`
+	Rounds       int     `json:"rounds"`
+	NsPerOp      float64 `json:"ns_per_op"`
+	NsPerRound   float64 `json:"ns_per_round"`
+	AllocsPerOp  int64   `json:"allocs_per_op"`
+	BytesPerOp   int64   `json:"bytes_per_op"`
+	MsgsPerRound int64   `json:"msgs_per_round"`
+}
+
+func measure(engine string, n, fanout, horizon, workers int) (benchPoint, error) {
+	cfg, bs := buildSystem(n, fanout, horizon)
+	var runErr error
+	res := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			for _, bc := range bs {
+				bc.rounds = 0
+			}
+			var err error
+			if engine == "parallel" {
+				_, err = sim.RunParallel(cfg, workers)
+			} else {
+				_, err = sim.Run(cfg)
+			}
+			if err != nil {
+				runErr = err
+				b.FailNow()
+			}
+		}
+	})
+	if runErr != nil {
+		return benchPoint{}, runErr
+	}
+	nsPerOp := float64(res.NsPerOp())
+	return benchPoint{
+		Name:         fmt.Sprintf("engine/%s/n=%d/fanout=%d", engine, n, fanout),
+		Engine:       engine,
+		N:            n,
+		Fanout:       fanout,
+		Rounds:       horizon,
+		NsPerOp:      nsPerOp,
+		NsPerRound:   nsPerOp / float64(horizon),
+		AllocsPerOp:  res.AllocsPerOp(),
+		BytesPerOp:   res.AllocedBytesPerOp(),
+		MsgsPerRound: int64(n) * int64(fanout),
+	}, nil
+}
+
+// maxFeasibleN doubles n until one round of the sequential engine at
+// the given fanout exceeds the time budget (or the memory-bounding cap
+// is reached) and reports the last n that fit.
+func maxFeasibleN(fanout int, budget time.Duration, capN int) (int, float64) {
+	const horizon = 5
+	best, bestNs := 0, 0.0
+	for n := 1024; n <= capN; n *= 2 {
+		cfg, _ := buildSystem(n, fanout, horizon)
+		start := time.Now()
+		if _, err := sim.Run(cfg); err != nil {
+			break
+		}
+		perRound := time.Since(start) / horizon
+		if perRound > budget {
+			break
+		}
+		best, bestNs = n, float64(perRound.Nanoseconds())
+	}
+	return best, bestNs
+}
+
+// report is the BENCH_sim.json schema.
+type report struct {
+	Schema      string       `json:"schema"`
+	Go          string       `json:"go"`
+	GOMAXPROCS  int          `json:"gomaxprocs"`
+	Benchmarks  []benchPoint `json:"benchmarks"`
+	MaxFeasible struct {
+		Fanout           int     `json:"fanout"`
+		BudgetMsPerRound float64 `json:"budget_ms_per_round"`
+		N                int     `json:"n"`
+		NsPerRound       float64 `json:"ns_per_round"`
+	} `json:"max_feasible_n"`
+	// Baseline freezes the pre-refactor engine's headline numbers
+	// (BenchmarkEngine, n=1000, fanout 8, 20 rounds, allocation-clean
+	// harness) so the trajectory keeps its origin.
+	Baseline struct {
+		Name        string  `json:"name"`
+		NsPerOp     float64 `json:"ns_per_op"`
+		AllocsPerOp int64   `json:"allocs_per_op"`
+		BytesPerOp  int64   `json:"bytes_per_op"`
+		Note        string  `json:"note"`
+	} `json:"baseline_pre_refactor"`
+}
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout *os.File) error {
+	fs := flag.NewFlagSet("benchjson", flag.ContinueOnError)
+	out := fs.String("o", "BENCH_sim.json", "output path ('-' for stdout)")
+	quick := fs.Bool("quick", false, "tiny sizes (CI smoke)")
+	budgetMs := fs.Int("budget", 100, "max-feasible-n time budget, ms per round")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	type point struct {
+		engine            string
+		n, fanout, rounds int
+	}
+	points := []point{
+		{"sequential", 256, 8, 20},
+		{"sequential", 1000, 8, 20}, // the headline BenchmarkEngine shape
+		{"sequential", 4096, 8, 20},
+		{"sequential", 256, 64, 20},
+		{"parallel", 1000, 8, 20},
+		{"parallel", 4096, 8, 20},
+	}
+	capN := 1 << 17
+	if *quick {
+		points = []point{{"sequential", 64, 4, 5}, {"parallel", 64, 4, 5}}
+		capN = 2048
+	}
+
+	var rep report
+	rep.Schema = "lineartime/bench_sim/v1"
+	rep.Go = runtime.Version()
+	rep.GOMAXPROCS = runtime.GOMAXPROCS(0)
+	for _, p := range points {
+		bp, err := measure(p.engine, p.n, p.fanout, p.rounds, 0)
+		if err != nil {
+			return fmt.Errorf("%s n=%d: %w", p.engine, p.n, err)
+		}
+		rep.Benchmarks = append(rep.Benchmarks, bp)
+	}
+	rep.MaxFeasible.Fanout = 8
+	rep.MaxFeasible.BudgetMsPerRound = float64(*budgetMs)
+	rep.MaxFeasible.N, rep.MaxFeasible.NsPerRound =
+		maxFeasibleN(8, time.Duration(*budgetMs)*time.Millisecond, capN)
+	rep.Baseline.Name = "engine/sequential/n=1000/fanout=8"
+	rep.Baseline.NsPerOp = 10534134
+	rep.Baseline.AllocsPerOp = 140036
+	rep.Baseline.BytesPerOp = 12181963
+	rep.Baseline.Note = "pre-refactor engine (per-round inbox allocation, sort.Slice ordering); median of 3 at -benchtime 2s"
+
+	data, err := json.MarshalIndent(&rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if *out == "-" {
+		_, err = stdout.Write(data)
+		return err
+	}
+	return os.WriteFile(*out, data, 0o644)
+}

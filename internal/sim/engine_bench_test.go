@@ -7,70 +7,101 @@ import (
 
 // Engine micro-benchmarks: the cost of simulating one round at various
 // message volumes, for both engines. These calibrate how large the
-// experiment sweeps can go.
+// experiment sweeps can go. The broadcaster protocol is deliberately
+// allocation-free (persistent outbox, reset between iterations) so the
+// numbers measure the engine, not the test harness; BENCH_sim.json
+// tracks BenchmarkEngine across PRs.
 
 type broadcaster struct {
 	id, n, fanout, horizon int
 	rounds                 int
+	out                    []Envelope
 }
 
 func (b *broadcaster) Send(round int) []Envelope {
-	out := make([]Envelope, 0, b.fanout)
+	if b.out == nil {
+		b.out = make([]Envelope, 0, b.fanout)
+	}
+	out := b.out[:0]
 	for k := 1; k <= b.fanout; k++ {
 		out = append(out, Envelope{From: b.id, To: (b.id + k) % b.n, Payload: Bit(true)})
 	}
+	b.out = out
 	return out
 }
 
 func (b *broadcaster) Deliver(round int, _ []Envelope) { b.rounds++ }
 func (b *broadcaster) Halted() bool                    { return b.rounds >= b.horizon }
+func (b *broadcaster) reset()                          { b.rounds = 0 }
 
-func benchEngine(b *testing.B, n, fanout, horizon int, concurrent bool) {
+func benchEngine(b *testing.B, n, fanout, horizon, workers int) {
 	b.Helper()
+	ps := make([]Protocol, n)
+	bs := make([]*broadcaster, n)
+	for j := 0; j < n; j++ {
+		bs[j] = &broadcaster{id: j, n: n, fanout: fanout, horizon: horizon}
+		ps[j] = bs[j]
+	}
+	cfg := Config{Protocols: ps, MaxRounds: horizon + 2}
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		ps := make([]Protocol, n)
-		for j := 0; j < n; j++ {
-			ps[j] = &broadcaster{id: j, n: n, fanout: fanout, horizon: horizon}
+		for _, bc := range bs {
+			bc.reset()
 		}
-		cfg := Config{Protocols: ps, MaxRounds: horizon + 2}
 		var res *Result
 		var err error
-		if concurrent {
-			res, err = RunConcurrent(cfg)
+		if workers != 0 {
+			res, err = RunParallel(cfg, workers)
 		} else {
 			res, err = Run(cfg)
 		}
 		if err != nil {
 			b.Fatal(err)
 		}
-		b.ReportMetric(float64(res.Metrics.Messages), "msgs")
+		if res.Metrics.Messages != int64(n)*int64(fanout)*int64(horizon) {
+			b.Fatalf("messages = %d", res.Metrics.Messages)
+		}
 	}
 }
 
+// BenchmarkEngine is the headline engine benchmark tracked in
+// BENCH_sim.json: the multi-port sequential engine at n=1000, fanout 8,
+// 20 rounds. Per-iteration cost divided by the horizon gives ns/round.
+func BenchmarkEngine(b *testing.B) {
+	benchEngine(b, 1000, 8, 20, 0)
+}
+
 func BenchmarkEngineSequential(b *testing.B) {
-	for _, c := range []struct{ n, fanout int }{{256, 8}, {1024, 8}, {256, 64}} {
+	for _, c := range []struct{ n, fanout int }{{256, 8}, {1024, 8}, {256, 64}, {4096, 8}} {
 		b.Run(fmt.Sprintf("n=%d/fanout=%d", c.n, c.fanout), func(b *testing.B) {
-			benchEngine(b, c.n, c.fanout, 20, false)
+			benchEngine(b, c.n, c.fanout, 20, 0)
 		})
 	}
 }
 
-func BenchmarkEngineConcurrent(b *testing.B) {
-	for _, c := range []struct{ n, fanout int }{{256, 8}, {1024, 8}} {
+func BenchmarkEngineParallel(b *testing.B) {
+	for _, c := range []struct{ n, fanout int }{{256, 8}, {1024, 8}, {4096, 8}} {
 		b.Run(fmt.Sprintf("n=%d/fanout=%d", c.n, c.fanout), func(b *testing.B) {
-			benchEngine(b, c.n, c.fanout, 20, true)
+			benchEngine(b, c.n, c.fanout, 20, -1)
 		})
 	}
 }
 
 func BenchmarkSinglePortEngine(b *testing.B) {
 	const n, horizon = 512, 64
+	ps := make([]Protocol, n)
+	rs := make([]*relayer, n)
+	for j := 0; j < n; j++ {
+		rs[j] = &relayer{id: j, n: n, lifetime: horizon}
+		ps[j] = rs[j]
+	}
+	cfg := Config{Protocols: ps, MaxRounds: horizon + 4, SinglePort: true}
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		ps := make([]Protocol, n)
-		for j := 0; j < n; j++ {
-			ps[j] = &relayer{id: j, n: n, lifetime: horizon}
+		for _, r := range rs {
+			*r = relayer{id: r.id, n: n, lifetime: horizon}
 		}
-		if _, err := Run(Config{Protocols: ps, MaxRounds: horizon + 4, SinglePort: true}); err != nil {
+		if _, err := Run(cfg); err != nil {
 			b.Fatal(err)
 		}
 	}

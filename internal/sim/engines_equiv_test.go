@@ -1,0 +1,348 @@
+package sim
+
+import (
+	"fmt"
+	"reflect"
+	"sort"
+	"testing"
+
+	"lineartime/internal/bitset"
+	"lineartime/internal/rng"
+)
+
+// Cross-engine equivalence: the CSR scratch-buffer sequential engine,
+// the sharded worker pool, and a reference reimplementation of the
+// original engine (per-round inbox allocation, sort.Slice ordering,
+// map-based port buffers) must produce byte-identical Results — same
+// metrics including the per-round and per-part series, same crash
+// sets, same HaltedAt, same protocol end states — on randomized
+// systems across multi-port, single-port, crash and Byzantine configs.
+
+// fuzzPayload has a size derived from protocol state so the bit
+// accounting is exercised beyond the 1-bit fast path.
+type fuzzPayload struct{ bits int }
+
+func (p fuzzPayload) SizeBits() int { return p.bits }
+
+// fuzzNode is a randomized protocol: traffic pattern, poll choices and
+// halting depend on a per-node PRNG and on everything received so far,
+// so any divergence between engines cascades into the transcript.
+type fuzzNode struct {
+	id, n, horizon int
+	single         bool
+	r              *rng.SplitMix64
+	acc            uint64
+	rounds         int
+	out            []Envelope
+}
+
+func newFuzzNode(id, n, horizon int, single bool, seed uint64) *fuzzNode {
+	return &fuzzNode{
+		id: id, n: n, horizon: horizon + id%5, single: single,
+		r:   rng.New(seed ^ uint64(id)*0x9e3779b97f4a7c15),
+		acc: uint64(id) + 1,
+	}
+}
+
+func (f *fuzzNode) target() NodeID {
+	to := f.r.Intn(f.n - 1)
+	if to >= f.id {
+		to++
+	}
+	return to
+}
+
+func (f *fuzzNode) Send(round int) []Envelope {
+	f.out = f.out[:0]
+	fanout := f.r.Intn(4)
+	if f.single && fanout > 1 {
+		fanout = 1
+	}
+	for k := 0; k < fanout; k++ {
+		f.out = append(f.out, Envelope{
+			From:    f.id,
+			To:      f.target(),
+			Payload: fuzzPayload{bits: 1 + int((f.acc>>3)%7)},
+		})
+	}
+	return f.out
+}
+
+func (f *fuzzNode) Poll(round int) (NodeID, bool) {
+	if f.r.Intn(4) == 0 {
+		return 0, false
+	}
+	return f.target(), true
+}
+
+func (f *fuzzNode) Deliver(round int, inbox []Envelope) {
+	for _, env := range inbox {
+		f.acc = f.acc*0x100000001b3 ^ uint64(env.From)<<17 ^ uint64(env.Payload.SizeBits())
+	}
+	f.rounds++
+}
+
+func (f *fuzzNode) Halted() bool { return f.rounds >= f.horizon }
+
+// multiCrash is a stateless deterministic crash schedule.
+type multiCrash struct {
+	rounds map[NodeID]int
+	keeps  map[NodeID]int
+}
+
+func newMultiCrash(n, f, horizon int, seed uint64) multiCrash {
+	r := rng.New(seed)
+	mc := multiCrash{rounds: map[NodeID]int{}, keeps: map[NodeID]int{}}
+	for len(mc.rounds) < f {
+		node := r.Intn(n)
+		if _, dup := mc.rounds[node]; dup {
+			continue
+		}
+		mc.rounds[node] = r.Intn(horizon)
+		mc.keeps[node] = r.Intn(3) - 1 // -1 keeps all
+	}
+	return mc
+}
+
+func (m multiCrash) FilterSend(round int, from NodeID, out []Envelope) ([]Envelope, bool) {
+	if r, ok := m.rounds[from]; ok && r == round {
+		if k := m.keeps[from]; k >= 0 && k < len(out) {
+			return out[:k], true
+		}
+		return out, true
+	}
+	return out, false
+}
+
+// referenceRun reimplements the pre-refactor engine verbatim: fresh
+// [][]Envelope inboxes each round, per-node sort.Slice, map-based
+// single-port buffers, per-sender label lookups. It is the oracle for
+// the old semantics.
+func referenceRun(cfg Config) (*Result, error) {
+	n := len(cfg.Protocols)
+	adv := cfg.Adversary
+	if adv == nil {
+		adv = NoFailures{}
+	}
+	isByz := func(id NodeID) bool { return cfg.Byzantine != nil && cfg.Byzantine.Contains(id) }
+	crashed := bitset.New(n)
+	haltedAt := make([]int, n)
+	for i := range haltedAt {
+		haltedAt[i] = -1
+	}
+	alive := func(id NodeID) bool { return !crashed.Contains(id) && haltedAt[id] < 0 }
+	var metrics Metrics
+	var ports []map[NodeID][]Envelope
+	if cfg.SinglePort {
+		ports = make([]map[NodeID][]Envelope, n)
+		for i := range ports {
+			ports[i] = make(map[NodeID][]Envelope)
+		}
+	}
+	count := func(r int, from NodeID, deliver []Envelope) {
+		for len(metrics.PerRoundMessages) <= r {
+			metrics.PerRoundMessages = append(metrics.PerRoundMessages, 0)
+		}
+		var label string
+		if cfg.PartLabeler != nil && len(deliver) > 0 {
+			label = cfg.PartLabeler(r)
+			if metrics.PerPart == nil {
+				metrics.PerPart = make(map[string]int64)
+			}
+		}
+		for _, env := range deliver {
+			bits := int64(env.Payload.SizeBits())
+			if isByz(from) {
+				metrics.ByzMessages++
+				metrics.ByzBits += bits
+			} else {
+				metrics.Messages++
+				metrics.Bits += bits
+				metrics.PerRoundMessages[r]++
+				if label != "" {
+					metrics.PerPart[label]++
+				}
+			}
+		}
+	}
+	allDone := func() bool {
+		for id := 0; id < n; id++ {
+			if alive(id) && !isByz(id) {
+				return false
+			}
+		}
+		return true
+	}
+	finish := func(r int) *Result {
+		metrics.Rounds = r
+		return &Result{Metrics: metrics, Crashed: crashed, HaltedAt: haltedAt}
+	}
+	for r := 0; r < cfg.MaxRounds; r++ {
+		if allDone() {
+			return finish(r), nil
+		}
+		inboxes := make([][]Envelope, n)
+		var crashedNow []NodeID
+		var deposits [][]Envelope
+		for id := 0; id < n; id++ {
+			if !alive(id) {
+				continue
+			}
+			out := cfg.Protocols[id].Send(r)
+			deliver, crash := adv.FilterSend(r, id, out)
+			if crash {
+				crashedNow = append(crashedNow, id)
+			}
+			count(r, id, deliver)
+			if cfg.SinglePort {
+				deposits = append(deposits, append([]Envelope(nil), deliver...))
+			} else {
+				for _, env := range deliver {
+					inboxes[env.To] = append(inboxes[env.To], env)
+				}
+			}
+		}
+		for _, id := range crashedNow {
+			crashed.Add(id)
+		}
+		if cfg.SinglePort {
+			for _, batch := range deposits {
+				for _, env := range batch {
+					if crashed.Contains(env.To) || haltedAt[env.To] >= 0 {
+						continue
+					}
+					ports[env.To][env.From] = append(ports[env.To][env.From], env)
+				}
+			}
+			for id := 0; id < n; id++ {
+				if !alive(id) {
+					continue
+				}
+				if from, wants := cfg.Protocols[id].(Poller).Poll(r); wants {
+					if buf := ports[id][from]; len(buf) > 0 {
+						inboxes[id] = []Envelope{buf[0]}
+						if len(buf) == 1 {
+							delete(ports[id], from)
+						} else {
+							ports[id][from] = buf[1:]
+						}
+					}
+				}
+			}
+		}
+		for id := 0; id < n; id++ {
+			if !alive(id) {
+				continue
+			}
+			inbox := inboxes[id]
+			sort.Slice(inbox, func(a, b int) bool { return inbox[a].From < inbox[b].From })
+			cfg.Protocols[id].Deliver(r, inbox)
+			if cfg.Protocols[id].Halted() {
+				haltedAt[id] = r
+			}
+		}
+	}
+	if allDone() {
+		return finish(cfg.MaxRounds), nil
+	}
+	return nil, ErrNoTermination
+}
+
+type equivCase struct {
+	name       string
+	singlePort bool
+	crash      bool
+	byzantine  bool
+	labeler    bool
+}
+
+func buildFuzz(n, horizon int, single bool, seed uint64) ([]Protocol, []*fuzzNode) {
+	ps := make([]Protocol, n)
+	fs := make([]*fuzzNode, n)
+	for i := 0; i < n; i++ {
+		fs[i] = newFuzzNode(i, n, horizon, single, seed)
+		ps[i] = fs[i]
+	}
+	return ps, fs
+}
+
+func equivConfig(c equivCase, ps []Protocol, n, horizon int, seed uint64) Config {
+	cfg := Config{Protocols: ps, MaxRounds: horizon + 16, SinglePort: c.singlePort}
+	if c.crash {
+		cfg.Adversary = newMultiCrash(n, n/6, horizon, seed+17)
+	}
+	if c.byzantine {
+		byz := bitset.New(n)
+		r := rng.New(seed + 41)
+		for i := 0; i < n/8; i++ {
+			byz.Add(r.Intn(n))
+		}
+		cfg.Byzantine = byz
+	}
+	if c.labeler {
+		cfg.PartLabeler = func(round int) string { return fmt.Sprintf("part%d", round/5) }
+	}
+	return cfg
+}
+
+func compareResults(t *testing.T, tag string, want, got *Result, wantNodes, gotNodes []*fuzzNode) {
+	t.Helper()
+	if !reflect.DeepEqual(want.Metrics, got.Metrics) {
+		t.Fatalf("%s: metrics diverged:\nreference %+v\n      got %+v", tag, want.Metrics, got.Metrics)
+	}
+	if !want.Crashed.Equal(got.Crashed) {
+		t.Fatalf("%s: crash sets diverged: %v vs %v", tag, want.Crashed.Elements(), got.Crashed.Elements())
+	}
+	if !reflect.DeepEqual(want.HaltedAt, got.HaltedAt) {
+		t.Fatalf("%s: HaltedAt diverged:\nreference %v\n      got %v", tag, want.HaltedAt, got.HaltedAt)
+	}
+	for i := range wantNodes {
+		if wantNodes[i].acc != gotNodes[i].acc || wantNodes[i].rounds != gotNodes[i].rounds {
+			t.Fatalf("%s: node %d end state diverged", tag, i)
+		}
+	}
+}
+
+func TestEngineEquivalenceRandomized(t *testing.T) {
+	cases := []equivCase{
+		{name: "multi-port", labeler: true},
+		{name: "multi-port/crash", crash: true},
+		{name: "multi-port/byzantine", byzantine: true, labeler: true},
+		{name: "single-port", singlePort: true, labeler: true},
+		{name: "single-port/crash", singlePort: true, crash: true},
+		{name: "single-port/byzantine", singlePort: true, byzantine: true},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			for _, seed := range []uint64{1, 2, 3, 5, 8} {
+				const n, horizon = 48, 24
+				refPs, refNodes := buildFuzz(n, horizon, c.singlePort, seed)
+				refRes, err := referenceRun(equivConfig(c, refPs, n, horizon, seed))
+				if err != nil {
+					t.Fatalf("seed %d: reference: %v", seed, err)
+				}
+
+				seqPs, seqNodes := buildFuzz(n, horizon, c.singlePort, seed)
+				seqRes, err := Run(equivConfig(c, seqPs, n, horizon, seed))
+				if err != nil {
+					t.Fatalf("seed %d: sequential: %v", seed, err)
+				}
+				compareResults(t, fmt.Sprintf("seed %d: sequential vs reference", seed),
+					refRes, seqRes, refNodes, seqNodes)
+
+				if c.singlePort {
+					continue
+				}
+				for _, workers := range []int{1, 3, 7} {
+					poolPs, poolNodes := buildFuzz(n, horizon, c.singlePort, seed)
+					poolRes, err := RunParallel(equivConfig(c, poolPs, n, horizon, seed), workers)
+					if err != nil {
+						t.Fatalf("seed %d: pool(%d): %v", seed, workers, err)
+					}
+					compareResults(t, fmt.Sprintf("seed %d: pool(%d) vs reference", seed, workers),
+						refRes, poolRes, refNodes, poolNodes)
+				}
+			}
+		})
+	}
+}

@@ -42,3 +42,20 @@ var (
 	_ Payload = Inquiry{}
 	_ Payload = Probe{}
 )
+
+// sizeBits is the engines' accounting hook: a devirtualized fast path
+// for the package's own one-bit payloads, which dominate the traffic
+// of the crash-model algorithms, falling back to the interface call
+// for protocol-defined payloads.
+func sizeBits(p Payload) int {
+	switch v := p.(type) {
+	case Bit:
+		return v.SizeBits()
+	case Inquiry:
+		return v.SizeBits()
+	case Probe:
+		return v.SizeBits()
+	default:
+		return p.SizeBits()
+	}
+}

@@ -1,0 +1,194 @@
+package sim
+
+import (
+	"errors"
+	"runtime"
+	"sync"
+)
+
+// The parallel engine shards nodes across a fixed pool of workers
+// (≈GOMAXPROCS, not one goroutine per node), barrier-synced per phase:
+//
+//	send phase     workers call Send + validate for their shard
+//	serial stitch  adversary, metrics, CSR staging, in node order
+//	deliver phase  workers call Deliver + Halted for their shard
+//
+// Everything order-sensitive — the adversary, the traffic counters, the
+// inbox construction — runs serially in node order on the coordinator,
+// so the transcript is identical to the sequential engine's; only the
+// protocol callbacks, which touch disjoint per-node state, fan out.
+// The per-round synchronization cost is 2·workers channel operations
+// instead of the original design's 4·n, which is what lets runs scale
+// to n in the tens of thousands.
+
+// RunParallel executes the configured system on the sharded worker
+// pool. workers <= 0 selects GOMAXPROCS. It produces results identical
+// to Run (the sequential engine); the equivalence is a test. Multi-port
+// only: the single-port model is inherently centralized. Configs with
+// an Observer are rejected; observers need the sequential engine's
+// event order.
+func RunParallel(cfg Config, workers int) (*Result, error) {
+	if cfg.SinglePort {
+		return nil, errors.New("sim: the parallel engine supports the multi-port model only")
+	}
+	if cfg.Observer != nil {
+		return nil, errors.New("sim: Observer requires the sequential engine")
+	}
+	st, err := newState(cfg)
+	if err != nil {
+		return nil, err
+	}
+	p := newPool(st, workers)
+	defer p.shutdown()
+	st.pool = p
+	return st.run()
+}
+
+type poolJob struct {
+	kind  int // jobSend or jobDeliver
+	round int
+}
+
+const (
+	jobSend = iota
+	jobDeliver
+)
+
+// pool is the fixed worker pool. Workers persist for the whole run;
+// each owns the contiguous node shard bounds[w]..bounds[w+1] and
+// communicates with the coordinator through its job channel and the
+// phase WaitGroup.
+type pool struct {
+	st      *state
+	workers int
+	bounds  []int
+	jobs    []chan poolJob
+	phase   sync.WaitGroup
+	exited  sync.WaitGroup
+	// Per-node scratch, written only by the owning worker during a
+	// phase and read by the coordinator between phases.
+	outbox [][]Envelope
+	errs   []error
+	halted []bool
+}
+
+func newPool(st *state, workers int) *pool {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > st.n {
+		workers = st.n
+	}
+	p := &pool{
+		st:      st,
+		workers: workers,
+		bounds:  make([]int, workers+1),
+		jobs:    make([]chan poolJob, workers),
+		outbox:  make([][]Envelope, st.n),
+		errs:    make([]error, st.n),
+		halted:  make([]bool, st.n),
+	}
+	for w := 0; w <= workers; w++ {
+		p.bounds[w] = w * st.n / workers
+	}
+	p.exited.Add(workers)
+	for w := 0; w < workers; w++ {
+		p.jobs[w] = make(chan poolJob, 1)
+		go p.worker(w)
+	}
+	return p
+}
+
+func (p *pool) worker(w int) {
+	defer p.exited.Done()
+	st := p.st
+	lo, hi := p.bounds[w], p.bounds[w+1]
+	for job := range p.jobs[w] {
+		switch job.kind {
+		case jobSend:
+			for id := lo; id < hi; id++ {
+				if !st.alive(id) {
+					continue
+				}
+				out := st.cfg.Protocols[id].Send(job.round)
+				if err := st.validateOutbox(id, out); err != nil {
+					p.errs[id] = err
+					p.outbox[id] = nil
+					continue
+				}
+				p.outbox[id] = out
+			}
+		case jobDeliver:
+			for id := lo; id < hi; id++ {
+				if !st.alive(id) {
+					continue
+				}
+				st.cfg.Protocols[id].Deliver(job.round, st.scratch.inboxOf(id))
+				p.halted[id] = st.cfg.Protocols[id].Halted()
+			}
+		}
+		p.phase.Done()
+	}
+}
+
+// runPhase dispatches one phase to every worker and waits for the
+// barrier. The WaitGroup completion gives the coordinator a
+// happens-before edge over all per-node scratch the workers wrote.
+func (p *pool) runPhase(kind, round int) {
+	p.phase.Add(p.workers)
+	for w := 0; w < p.workers; w++ {
+		p.jobs[w] <- poolJob{kind: kind, round: round}
+	}
+	p.phase.Wait()
+}
+
+func (p *pool) shutdown() {
+	for _, ch := range p.jobs {
+		close(ch)
+	}
+	p.exited.Wait()
+}
+
+// roundParallel is the pool-backed counterpart of state.round.
+func (s *state) roundParallel(r int) error {
+	p := s.pool
+	p.runPhase(jobSend, r)
+
+	// Serial stitch in node order: validation errors surface for the
+	// lowest offending node, then the adversary, counters and CSR
+	// staging see the exact sequence the sequential engine produces.
+	sc := s.scratch
+	sc.beginRound()
+	s.label, s.labelSet = "", false
+	crashedNow := s.crashedNow[:0]
+	for id := 0; id < s.n; id++ {
+		if !s.alive(id) {
+			continue
+		}
+		if err := p.errs[id]; err != nil {
+			return err
+		}
+		out := p.outbox[id]
+		p.outbox[id] = nil
+		deliver, crash := s.adv.FilterSend(r, id, out)
+		if crash {
+			crashedNow = append(crashedNow, id)
+		}
+		s.count(r, id, deliver)
+		sc.stage(deliver, true)
+	}
+	s.crashedNow = crashedNow
+	for _, id := range crashedNow {
+		s.crashed.Add(id)
+	}
+	sc.place()
+
+	p.runPhase(jobDeliver, r)
+	for id := 0; id < s.n; id++ {
+		if s.alive(id) && p.halted[id] {
+			s.haltedAt[id] = r
+		}
+	}
+	s.executed++
+	return nil
+}

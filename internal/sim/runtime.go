@@ -1,192 +1,15 @@
 package sim
 
-import (
-	"errors"
-	"fmt"
-	"sort"
-
-	"lineartime/internal/bitset"
-)
-
-// RunConcurrent executes the configured system with one goroutine per
-// node, synchronized into lock-step rounds by channels — the natural
-// Go rendering of the paper's synchronous model. It produces results
-// identical to Run (the sequential engine); the equivalence is a test.
+// RunConcurrent executes the configured system on the parallel engine
+// with the default worker count (GOMAXPROCS). It is the historical name
+// of the concurrent entry point, kept for callers of the original
+// goroutine-per-node runtime; RunParallel exposes the worker count.
 //
-// Protocol implementations are only ever called from their own node's
-// goroutine, so they need no internal locking, exactly like Run.
+// The original design synchronized one goroutine per node through four
+// channels each, which cost 4·n channel operations per round and
+// capped feasible n in the low thousands. The engine now shards nodes
+// across a fixed worker pool (pool.go) with identical results — the
+// sequential/concurrent equivalence tests are unchanged.
 func RunConcurrent(cfg Config) (*Result, error) {
-	n := len(cfg.Protocols)
-	if n == 0 {
-		return nil, errors.New("sim: no protocols")
-	}
-	if cfg.MaxRounds <= 0 {
-		return nil, errors.New("sim: MaxRounds must be positive")
-	}
-	if cfg.SinglePort {
-		// The single-port engine's port buffers are inherently
-		// centralized; the concurrent runtime targets the multi-port
-		// model where per-node goroutines map cleanly onto nodes.
-		return nil, errors.New("sim: RunConcurrent supports the multi-port model only")
-	}
-	adv := cfg.Adversary
-	if adv == nil {
-		adv = NoFailures{}
-	}
-	isByz := func(id NodeID) bool { return cfg.Byzantine != nil && cfg.Byzantine.Contains(id) }
-
-	type sendReq struct{ round int }
-	type sendResp struct{ outbox []Envelope }
-	type deliverReq struct {
-		round int
-		inbox []Envelope
-	}
-	type deliverResp struct{ halted bool }
-
-	sendReqCh := make([]chan sendReq, n)
-	sendRespCh := make([]chan sendResp, n)
-	delivReqCh := make([]chan deliverReq, n)
-	delivRespCh := make([]chan deliverResp, n)
-	stop := make(chan struct{})
-	done := make(chan struct{}, n)
-
-	for i := 0; i < n; i++ {
-		sendReqCh[i] = make(chan sendReq)
-		sendRespCh[i] = make(chan sendResp)
-		delivReqCh[i] = make(chan deliverReq)
-		delivRespCh[i] = make(chan deliverResp)
-		go func(id int, p Protocol) {
-			defer func() { done <- struct{}{} }()
-			for {
-				select {
-				case <-stop:
-					return
-				case req := <-sendReqCh[id]:
-					out := p.Send(req.round)
-					select {
-					case sendRespCh[id] <- sendResp{outbox: out}:
-					case <-stop:
-						return
-					}
-				case req := <-delivReqCh[id]:
-					p.Deliver(req.round, req.inbox)
-					select {
-					case delivRespCh[id] <- deliverResp{halted: p.Halted()}:
-					case <-stop:
-						return
-					}
-				}
-			}
-		}(i, cfg.Protocols[i])
-	}
-	shutdown := func() {
-		close(stop)
-		for i := 0; i < n; i++ {
-			<-done
-		}
-	}
-	defer shutdown()
-
-	crashed := bitset.New(n)
-	haltedAt := make([]int, n)
-	for i := range haltedAt {
-		haltedAt[i] = -1
-	}
-	alive := func(id NodeID) bool { return !crashed.Contains(id) && haltedAt[id] < 0 }
-	var metrics Metrics
-
-	finished := func() bool {
-		for id := 0; id < n; id++ {
-			if alive(id) && !isByz(id) {
-				return false
-			}
-		}
-		return true
-	}
-
-	for r := 0; r < cfg.MaxRounds; r++ {
-		if finished() {
-			metrics.Rounds = r
-			return &Result{Metrics: metrics, Crashed: crashed, HaltedAt: haltedAt}, nil
-		}
-
-		// Send phase: fan out requests to all alive nodes, then
-		// collect outboxes in node order so that the adversary sees
-		// the same deterministic sequence as the sequential engine.
-		for id := 0; id < n; id++ {
-			if alive(id) {
-				sendReqCh[id] <- sendReq{round: r}
-			}
-		}
-		inboxes := make([][]Envelope, n)
-		metrics.PerRoundMessages = append(metrics.PerRoundMessages, 0)
-		var roundLabel string
-		var crashedNow []NodeID
-		for id := 0; id < n; id++ {
-			if !alive(id) {
-				continue
-			}
-			resp := <-sendRespCh[id]
-			out := resp.outbox
-			for _, env := range out {
-				if env.From != id || env.To < 0 || env.To >= n || env.To == id || env.Payload == nil {
-					return nil, fmt.Errorf("sim: node %d produced invalid envelope %+v", id, env)
-				}
-			}
-			deliver, crash := adv.FilterSend(r, id, out)
-			if crash {
-				crashedNow = append(crashedNow, id)
-			}
-			if cfg.PartLabeler != nil && roundLabel == "" && len(deliver) > 0 {
-				roundLabel = cfg.PartLabeler(r)
-				if metrics.PerPart == nil {
-					metrics.PerPart = make(map[string]int64)
-				}
-			}
-			for _, env := range deliver {
-				bits := int64(env.Payload.SizeBits())
-				if isByz(id) {
-					metrics.ByzMessages++
-					metrics.ByzBits += bits
-				} else {
-					metrics.Messages++
-					metrics.Bits += bits
-					metrics.PerRoundMessages[r]++
-					if roundLabel != "" {
-						metrics.PerPart[roundLabel]++
-					}
-				}
-				inboxes[env.To] = append(inboxes[env.To], env)
-			}
-		}
-		for _, id := range crashedNow {
-			crashed.Add(id)
-		}
-
-		// Deliver phase: fan out inboxes to alive nodes, collect
-		// halted flags.
-		delivered := make([]bool, n)
-		for id := 0; id < n; id++ {
-			if !alive(id) {
-				continue
-			}
-			inbox := inboxes[id]
-			sort.Slice(inbox, func(a, b int) bool { return inbox[a].From < inbox[b].From })
-			delivReqCh[id] <- deliverReq{round: r, inbox: inbox}
-			delivered[id] = true
-		}
-		for id := 0; id < n; id++ {
-			if delivered[id] {
-				resp := <-delivRespCh[id]
-				if resp.halted {
-					haltedAt[id] = r
-				}
-			}
-		}
-	}
-	if finished() {
-		metrics.Rounds = cfg.MaxRounds
-		return &Result{Metrics: metrics, Crashed: crashed, HaltedAt: haltedAt}, nil
-	}
-	return nil, fmt.Errorf("%w (MaxRounds=%d)", ErrNoTermination, cfg.MaxRounds)
+	return RunParallel(cfg, 0)
 }

@@ -1,0 +1,86 @@
+package sim
+
+// scratch is the engines' reusable per-round workspace: a CSR-style
+// (count-then-place) inbox builder that replaces the per-round
+// make([][]Envelope, n) allocation and per-envelope appends of the
+// original engine with two flat buffers that persist across rounds.
+//
+// The send phase stages every deliverable envelope into flat in sender
+// order while counting per-destination totals; place then prefix-sums
+// the counts into offsets and scatters flat into inbox, so each
+// destination's segment is contiguous. Because flat is filled in
+// increasing sender order and the scatter is stable, every segment is
+// already sorted by sender — the delivery-order guarantee of
+// Protocol.Deliver holds with no per-node sort.
+//
+// Inbox segments alias scratch memory that is overwritten next round;
+// the Protocol contract (see Deliver) forbids retaining them.
+type scratch struct {
+	n      int
+	flat   []Envelope // staged envelopes, in sender order
+	counts []int32    // per-destination counts; reused as scatter cursors
+	offs   []int32    // per-destination segment offsets, len n+1
+	inbox  []Envelope // placed envelopes, grouped by destination
+}
+
+func newScratch(n int) *scratch {
+	return &scratch{
+		n:      n,
+		counts: make([]int32, n),
+		offs:   make([]int32, n+1),
+	}
+}
+
+// beginRound resets the workspace, keeping capacity.
+func (s *scratch) beginRound() {
+	s.flat = s.flat[:0]
+	clear(s.counts)
+}
+
+// stage appends a sender's deliverable envelopes. count is false in the
+// single-port model, where flat feeds port deposits instead of the
+// counting sort.
+func (s *scratch) stage(deliver []Envelope, count bool) {
+	s.flat = append(s.flat, deliver...)
+	if count {
+		for i := range deliver {
+			s.counts[deliver[i].To]++
+		}
+	}
+}
+
+// place builds the per-destination inbox segments from the staged
+// envelopes. Allocation-free once the buffers have grown to the run's
+// peak message volume.
+func (s *scratch) place() {
+	off := int32(0)
+	for i, c := range s.counts {
+		s.offs[i] = off
+		off += c
+	}
+	s.offs[s.n] = off
+	if cap(s.inbox) < len(s.flat) {
+		s.inbox = make([]Envelope, len(s.flat))
+	} else {
+		s.inbox = s.inbox[:len(s.flat)]
+	}
+	// counts has served its purpose; reuse it as the scatter cursors.
+	cur := s.counts
+	copy(cur, s.offs[:s.n])
+	for i := range s.flat {
+		to := s.flat[i].To
+		s.inbox[cur[to]] = s.flat[i]
+		cur[to]++
+	}
+}
+
+// inboxOf returns the destination's inbox segment, nil when empty. The
+// capacity is clipped so a protocol appending to its inbox cannot
+// clobber a neighbour's segment.
+func (s *scratch) inboxOf(id NodeID) []Envelope {
+	lo, hi := s.offs[id], s.offs[id+1]
+	if lo == hi {
+		return nil
+	}
+	return s.inbox[lo:hi:hi]
+}

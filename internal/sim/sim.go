@@ -10,14 +10,18 @@
 //
 // The engine is deterministic: given the same protocols, adversary and
 // configuration it produces identical transcripts, which the tests use
-// to cross-validate the sequential engine against the concurrent
-// goroutine-based runtime in runtime.go.
+// to cross-validate the sequential engine against the sharded parallel
+// runtime in pool.go.
+//
+// The hot path is allocation-free in steady state: inboxes are built in
+// a reusable CSR-style workspace (scratch.go), single-port buffers are
+// index-addressed rings (ports.go), and the metrics arrays are sized up
+// front. See EXPERIMENTS.md for the benchmark harness that tracks this.
 package sim
 
 import (
 	"errors"
 	"fmt"
-	"sort"
 
 	"lineartime/internal/bitset"
 )
@@ -45,9 +49,13 @@ type Envelope struct {
 // alive and not halted.
 type Protocol interface {
 	// Send returns the messages the node transmits at the given round.
+	// The engine copies the envelopes before the node's next Send, so
+	// implementations may reuse the returned slice across rounds.
 	Send(round int) []Envelope
 	// Deliver hands the node all messages it receives in this round,
-	// sorted by sender for determinism.
+	// sorted by sender for determinism. The slice aliases engine
+	// scratch memory that is overwritten next round; implementations
+	// must not retain it.
 	Deliver(round int, inbox []Envelope)
 	// Halted reports whether the node has voluntarily halted. Halting
 	// is irrevocable; halted nodes neither send nor receive.
@@ -93,7 +101,8 @@ type Metrics struct {
 	ByzMessages int64
 	ByzBits     int64
 	// PerRoundMessages records non-faulty messages per round, for the
-	// per-part breakdowns in EXPERIMENTS.md.
+	// per-part breakdowns in EXPERIMENTS.md. Its length is the number
+	// of rounds executed so far.
 	PerRoundMessages []int64
 	// PerPart buckets non-faulty messages by the label returned by
 	// Config.PartLabeler, when one is installed. The paper's proofs
@@ -217,28 +226,38 @@ func newState(cfg Config) (*state, error) {
 	if adv == nil {
 		adv = NoFailures{}
 	}
-	isByz := func(id NodeID) bool { return cfg.Byzantine != nil && cfg.Byzantine.Contains(id) }
 
 	st := &state{
 		cfg:      cfg,
 		n:        n,
 		adv:      adv,
-		isByz:    isByz,
+		byz:      make([]bool, n),
 		crashed:  bitset.New(n),
 		haltedAt: make([]int, n),
+		scratch:  newScratch(n),
+	}
+	if cfg.Byzantine != nil {
+		for id := 0; id < n; id++ {
+			st.byz[id] = cfg.Byzantine.Contains(id)
+		}
 	}
 	for i := range st.haltedAt {
 		st.haltedAt[i] = -1
 	}
+	// Pre-size the per-round series to the round budget so the hot
+	// path indexes instead of growing (and the Stepper does not
+	// re-allocate every round); result() trims to the executed prefix.
+	st.metrics.PerRoundMessages = make([]int64, cfg.MaxRounds)
 	if cfg.SinglePort {
-		st.ports = make([]map[NodeID][]Envelope, n)
-		for i := range st.ports {
-			st.ports[i] = make(map[NodeID][]Envelope)
-		}
+		st.ports = make([]portSet, n)
+		st.spSlot = make([]Envelope, n)
+		st.pollers = make([]Poller, n)
 		for i, p := range cfg.Protocols {
-			if _, ok := p.(Poller); !ok {
+			poller, ok := p.(Poller)
+			if !ok {
 				return nil, fmt.Errorf("sim: single-port run requires Poller protocols; node %d is %T", i, p)
 			}
+			st.pollers[i] = poller
 		}
 	}
 	return st, nil
@@ -248,12 +267,28 @@ type state struct {
 	cfg      Config
 	n        int
 	adv      Adversary
-	isByz    func(NodeID) bool
+	byz      []bool
 	crashed  *bitset.Set
 	haltedAt []int
 	metrics  Metrics
-	// ports[to][from] is the single-port in-port buffer.
-	ports []map[NodeID][]Envelope
+	scratch  *scratch
+	// executed counts rounds run so far; PerRoundMessages is trimmed
+	// to this length in result().
+	executed int
+	// label caches the PartLabeler result for the current round;
+	// labelSet records whether it has been computed yet.
+	label    string
+	labelSet bool
+	// crashedNow is the reusable per-round crash list.
+	crashedNow []NodeID
+	// Single-port state: per-node in-port rings, per-node poll slot,
+	// and the pre-asserted Poller views of the protocols.
+	ports   []portSet
+	spSlot  []Envelope
+	pollers []Poller
+	// pool, when non-nil, shards the send and deliver phases across
+	// its workers (multi-port only; see pool.go).
+	pool *pool
 }
 
 func (s *state) alive(id NodeID) bool {
@@ -283,7 +318,7 @@ func (s *state) run() (*Result, error) {
 // could otherwise hold the run open forever.
 func (s *state) allDone() bool {
 	for id := 0; id < s.n; id++ {
-		if s.alive(id) && !s.isByz(id) {
+		if s.alive(id) && !s.byz[id] {
 			return false
 		}
 	}
@@ -291,14 +326,19 @@ func (s *state) allDone() bool {
 }
 
 func (s *state) round(r int) error {
-	// Send phase. Collect each alive node's outbox, apply the crash
-	// adversary, and count traffic.
-	inboxes := make([][]Envelope, s.n)
-	crashedThisRound := make([]NodeID, 0, 2)
-	var deposits [][]Envelope
-	if s.cfg.SinglePort {
-		deposits = make([][]Envelope, 0, s.n)
+	if s.pool != nil {
+		return s.roundParallel(r)
 	}
+	sc := s.scratch
+	sc.beginRound()
+	s.label, s.labelSet = "", false
+	single := s.cfg.SinglePort
+	obs := s.cfg.Observer
+
+	// Send phase. Collect each alive node's outbox, apply the crash
+	// adversary, count traffic, and stage the survivors' envelopes in
+	// sender order.
+	crashedNow := s.crashedNow[:0]
 	for id := 0; id < s.n; id++ {
 		if !s.alive(id) {
 			continue
@@ -309,75 +349,68 @@ func (s *state) round(r int) error {
 		}
 		deliver, crash := s.adv.FilterSend(r, id, out)
 		if crash {
-			crashedThisRound = append(crashedThisRound, id)
-			if s.cfg.Observer != nil {
-				s.cfg.Observer.OnCrash(r, id)
+			crashedNow = append(crashedNow, id)
+			if obs != nil {
+				obs.OnCrash(r, id)
 			}
 		}
 		s.count(r, id, deliver)
-		if s.cfg.Observer != nil {
+		if obs != nil {
 			for _, env := range deliver {
-				s.cfg.Observer.OnMessage(r, env)
+				obs.OnMessage(r, env)
 			}
 		}
-		if s.cfg.SinglePort {
-			deposits = append(deposits, deliver)
-		} else {
-			for _, env := range deliver {
-				inboxes[env.To] = append(inboxes[env.To], env)
-			}
-		}
+		sc.stage(deliver, !single)
 	}
-	for _, id := range crashedThisRound {
+	s.crashedNow = crashedNow
+	for _, id := range crashedNow {
 		s.crashed.Add(id)
 	}
 
-	if s.cfg.SinglePort {
-		// Deposit into port buffers, then each alive node polls one port.
-		for _, batch := range deposits {
-			for _, env := range batch {
-				if s.crashed.Contains(env.To) || s.haltedAt[env.To] >= 0 {
-					continue
-				}
-				s.ports[env.To][env.From] = append(s.ports[env.To][env.From], env)
-			}
-		}
-		for id := 0; id < s.n; id++ {
-			if !s.alive(id) {
+	if single {
+		// Deposit into the port rings; envelopes addressed to nodes
+		// that are already dead (including this round's crashes) are
+		// discarded.
+		for i := range sc.flat {
+			to := sc.flat[i].To
+			if s.crashed.Contains(to) || s.haltedAt[to] >= 0 {
 				continue
 			}
-			poller, ok := s.cfg.Protocols[id].(Poller)
-			if !ok {
-				return fmt.Errorf("sim: node %d lost Poller capability", id)
-			}
-			if from, wants := poller.Poll(r); wants {
-				if buf := s.ports[id][from]; len(buf) > 0 {
-					inboxes[id] = []Envelope{buf[0]}
-					if len(buf) == 1 {
-						delete(s.ports[id], from)
-					} else {
-						s.ports[id][from] = buf[1:]
-					}
-				}
-			}
+			s.ports[to].push(s.n, sc.flat[i])
 		}
+	} else {
+		sc.place()
 	}
 
-	// Deliver phase, in node order; inboxes sorted by sender.
+	// Deliver phase, in node order; inboxes are grouped and sorted by
+	// sender. In the single-port model each alive node first polls at
+	// most one in-port (polls only touch the node's own state, so
+	// fusing poll and deliver preserves the all-deposits-first
+	// semantics).
 	for id := 0; id < s.n; id++ {
 		if !s.alive(id) {
 			continue
 		}
-		inbox := inboxes[id]
-		sort.Slice(inbox, func(a, b int) bool { return inbox[a].From < inbox[b].From })
+		var inbox []Envelope
+		if single {
+			if from, wants := s.pollers[id].Poll(r); wants {
+				if env, ok := s.ports[id].pop(from); ok {
+					s.spSlot[id] = env
+					inbox = s.spSlot[id : id+1 : id+1]
+				}
+			}
+		} else {
+			inbox = sc.inboxOf(id)
+		}
 		s.cfg.Protocols[id].Deliver(r, inbox)
 		if s.cfg.Protocols[id].Halted() {
 			s.haltedAt[id] = r
-			if s.cfg.Observer != nil {
-				s.cfg.Observer.OnHalt(r, id)
+			if obs != nil {
+				obs.OnHalt(r, id)
 			}
 		}
 	}
+	s.executed++
 	return nil
 }
 
@@ -402,36 +435,43 @@ func (s *state) validateOutbox(id NodeID, out []Envelope) error {
 	return nil
 }
 
+// count tallies one sender's deliverable traffic. The per-envelope loop
+// is branch-free: the Byzantine split is hoisted per sender and the
+// part label is computed once per round.
 func (s *state) count(r int, from NodeID, deliver []Envelope) {
-	for len(s.metrics.PerRoundMessages) <= r {
-		s.metrics.PerRoundMessages = append(s.metrics.PerRoundMessages, 0)
+	if len(deliver) == 0 {
+		return
 	}
-	var label string
-	if s.cfg.PartLabeler != nil && len(deliver) > 0 {
-		label = s.cfg.PartLabeler(r)
+	if s.cfg.PartLabeler != nil && !s.labelSet {
+		s.label = s.cfg.PartLabeler(r)
+		s.labelSet = true
 		if s.metrics.PerPart == nil {
 			s.metrics.PerPart = make(map[string]int64)
 		}
 	}
-	for _, env := range deliver {
-		bits := int64(env.Payload.SizeBits())
-		if s.isByz(from) {
-			s.metrics.ByzMessages++
-			s.metrics.ByzBits += bits
-		} else {
-			s.metrics.Messages++
-			s.metrics.Bits += bits
-			s.metrics.PerRoundMessages[r]++
-			if label != "" {
-				s.metrics.PerPart[label]++
-			}
-		}
+	var bits int64
+	for i := range deliver {
+		bits += int64(sizeBits(deliver[i].Payload))
+	}
+	msgs := int64(len(deliver))
+	if s.byz[from] {
+		s.metrics.ByzMessages += msgs
+		s.metrics.ByzBits += bits
+		return
+	}
+	s.metrics.Messages += msgs
+	s.metrics.Bits += bits
+	s.metrics.PerRoundMessages[r] += msgs
+	if s.label != "" {
+		s.metrics.PerPart[s.label] += msgs
 	}
 }
 
 func (s *state) result() *Result {
+	m := s.metrics
+	m.PerRoundMessages = m.PerRoundMessages[:s.executed]
 	return &Result{
-		Metrics:  s.metrics,
+		Metrics:  m,
 		Crashed:  s.crashed,
 		HaltedAt: s.haltedAt,
 	}
