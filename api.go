@@ -8,21 +8,18 @@
 // paper compares against and a deterministic simulator to run them.
 //
 // The package exposes one entry point per problem; everything is
-// deterministic given the seed option.
+// deterministic given the seed option. Each entry point is a thin
+// adapter over internal/scenario: options become a scenario.Spec, the
+// generic scenario runner materializes and executes it, and the
+// unified scenario report is repackaged into the problem-specific
+// report types below.
 package lineartime
 
 import (
-	"errors"
 	"fmt"
+	"strings"
 
-	"lineartime/internal/bitset"
-	"lineartime/internal/byzantine"
-	"lineartime/internal/checkpoint"
-	"lineartime/internal/consensus"
-	"lineartime/internal/crash"
-	"lineartime/internal/gossip"
-	"lineartime/internal/sim"
-	"lineartime/internal/singleport"
+	"lineartime/internal/scenario"
 )
 
 // Algorithm selects the consensus implementation.
@@ -49,6 +46,18 @@ const (
 	// t+1 rounds, Θ(t·n) messages.
 	CoordinatorBaseline
 )
+
+// scenarioName maps the algorithm to its registry scenario name; the
+// String values double as the registry's algorithm segment.
+func (a Algorithm) scenarioName() (string, bool) {
+	switch a {
+	case FewCrashes, ManyCrashes, FloodingBaseline, SinglePortLinear,
+		EarlyStoppingBaseline, CoordinatorBaseline:
+		return "consensus/" + a.String(), true
+	default:
+		return "", false
+	}
+}
 
 // String implements fmt.Stringer.
 func (a Algorithm) String() string {
@@ -92,6 +101,17 @@ const (
 	// Spam: corrupted nodes flood fabricated sets and inquiries.
 	Spam
 )
+
+func (s ByzantineStrategy) scenarioStrategy() scenario.ByzantineStrategy {
+	switch s {
+	case Equivocate:
+		return scenario.Equivocate
+	case Spam:
+		return scenario.Spam
+	default:
+		return scenario.Silence
+	}
+}
 
 type options struct {
 	seed          uint64
@@ -162,22 +182,34 @@ func buildOptions(opts []Option) options {
 	return o
 }
 
-func (o *options) adversary(n, t int) sim.Adversary {
+// faultModel converts the crash options into the scenario fault model
+// (the single adversary factory lives in internal/scenario).
+func (o *options) faultModel() scenario.FaultModel {
 	if len(o.crashes) > 0 {
-		events := make([]crash.Event, len(o.crashes))
+		events := make([]scenario.CrashEvent, len(o.crashes))
 		for i, e := range o.crashes {
-			events[i] = crash.Event{Node: e.Node, Round: e.Round, Keep: e.Keep}
+			events[i] = scenario.CrashEvent{Node: e.Node, Round: e.Round, Keep: e.Keep}
 		}
-		return crash.NewSchedule(events)
+		return scenario.FaultModel{Kind: scenario.CrashSchedule, Schedule: events}
 	}
 	if o.randomCrashes > 0 {
-		f := o.randomCrashes
-		if f > t {
-			f = t
+		return scenario.FaultModel{
+			Kind:    scenario.RandomCrashes,
+			Count:   o.randomCrashes,
+			Horizon: o.crashHorizon,
 		}
-		return crash.NewRandom(n, f, o.crashHorizon, o.seed+101)
 	}
-	return nil
+	return scenario.FaultModel{}
+}
+
+// spec materializes the registry scenario named name at size (n, t)
+// with the run options applied.
+func (o *options) spec(name string, n, t int) scenario.Spec {
+	sp := scenario.MustLookup(name).Spec(n, t, o.seed)
+	sp.Degree = o.degree
+	sp.Fault = o.faultModel()
+	sp.Exec = scenario.Parallelism{Enabled: o.concurrent, Workers: o.parallelism}
+	return sp
 }
 
 // Metrics reports the paper's two performance measures for a run.
@@ -188,28 +220,34 @@ type Metrics struct {
 	ByzMessages int64
 	// PerPart breaks the non-faulty message count down by algorithm
 	// part (e.g. "aea/flood", "scv/inquiry") when the protocol
-	// exposes its schedule; nil otherwise.
+	// exposes its round schedule via a PartAt(round int) string
+	// method (the scenario runner installs it on the engine); nil
+	// otherwise.
 	PerPart map[string]int64
 }
 
-// PartLabeler is implemented by protocols that can attribute rounds to
-// the paper's algorithm parts; runs install it on the engine so
-// reports can break messages down per part.
-type PartLabeler interface {
-	PartAt(round int) string
-}
-
-// partLabelerOf returns the schedule labeler shared by a run's
-// protocols, if they provide one (schedules are identical across
-// nodes, so the first protocol's labeler covers the system).
-func partLabelerOf(ps []sim.Protocol) func(int) string {
-	if len(ps) == 0 {
+// apiErr rebrands scenario-layer errors with the public package
+// prefix so the internal layering does not leak through the API
+// surface; errors from deeper packages pass through unchanged, as
+// they always have.
+func apiErr(err error) error {
+	if err == nil {
 		return nil
 	}
-	if pl, ok := ps[0].(PartLabeler); ok {
-		return pl.PartAt
+	if rest, ok := strings.CutPrefix(err.Error(), "scenario: "); ok {
+		return fmt.Errorf("lineartime: %s", rest)
 	}
-	return nil
+	return err
+}
+
+func toMetrics(m scenario.Metrics) Metrics {
+	return Metrics{
+		Rounds:      m.Rounds,
+		Messages:    m.Messages,
+		Bits:        m.Bits,
+		ByzMessages: m.ByzMessages,
+		PerPart:     m.PerPart,
+	}
 }
 
 // ConsensusReport is the outcome of RunConsensus.
@@ -234,150 +272,26 @@ func RunConsensus(n, t int, inputs []bool, opts ...Option) (*ConsensusReport, er
 		return nil, fmt.Errorf("lineartime: %d inputs for n=%d", len(inputs), n)
 	}
 	o := buildOptions(opts)
-
-	type decider interface {
-		Decision() (bool, bool)
-	}
-	ps := make([]sim.Protocol, n)
-	ds := make([]decider, n)
-	var schedule int
-	singlePort := false
-
-	switch o.algorithm {
-	case FewCrashes:
-		top, err := consensus.NewTopology(n, t, consensus.TopologyOptions{Seed: o.seed, Degree: o.degree})
-		if err != nil {
-			return nil, err
-		}
-		for i := 0; i < n; i++ {
-			m := consensus.NewFewCrashes(i, top, inputs[i])
-			ps[i], ds[i] = m, m
-			schedule = m.ScheduleLength()
-		}
-	case ManyCrashes:
-		top, err := consensus.NewManyTopology(n, t, consensus.TopologyOptions{Seed: o.seed, Degree: o.degree})
-		if err != nil {
-			return nil, err
-		}
-		for i := 0; i < n; i++ {
-			m := consensus.NewManyCrashes(i, top, inputs[i])
-			ps[i], ds[i] = m, m
-			schedule = m.ScheduleLength()
-		}
-	case FloodingBaseline:
-		for i := 0; i < n; i++ {
-			m := consensus.NewFlooding(i, n, t, inputs[i])
-			ps[i], ds[i] = m, m
-			schedule = m.ScheduleLength()
-		}
-	case SinglePortLinear:
-		top, err := consensus.NewTopology(n, t, consensus.TopologyOptions{Seed: o.seed, Degree: o.degree})
-		if err != nil {
-			return nil, err
-		}
-		for i := 0; i < n; i++ {
-			m := singleport.New(i, top, inputs[i])
-			ps[i], ds[i] = m, m
-			schedule = m.ScheduleLength()
-		}
-		singlePort = true
-	case EarlyStoppingBaseline:
-		for i := 0; i < n; i++ {
-			m := consensus.NewEarlyStopping(i, n, t, inputs[i])
-			ps[i], ds[i] = m, m
-			schedule = m.MaxRounds()
-		}
-	case CoordinatorBaseline:
-		for i := 0; i < n; i++ {
-			m := consensus.NewRotatingCoordinator(i, n, t, inputs[i])
-			ps[i], ds[i] = m, m
-			schedule = m.ScheduleLength()
-		}
-	default:
+	name, ok := o.algorithm.scenarioName()
+	if !ok {
 		return nil, fmt.Errorf("lineartime: unknown algorithm %v", o.algorithm)
 	}
-
-	res, err := runEngine(o, sim.Config{
-		Protocols:   ps,
-		PartLabeler: partLabelerOf(ps),
-		Adversary:   o.adversary(n, t),
-		MaxRounds:   schedule + 8,
-		SinglePort:  singlePort,
-	})
+	sp := o.spec(name, n, t)
+	sp.BoolInputs = inputs
+	rep, err := scenario.Run(sp)
 	if err != nil {
-		return nil, err
+		return nil, apiErr(err)
 	}
-
-	report := &ConsensusReport{
+	return &ConsensusReport{
 		Algorithm: o.algorithm,
 		N:         n,
 		T:         t,
-		Metrics:   toMetrics(res),
-		Decisions: make([]int, n),
-		Crashed:   res.Crashed.Elements(),
-		Agreement: true,
-		Validity:  true,
-	}
-	any0, any1 := false, false
-	for _, in := range inputs {
-		if in {
-			any1 = true
-		} else {
-			any0 = true
-		}
-	}
-	first := -1
-	for i := 0; i < n; i++ {
-		report.Decisions[i] = -1
-		if res.Crashed.Contains(i) {
-			continue
-		}
-		v, ok := ds[i].Decision()
-		if !ok {
-			report.Agreement = false
-			continue
-		}
-		d := 0
-		if v {
-			d = 1
-		}
-		report.Decisions[i] = d
-		if first < 0 {
-			first = d
-		} else if first != d {
-			report.Agreement = false
-		}
-		if (d == 1 && !any1) || (d == 0 && !any0) {
-			report.Validity = false
-		}
-	}
-	return report, nil
-}
-
-func runEngine(o options, cfg sim.Config) (*sim.Result, error) {
-	if o.concurrent {
-		if cfg.SinglePort {
-			return nil, errors.New("lineartime: concurrent runtime is multi-port only")
-		}
-		return sim.RunParallel(cfg, o.parallelism)
-	}
-	return sim.Run(cfg)
-}
-
-func toMetrics(res *sim.Result) Metrics {
-	m := Metrics{
-		Rounds:      res.Metrics.Rounds,
-		Messages:    res.Metrics.Messages,
-		Bits:        res.Metrics.Bits,
-		ByzMessages: res.Metrics.ByzMessages,
-	}
-	if len(res.Metrics.PerPart) > 0 {
-		m.PerPart = make(map[string]int64, len(res.Metrics.PerPart))
-		for k, v := range res.Metrics.PerPart {
-			m.PerPart[k] = v
-		}
-	}
-	return m
+		Metrics:   toMetrics(rep.Metrics),
+		Decisions: rep.Consensus.Decisions,
+		Crashed:   rep.Crashed,
+		Agreement: rep.Consensus.Agreement,
+		Validity:  rep.Consensus.Validity,
+	}, nil
 }
 
 // GossipReport is the outcome of RunGossip.
@@ -391,7 +305,6 @@ type GossipReport struct {
 	// Complete reports whether every surviving node's extant set
 	// contains every surviving node's rumor.
 	Complete bool
-	// Baseline selects all-to-all gossip instead of the §5 algorithm.
 }
 
 // RunGossip solves gossiping among n nodes with fault bound t < n/5.
@@ -402,79 +315,27 @@ func RunGossip(n, t int, rumors []uint64, baseline bool, opts ...Option) (*Gossi
 		return nil, fmt.Errorf("lineartime: %d rumors for n=%d", len(rumors), n)
 	}
 	o := buildOptions(opts)
-	ps := make([]sim.Protocol, n)
-	extants := make([]func() *gossip.ExtantSet, n)
-	var schedule int
+	name := "gossip/expander"
 	switch {
 	case baseline:
-		for i := 0; i < n; i++ {
-			m := gossip.NewAllToAll(i, n, gossip.Rumor(rumors[i]))
-			ps[i] = m
-			extants[i] = m.Extant
-			schedule = m.ScheduleLength()
-		}
+		name = "gossip/all-to-all"
 	case o.singlePort:
-		top, err := consensus.NewTopology(n, t, consensus.TopologyOptions{Seed: o.seed, Degree: o.degree})
-		if err != nil {
-			return nil, err
-		}
-		sched, err := singleport.NewGossipSchedule(top, o.seed)
-		if err != nil {
-			return nil, err
-		}
-		for i := 0; i < n; i++ {
-			m := singleport.NewSPGossip(i, sched, gossip.Rumor(rumors[i]))
-			ps[i] = m
-			extants[i] = m.Extant
-			schedule = m.ScheduleLength()
-		}
-	default:
-		top, err := consensus.NewTopology(n, t, consensus.TopologyOptions{Seed: o.seed, Degree: o.degree})
-		if err != nil {
-			return nil, err
-		}
-		for i := 0; i < n; i++ {
-			m := gossip.New(i, top, gossip.Rumor(rumors[i]))
-			ps[i] = m
-			extants[i] = m.Extant
-			schedule = m.ScheduleLength()
-		}
+		name = "gossip/expander/single-port"
 	}
-	res, err := runEngine(o, sim.Config{
-		Protocols:   ps,
-		PartLabeler: partLabelerOf(ps),
-		Adversary:   o.adversary(n, t),
-		MaxRounds:   schedule + 8,
-		SinglePort:  o.singlePort && !baseline,
-	})
+	sp := o.spec(name, n, t)
+	sp.Rumors = rumors
+	rep, err := scenario.Run(sp)
 	if err != nil {
-		return nil, err
+		return nil, apiErr(err)
 	}
-	report := &GossipReport{
+	return &GossipReport{
 		N:        n,
 		T:        t,
-		Metrics:  toMetrics(res),
-		Crashed:  res.Crashed.Elements(),
-		Extant:   make([]map[int]uint64, n),
-		Complete: true,
-	}
-	for i := 0; i < n; i++ {
-		if res.Crashed.Contains(i) {
-			continue
-		}
-		e := extants[i]()
-		view := make(map[int]uint64, e.Count())
-		e.Known().ForEach(func(j int) { view[j] = uint64(e.Rumor(j)) })
-		report.Extant[i] = view
-		for j := 0; j < n; j++ {
-			if !res.Crashed.Contains(j) {
-				if _, ok := view[j]; !ok {
-					report.Complete = false
-				}
-			}
-		}
-	}
-	return report, nil
+		Metrics:  toMetrics(rep.Metrics),
+		Crashed:  rep.Crashed,
+		Extant:   rep.Gossip.Extant,
+		Complete: rep.Gossip.Complete,
+	}, nil
 }
 
 // CheckpointReport is the outcome of RunCheckpointing.
@@ -495,82 +356,27 @@ type CheckpointReport struct {
 // runs instead of the §6 algorithm.
 func RunCheckpointing(n, t int, baseline bool, opts ...Option) (*CheckpointReport, error) {
 	o := buildOptions(opts)
-	ps := make([]sim.Protocol, n)
-	outs := make([]func() (*bitset.Set, bool), n)
-	var schedule int
+	name := "checkpoint/expander"
 	switch {
 	case baseline:
-		for i := 0; i < n; i++ {
-			m := checkpoint.NewDirect(i, n, t)
-			ps[i] = m
-			outs[i] = m.Decision
-			schedule = m.ScheduleLength()
-		}
+		name = "checkpoint/direct"
 	case o.singlePort:
-		top, err := consensus.NewTopology(n, t, consensus.TopologyOptions{Seed: o.seed, Degree: o.degree})
-		if err != nil {
-			return nil, err
-		}
-		sched, err := singleport.NewGossipSchedule(top, o.seed)
-		if err != nil {
-			return nil, err
-		}
-		for i := 0; i < n; i++ {
-			m := singleport.NewSPCheckpointing(i, sched)
-			ps[i] = m
-			outs[i] = m.Decision
-			schedule = m.ScheduleLength()
-		}
-	default:
-		top, err := consensus.NewTopology(n, t, consensus.TopologyOptions{Seed: o.seed, Degree: o.degree})
-		if err != nil {
-			return nil, err
-		}
-		for i := 0; i < n; i++ {
-			m := checkpoint.New(i, top)
-			ps[i] = m
-			outs[i] = m.Decision
-			schedule = m.ScheduleLength()
-		}
+		name = "checkpoint/expander/single-port"
 	}
-	res, err := runEngine(o, sim.Config{
-		Protocols:   ps,
-		PartLabeler: partLabelerOf(ps),
-		Adversary:   o.adversary(n, t),
-		MaxRounds:   schedule + 8,
-		SinglePort:  o.singlePort && !baseline,
-	})
+	sp := o.spec(name, n, t)
+	rep, err := scenario.Run(sp)
 	if err != nil {
-		return nil, err
+		return nil, apiErr(err)
 	}
-	report := &CheckpointReport{
+	return &CheckpointReport{
 		N:         n,
 		T:         t,
-		Metrics:   toMetrics(res),
-		Crashed:   res.Crashed.Elements(),
-		Agreement: true,
+		Metrics:   toMetrics(rep.Metrics),
+		Crashed:   rep.Crashed,
+		ExtantSet: rep.Checkpoint.ExtantSet,
+		Agreement: rep.Checkpoint.Agreement,
 		Baseline:  baseline,
-	}
-	var agreed *bitset.Set
-	for i := 0; i < n; i++ {
-		if res.Crashed.Contains(i) {
-			continue
-		}
-		set, ok := outs[i]()
-		if !ok {
-			report.Agreement = false
-			continue
-		}
-		if agreed == nil {
-			agreed = set
-		} else if !agreed.Equal(set) {
-			report.Agreement = false
-		}
-	}
-	if agreed != nil && report.Agreement {
-		report.ExtantSet = agreed.Elements()
-	}
-	return report, nil
+	}, nil
 }
 
 // ByzantineReport is the outcome of RunByzantineConsensus.
@@ -597,87 +403,30 @@ func RunByzantineConsensus(n, t int, inputs []uint64, baseline bool, opts ...Opt
 		return nil, fmt.Errorf("lineartime: %d inputs for n=%d", len(inputs), n)
 	}
 	o := buildOptions(opts)
-	cfg, err := byzantine.NewConfig(n, t, o.seed)
+	name := "byzantine/ab-consensus"
+	if baseline {
+		name = "byzantine/dolev-strong-all"
+	}
+	sp := o.spec(name, n, t)
+	sp.Values = inputs
+	sp.Fault = scenario.FaultModel{
+		Kind:      scenario.ByzantineFaults,
+		Strategy:  o.byzStrategy.scenarioStrategy(),
+		Corrupted: o.byzNodes,
+	}
+	rep, err := scenario.Run(sp)
 	if err != nil {
-		return nil, err
+		return nil, apiErr(err)
 	}
-	if len(o.byzNodes) > t {
-		return nil, fmt.Errorf("lineartime: %d corrupted nodes exceed t=%d", len(o.byzNodes), t)
-	}
-
-	corrupted := make(map[int]bool, len(o.byzNodes))
-	for _, id := range o.byzNodes {
-		if id < 0 || id >= n {
-			return nil, fmt.Errorf("lineartime: corrupted node %d out of range", id)
-		}
-		corrupted[id] = true
-	}
-
-	ps := make([]sim.Protocol, n)
-	type decider interface {
-		Decision() (uint64, bool)
-	}
-	ds := make([]decider, n)
-	byz := bitset.New(n)
-	for i := 0; i < n; i++ {
-		if corrupted[i] {
-			byz.Add(i)
-			switch o.byzStrategy {
-			case Equivocate:
-				ps[i] = byzantine.NewEquivocator(i, cfg, cfg.Authority.Signer(i), inputs[i], inputs[i]+1)
-			case Spam:
-				ps[i] = byzantine.NewSpammer(i, cfg, cfg.Authority.Signer(i))
-			default:
-				ps[i] = byzantine.NewSilent(cfg)
-			}
-			continue
-		}
-		if baseline {
-			m := byzantine.NewDSAll(i, cfg, cfg.Authority.Signer(i), inputs[i])
-			ps[i], ds[i] = m, m
-		} else {
-			m := byzantine.NewABConsensus(i, cfg, cfg.Authority.Signer(i), inputs[i])
-			ps[i], ds[i] = m, m
-		}
-	}
-	maxRounds := cfg.ScheduleLength() + 8
-	res, err := sim.Run(sim.Config{
-		Protocols:   ps,
-		PartLabeler: partLabelerOf(ps),
-		Byzantine:   byz,
-		MaxRounds:   maxRounds,
-	})
-	if err != nil {
-		return nil, err
-	}
-	report := &ByzantineReport{
+	return &ByzantineReport{
 		N:         n,
 		T:         t,
-		L:         cfg.L,
-		Metrics:   toMetrics(res),
-		Decisions: make([]uint64, n),
-		Decided:   make([]bool, n),
+		L:         rep.Byzantine.L,
+		Metrics:   toMetrics(rep.Metrics),
+		Decisions: rep.Byzantine.Decisions,
+		Decided:   rep.Byzantine.Decided,
 		Corrupted: append([]int(nil), o.byzNodes...),
-		Agreement: true,
+		Agreement: rep.Byzantine.Agreement,
 		Baseline:  baseline,
-	}
-	var agreed *uint64
-	for i := 0; i < n; i++ {
-		if ds[i] == nil {
-			continue
-		}
-		v, ok := ds[i].Decision()
-		if !ok {
-			report.Agreement = false
-			continue
-		}
-		report.Decisions[i] = v
-		report.Decided[i] = true
-		if agreed == nil {
-			agreed = &v
-		} else if *agreed != v {
-			report.Agreement = false
-		}
-	}
-	return report, nil
+	}, nil
 }

@@ -21,6 +21,7 @@ import (
 	"testing"
 	"time"
 
+	"lineartime/internal/scenario"
 	"lineartime/internal/sim"
 )
 
@@ -82,12 +83,11 @@ func measure(engine string, n, fanout, horizon, workers int) (benchPoint, error)
 			for _, bc := range bs {
 				bc.rounds = 0
 			}
-			var err error
+			exec := scenario.Serial
 			if engine == "parallel" {
-				_, err = sim.RunParallel(cfg, workers)
-			} else {
-				_, err = sim.Run(cfg)
+				exec = scenario.Parallel(workers)
 			}
+			_, err := scenario.Execute(cfg, exec)
 			if err != nil {
 				runErr = err
 				b.FailNow()
@@ -121,7 +121,7 @@ func maxFeasibleN(fanout int, budget time.Duration, capN int) (int, float64) {
 	for n := 1024; n <= capN; n *= 2 {
 		cfg, _ := buildSystem(n, fanout, horizon)
 		start := time.Now()
-		if _, err := sim.Run(cfg); err != nil {
+		if _, err := scenario.Execute(cfg, scenario.Serial); err != nil {
 			break
 		}
 		perRound := time.Since(start) / horizon

@@ -1,6 +1,8 @@
-// Command linearsim runs any algorithm of the library on a simulated
-// synchronous network and prints the paper's two performance metrics
-// (rounds, communication) together with the correctness verdicts.
+// Command linearsim runs any registered scenario of the library on a
+// simulated synchronous network and prints the paper's two performance
+// metrics (rounds, communication) together with the correctness
+// verdicts. The -problem/-algo flags resolve to a scenario registry
+// name (internal/scenario); -list enumerates the registry.
 //
 // Examples:
 //
@@ -9,6 +11,7 @@
 //	linearsim -problem gossip -n 150 -t 30
 //	linearsim -problem checkpoint -n 150 -t 30 -baseline
 //	linearsim -problem byzantine -n 100 -t 10 -byz equivocate -byzcount 10
+//	linearsim -list
 package main
 
 import (
@@ -17,7 +20,7 @@ import (
 	"os"
 	"sort"
 
-	"lineartime"
+	"lineartime/internal/scenario"
 )
 
 func main() {
@@ -42,124 +45,134 @@ func run(args []string) error {
 		byzCount = fs.Int("byzcount", 0, "number of corrupted nodes (byzantine problem)")
 		ones     = fs.Int("ones", -1, "consensus: number of nodes with input 1 (-1 = every third)")
 		trace    = fs.Bool("trace", false, "print a transcript summary (few-crashes consensus only)")
+		list     = fs.Bool("list", false, "list the registered scenarios and exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *list {
+		return listScenarios()
 	}
 	if *trace {
 		return runTraced(*n, *t, *seed, *crashes, *horizon)
 	}
 
-	opts := []lineartime.Option{lineartime.WithSeed(*seed)}
+	fault := scenario.FaultModel{}
 	if *crashes > 0 {
-		opts = append(opts, lineartime.WithRandomCrashes(*crashes, *horizon))
+		fault = scenario.FaultModel{Kind: scenario.RandomCrashes, Count: *crashes, Horizon: *horizon}
 	}
 
 	switch *problem {
 	case "consensus":
-		return runConsensus(*algo, *n, *t, *ones, *baseline, opts)
+		return runConsensus(*algo, *n, *t, *ones, *baseline, *seed, fault)
 	case "gossip":
-		return runGossip(*n, *t, *baseline, opts)
+		return runGossip(*n, *t, *baseline, *seed, fault)
 	case "checkpoint":
-		return runCheckpoint(*n, *t, *baseline, opts)
+		return runCheckpoint(*n, *t, *baseline, *seed, fault)
 	case "byzantine":
-		return runByzantine(*n, *t, *byz, *byzCount, *baseline, opts)
+		return runByzantine(*n, *t, *byz, *byzCount, *baseline, *seed)
 	default:
 		return fmt.Errorf("unknown problem %q", *problem)
 	}
 }
 
-func algorithmFromName(name string, baseline bool) (lineartime.Algorithm, error) {
+// listScenarios prints the registry.
+func listScenarios() error {
+	for _, name := range scenario.Names() {
+		d := scenario.MustLookup(name)
+		fmt.Printf("%-34s %s\n", d.Name, d.About)
+	}
+	return nil
+}
+
+// scenarioForAlgorithm resolves the -algo flag to a registry name.
+func scenarioForAlgorithm(name string, baseline bool) (scenario.Definition, error) {
 	if baseline {
-		return lineartime.FloodingBaseline, nil
+		return scenario.MustLookup("consensus/flooding"), nil
 	}
 	switch name {
-	case "few-crashes":
-		return lineartime.FewCrashes, nil
-	case "many-crashes":
-		return lineartime.ManyCrashes, nil
-	case "flooding":
-		return lineartime.FloodingBaseline, nil
-	case "single-port":
-		return lineartime.SinglePortLinear, nil
-	case "early-stopping":
-		return lineartime.EarlyStoppingBaseline, nil
-	case "rotating-coordinator":
-		return lineartime.CoordinatorBaseline, nil
+	case "few-crashes", "many-crashes", "flooding", "single-port", "early-stopping", "rotating-coordinator":
+		return scenario.MustLookup("consensus/" + name), nil
 	default:
-		return 0, fmt.Errorf("unknown algorithm %q", name)
+		return scenario.Definition{}, fmt.Errorf("unknown algorithm %q", name)
 	}
 }
 
-func runConsensus(algoName string, n, t, ones int, baseline bool, opts []lineartime.Option) error {
-	algo, err := algorithmFromName(algoName, baseline)
+func runConsensus(algoName string, n, t, ones int, baseline bool, seed uint64, fault scenario.FaultModel) error {
+	def, err := scenarioForAlgorithm(algoName, baseline)
 	if err != nil {
 		return err
 	}
-	inputs := make([]bool, n)
-	for i := range inputs {
-		if ones < 0 {
-			inputs[i] = i%3 == 0
-		} else {
+	sp := def.Spec(n, t, seed)
+	sp.Fault = fault
+	if ones >= 0 {
+		inputs := make([]bool, n)
+		for i := range inputs {
 			inputs[i] = i < ones
 		}
+		sp.BoolInputs = inputs
 	}
-	r, err := lineartime.RunConsensus(n, t, inputs, append(opts, lineartime.WithAlgorithm(algo))...)
+	r, err := scenario.Run(sp)
 	if err != nil {
 		return err
 	}
 	fmt.Printf("consensus  algo=%-12s n=%d t=%d\n", r.Algorithm, r.N, r.T)
 	printMetrics(r.Metrics)
 	fmt.Printf("crashed:   %d nodes\n", len(r.Crashed))
-	fmt.Printf("agreement: %v   validity: %v\n", r.Agreement, r.Validity)
+	fmt.Printf("agreement: %v   validity: %v\n", r.Consensus.Agreement, r.Consensus.Validity)
 	return nil
 }
 
-func runGossip(n, t int, baseline bool, opts []lineartime.Option) error {
+func runGossip(n, t int, baseline bool, seed uint64, fault scenario.FaultModel) error {
+	name, kind := "gossip/expander", "gossip(§5)"
+	if baseline {
+		name, kind = "gossip/all-to-all", "gossip(all-to-all)"
+	}
+	sp := scenario.MustLookup(name).Spec(n, t, seed)
+	sp.Fault = fault
 	rumors := make([]uint64, n)
 	for i := range rumors {
 		rumors[i] = uint64(1000 + i)
 	}
-	r, err := lineartime.RunGossip(n, t, rumors, baseline, opts...)
+	sp.Rumors = rumors
+	r, err := scenario.Run(sp)
 	if err != nil {
 		return err
-	}
-	kind := "gossip(§5)"
-	if baseline {
-		kind = "gossip(all-to-all)"
 	}
 	fmt.Printf("%-10s n=%d t=%d\n", kind, r.N, r.T)
 	printMetrics(r.Metrics)
 	fmt.Printf("crashed:   %d nodes\n", len(r.Crashed))
-	fmt.Printf("complete:  %v\n", r.Complete)
+	fmt.Printf("complete:  %v\n", r.Gossip.Complete)
 	return nil
 }
 
-func runCheckpoint(n, t int, baseline bool, opts []lineartime.Option) error {
-	r, err := lineartime.RunCheckpointing(n, t, baseline, opts...)
+func runCheckpoint(n, t int, baseline bool, seed uint64, fault scenario.FaultModel) error {
+	name, kind := "checkpoint/expander", "checkpoint(§6)"
+	if baseline {
+		name, kind = "checkpoint/direct", "checkpoint(direct)"
+	}
+	sp := scenario.MustLookup(name).Spec(n, t, seed)
+	sp.Fault = fault
+	r, err := scenario.Run(sp)
 	if err != nil {
 		return err
-	}
-	kind := "checkpoint(§6)"
-	if baseline {
-		kind = "checkpoint(direct)"
 	}
 	fmt.Printf("%-10s n=%d t=%d\n", kind, r.N, r.T)
 	printMetrics(r.Metrics)
 	fmt.Printf("crashed:   %d nodes\n", len(r.Crashed))
-	fmt.Printf("agreement: %v   extant set size: %d\n", r.Agreement, len(r.ExtantSet))
+	fmt.Printf("agreement: %v   extant set size: %d\n", r.Checkpoint.Agreement, len(r.Checkpoint.ExtantSet))
 	return nil
 }
 
-func runByzantine(n, t int, strategy string, count int, baseline bool, opts []lineartime.Option) error {
-	var strat lineartime.ByzantineStrategy
+func runByzantine(n, t int, strategy string, count int, baseline bool, seed uint64) error {
+	var strat scenario.ByzantineStrategy
 	switch strategy {
 	case "silence":
-		strat = lineartime.Silence
+		strat = scenario.Silence
 	case "equivocate":
-		strat = lineartime.Equivocate
+		strat = scenario.Equivocate
 	case "spam":
-		strat = lineartime.Spam
+		strat = scenario.Spam
 	default:
 		return fmt.Errorf("unknown byzantine strategy %q", strategy)
 	}
@@ -170,28 +183,30 @@ func runByzantine(n, t int, strategy string, count int, baseline bool, opts []li
 	for i := 0; i < count; i++ {
 		corrupted = append(corrupted, i)
 	}
+	name, kind := "byzantine/ab-consensus", "ab-consensus(§7)"
+	if baseline {
+		name, kind = "byzantine/dolev-strong-all", "dolev-strong-all"
+	}
+	sp := scenario.MustLookup(name).Spec(n, t, seed)
 	inputs := make([]uint64, n)
 	for i := range inputs {
 		inputs[i] = uint64(100 + i)
 	}
+	sp.Values = inputs
 	if count > 0 {
-		opts = append(opts, lineartime.WithByzantine(strat, corrupted...))
+		sp.Fault = scenario.FaultModel{Kind: scenario.ByzantineFaults, Strategy: strat, Corrupted: corrupted}
 	}
-	r, err := lineartime.RunByzantineConsensus(n, t, inputs, baseline, opts...)
+	r, err := scenario.Run(sp)
 	if err != nil {
 		return err
 	}
-	kind := "ab-consensus(§7)"
-	if baseline {
-		kind = "dolev-strong-all"
-	}
-	fmt.Printf("%-10s n=%d t=%d little=%d corrupted=%d (%s)\n", kind, r.N, r.T, r.L, count, strategy)
+	fmt.Printf("%-10s n=%d t=%d little=%d corrupted=%d (%s)\n", kind, r.N, r.T, r.Byzantine.L, count, strategy)
 	printMetrics(r.Metrics)
-	fmt.Printf("agreement: %v   byz messages: %d\n", r.Agreement, r.Metrics.ByzMessages)
+	fmt.Printf("agreement: %v   byz messages: %d\n", r.Byzantine.Agreement, r.Metrics.ByzMessages)
 	return nil
 }
 
-func printMetrics(m lineartime.Metrics) {
+func printMetrics(m scenario.Metrics) {
 	fmt.Printf("rounds:    %d\n", m.Rounds)
 	fmt.Printf("messages:  %d (non-faulty)\n", m.Messages)
 	fmt.Printf("bits:      %d\n", m.Bits)

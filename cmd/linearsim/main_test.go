@@ -48,14 +48,20 @@ func TestRunErrors(t *testing.T) {
 	}
 }
 
-func TestAlgorithmFromName(t *testing.T) {
+func TestScenarioForAlgorithm(t *testing.T) {
 	for _, name := range []string{"few-crashes", "many-crashes", "flooding", "single-port"} {
-		if _, err := algorithmFromName(name, false); err != nil {
-			t.Errorf("algorithmFromName(%q): %v", name, err)
+		if _, err := scenarioForAlgorithm(name, false); err != nil {
+			t.Errorf("scenarioForAlgorithm(%q): %v", name, err)
 		}
 	}
-	if a, err := algorithmFromName("anything", true); err != nil || a.String() != "flooding" {
-		t.Errorf("baseline override broken: %v %v", a, err)
+	if d, err := scenarioForAlgorithm("anything", true); err != nil || string(d.Algorithm) != "flooding" {
+		t.Errorf("baseline override broken: %v %v", d.Algorithm, err)
+	}
+}
+
+func TestListScenarios(t *testing.T) {
+	if err := run([]string{"-list"}); err != nil {
+		t.Fatal(err)
 	}
 }
 

@@ -5,6 +5,7 @@ import (
 
 	"lineartime/internal/consensus"
 	"lineartime/internal/crash"
+	"lineartime/internal/scenario"
 	"lineartime/internal/sim"
 	"lineartime/internal/trace"
 )
@@ -30,13 +31,13 @@ func runTraced(n, t int, seed uint64, crashes, horizon int) error {
 	if crashes > 0 {
 		adv = crash.NewRandom(n, crashes, horizon, seed+101)
 	}
-	res, err := sim.Run(sim.Config{
+	res, err := scenario.Execute(sim.Config{
 		Protocols:   ps,
 		Adversary:   adv,
 		Observer:    rec,
 		PartLabeler: ms[0].PartAt,
 		MaxRounds:   ms[0].ScheduleLength() + 8,
-	})
+	}, scenario.Serial)
 	if err != nil {
 		return err
 	}

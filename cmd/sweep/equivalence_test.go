@@ -1,0 +1,54 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"testing"
+)
+
+// TestSweepOutputMatchesPreRefactorGolden pins the registry-driven
+// sweep to the committed pre-refactor serial output: the refactor onto
+// internal/scenario/experiments must be byte-identical for the
+// committed sweep configuration (-quick, all experiments).
+//
+// Regenerate intentionally (only when an experiment deliberately
+// changes) with:
+//
+//	go run ./cmd/sweep -quick -parallel 1 > testdata/sweep_quick_golden.txt
+//
+// from the repository root.
+func TestSweepOutputMatchesPreRefactorGolden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full quick sweep skipped in -short mode")
+	}
+	golden, err := os.ReadFile("../../testdata/sweep_quick_golden.txt")
+	if err != nil {
+		t.Fatalf("reading golden: %v", err)
+	}
+	var buf bytes.Buffer
+	if err := run([]string{"-quick"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), golden) {
+		t.Fatalf("sweep -quick output diverged from pre-refactor golden\n--- got ---\n%s\n--- want ---\n%s",
+			firstDiff(buf.Bytes(), golden), firstDiff(golden, buf.Bytes()))
+	}
+}
+
+// firstDiff returns a window of a around the first byte where a and b
+// differ, to keep failure output readable.
+func firstDiff(a, b []byte) []byte {
+	i := 0
+	for i < len(a) && i < len(b) && a[i] == b[i] {
+		i++
+	}
+	lo := i - 200
+	if lo < 0 {
+		lo = 0
+	}
+	hi := i + 200
+	if hi > len(a) {
+		hi = len(a)
+	}
+	return a[lo:hi]
+}

@@ -1,6 +1,8 @@
 // Command sweep regenerates the experiment series of EXPERIMENTS.md:
 // one markdown table per experiment id from the DESIGN.md index
-// (E2–E11), covering every performance theorem of the paper.
+// (E2–E11), covering every performance theorem of the paper. The
+// experiments themselves are declared over the scenario registry in
+// internal/scenario/experiments; this command is the enumeration loop.
 //
 // Sweep points within an experiment are independent runs, so they are
 // fanned across a worker pool (-parallel, default GOMAXPROCS) and the
@@ -17,35 +19,25 @@ package main
 import (
 	"flag"
 	"fmt"
-	"math"
+	"io"
 	"os"
 	"runtime"
 	"sync"
 
-	"lineartime"
-	"lineartime/internal/consensus"
-	"lineartime/internal/crash"
-	"lineartime/internal/lowerbound"
-	"lineartime/internal/sim"
+	"lineartime/internal/scenario/experiments"
 )
 
 func main() {
-	if err := run(os.Args[1:]); err != nil {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "sweep:", err)
 		os.Exit(1)
 	}
 }
 
-type experiment struct {
-	id    string
-	title string
-	fn    func(quick bool) error
-}
-
 // parallelism is the sweep-point worker count, set by -parallel.
 var parallelism = runtime.GOMAXPROCS(0)
 
-func run(args []string) error {
+func run(args []string, w io.Writer) error {
 	fs := flag.NewFlagSet("sweep", flag.ContinueOnError)
 	exp := fs.String("exp", "", "experiment id (E2..E11); empty = all")
 	quick := fs.Bool("quick", false, "smaller sizes")
@@ -56,35 +48,51 @@ func run(args []string) error {
 	if *par > 0 {
 		parallelism = *par
 	}
-	experiments := []experiment{
-		{"E2", "Theorem 5 — Almost-Everywhere Agreement", sweepAEA},
-		{"E3", "Theorem 6 — Spread-Common-Value", sweepSCV},
-		{"E4", "Theorem 7 — Few-Crashes-Consensus", sweepFewCrashes},
-		{"E5", "Theorem 8 / Corollary 1 — Many-Crashes-Consensus", sweepManyCrashes},
-		{"E6", "Theorem 9 — Gossip", sweepGossip},
-		{"E7", "Theorem 10 — Checkpointing vs O(tn) baseline", sweepCheckpointing},
-		{"E8", "Theorem 11 — AB-Consensus (authenticated Byzantine)", sweepByzantine},
-		{"E9", "Theorem 12 — single-port Linear-Consensus", sweepSinglePort},
-		{"E10", "Theorem 13 — lower-bound constructions", sweepLowerBound},
-		{"E11", "§1 comparison — message crossover vs flooding", sweepCrossover},
-	}
-	for _, e := range experiments {
-		if *exp != "" && e.id != *exp {
+	for _, e := range experiments.All() {
+		if *exp != "" && e.ID != *exp {
 			continue
 		}
-		fmt.Printf("## %s: %s\n\n", e.id, e.title)
-		if err := e.fn(*quick); err != nil {
-			return fmt.Errorf("%s: %w", e.id, err)
+		fmt.Fprintf(w, "## %s: %s\n\n", e.ID, e.Title)
+		if err := renderExperiment(w, e, *quick); err != nil {
+			return fmt.Errorf("%s: %w", e.ID, err)
 		}
-		fmt.Println()
+		fmt.Fprintln(w)
 	}
 	return nil
 }
 
-// tableRows fans count independent sweep points across the worker pool
+// renderExperiment prints the experiment's sections, fanning each
+// section's points across the worker pool.
+func renderExperiment(w io.Writer, e experiments.Experiment, quick bool) error {
+	for i, sec := range e.Sections(quick) {
+		if i > 0 {
+			fmt.Fprintln(w)
+		}
+		if sec.Preamble != "" {
+			fmt.Fprintln(w, sec.Preamble)
+			fmt.Fprintln(w)
+		}
+		rows, err := tableRows(sec.Points)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(w, sec.Header)
+		fmt.Fprintln(w, sec.Sep)
+		for _, row := range rows {
+			fmt.Fprintln(w, row)
+		}
+		if sec.Footer != "" {
+			fmt.Fprintln(w, "\n"+sec.Footer)
+		}
+	}
+	return nil
+}
+
+// tableRows fans the independent sweep points across the worker pool
 // and returns their formatted rows in point order. The first error (by
 // point index, for determinism) wins.
-func tableRows(count int, fn func(i int) (string, error)) ([]string, error) {
+func tableRows(points []experiments.Point) ([]string, error) {
+	count := len(points)
 	rows := make([]string, count)
 	errs := make([]error, count)
 	workers := parallelism
@@ -101,7 +109,7 @@ func tableRows(count int, fn func(i int) (string, error)) ([]string, error) {
 		go func() {
 			defer wg.Done()
 			for i := range next {
-				rows[i], errs[i] = fn(i)
+				rows[i], errs[i] = points[i].Run()
 			}
 		}()
 	}
@@ -116,392 +124,4 @@ func tableRows(count int, fn func(i int) (string, error)) ([]string, error) {
 		}
 	}
 	return rows, nil
-}
-
-func printTable(header, sep string, rows []string, footer string) {
-	fmt.Println(header)
-	fmt.Println(sep)
-	for _, row := range rows {
-		fmt.Println(row)
-	}
-	if footer != "" {
-		fmt.Println("\n" + footer)
-	}
-}
-
-func sizes(quick bool, all ...int) []int {
-	if quick && len(all) > 2 {
-		return all[:2]
-	}
-	return all
-}
-
-func sweepAEA(quick bool) error {
-	ns := sizes(quick, 250, 500, 1000, 2000)
-	rows, err := tableRows(len(ns), func(i int) (string, error) {
-		n := ns[i]
-		t := n / 6
-		top, err := consensus.NewTopology(n, t, consensus.TopologyOptions{Seed: 1})
-		if err != nil {
-			return "", err
-		}
-		ms := make([]*consensus.AEA, n)
-		ps := make([]sim.Protocol, n)
-		for j := 0; j < n; j++ {
-			ms[j] = consensus.NewAEA(j, top, j%3 == 0, 0, true)
-			ps[j] = ms[j]
-		}
-		adv := crash.NewTargetLittle(top.L, t, 3)
-		res, err := sim.Run(sim.Config{Protocols: ps, Adversary: adv, MaxRounds: ms[0].ScheduleLength() + 4})
-		if err != nil {
-			return "", err
-		}
-		deciders := 0
-		for j, m := range ms {
-			if res.Crashed.Contains(j) {
-				continue
-			}
-			if _, ok := m.Decided(); ok {
-				deciders++
-			}
-		}
-		return fmt.Sprintf("| %d | %d | %d | %.2f | %d | %d | %.1f |",
-			n, t, deciders, float64(deciders)/float64(n),
-			res.Metrics.Rounds, res.Metrics.Messages,
-			float64(res.Metrics.Messages)/float64(n)), nil
-	})
-	if err != nil {
-		return err
-	}
-	printTable("| n | t | deciders | deciders/n | rounds | messages | msgs/n |",
-		"|---|---|----------|-----------|--------|----------|--------|", rows,
-		"Claim: ≥ 3n/5 deciders, O(t) rounds, O(n) messages under little-node-targeted crashes.")
-	return nil
-}
-
-func sweepSCV(quick bool) error {
-	type cfg struct{ n, t int }
-	cases := []cfg{{400, 10}, {400, 80}, {1600, 30}, {1600, 320}}
-	if quick {
-		cases = cases[:2]
-	}
-	rows, err := tableRows(len(cases), func(i int) (string, error) {
-		c := cases[i]
-		branch := "t²≤n"
-		if c.t*c.t > c.n {
-			branch = "t²>n"
-		}
-		top, err := consensus.NewTopology(c.n, c.t, consensus.TopologyOptions{Seed: 2})
-		if err != nil {
-			return "", err
-		}
-		ms := make([]*consensus.SCV, c.n)
-		ps := make([]sim.Protocol, c.n)
-		for j := 0; j < c.n; j++ {
-			ms[j] = consensus.NewSCV(j, top, j < 3*c.n/5, true, 0, true)
-			ps[j] = ms[j]
-		}
-		res, err := sim.Run(sim.Config{Protocols: ps, MaxRounds: ms[0].ScheduleLength() + 4})
-		if err != nil {
-			return "", err
-		}
-		all := true
-		for _, m := range ms {
-			if _, ok := m.Decided(); !ok {
-				all = false
-			}
-		}
-		return fmt.Sprintf("| %d | %d | %s | %d | %d | %v |",
-			c.n, c.t, branch, res.Metrics.Rounds, res.Metrics.Messages, all), nil
-	})
-	if err != nil {
-		return err
-	}
-	printTable("| n | t | branch | rounds | messages | all decided |",
-		"|---|---|--------|--------|----------|-------------|", rows,
-		"Claim: O(log t) rounds, O(t log t) messages, every node decides.")
-	return nil
-}
-
-func sweepFewCrashes(quick bool) error {
-	ns := sizes(quick, 128, 256, 512, 1024, 2048)
-	rows, err := tableRows(len(ns), func(i int) (string, error) {
-		n := ns[i]
-		t := n / 6
-		r, err := lineartime.RunConsensus(n, t, thirds(n),
-			lineartime.WithSeed(1), lineartime.WithRandomCrashes(t, 5*t))
-		if err != nil {
-			return "", err
-		}
-		if !r.Agreement || !r.Validity {
-			return "", fmt.Errorf("correctness violated at n=%d", n)
-		}
-		return fmt.Sprintf("| %d | %d | %d | %.2f | %d | %.1f |",
-			n, t, r.Metrics.Rounds, float64(r.Metrics.Rounds)/float64(t),
-			r.Metrics.Bits, float64(r.Metrics.Bits)/float64(n)), nil
-	})
-	if err != nil {
-		return err
-	}
-	printTable("| n | t | rounds | rounds/t | bits | bits/n |",
-		"|---|---|--------|----------|------|--------|", rows,
-		"Claim: O(t + log n) rounds (rounds/t flat) and O(n + t log t) bits.")
-	return nil
-}
-
-func sweepManyCrashes(quick bool) error {
-	n := 256
-	if quick {
-		n = 128
-	}
-	lg := int(math.Ceil(math.Log2(float64(n))))
-	ts := []int{n / 5, n / 2, 9 * n / 10, n - 1} // α = .2, .5, .9, Corollary 1
-	rows, err := tableRows(len(ts), func(i int) (string, error) {
-		t := ts[i]
-		r, err := lineartime.RunConsensus(n, t, thirds(n),
-			lineartime.WithSeed(3),
-			lineartime.WithAlgorithm(lineartime.ManyCrashes),
-			lineartime.WithRandomCrashes(t, n))
-		if err != nil {
-			return "", err
-		}
-		if !r.Agreement || !r.Validity {
-			return "", fmt.Errorf("correctness violated at t=%d", t)
-		}
-		return fmt.Sprintf("| %d | %d | %.2f | %d | %d | %d |",
-			n, t, float64(t)/float64(n), r.Metrics.Rounds, n+3*(1+lg), r.Metrics.Messages), nil
-	})
-	if err != nil {
-		return err
-	}
-	printTable("| n | t | α | rounds | n+3(1+lg n) | messages |",
-		"|---|---|---|--------|-------------|----------|", rows,
-		"Claim: ≤ n + 3(1+lg n) rounds for any t < n (Corollary 1 row: t = n−1).")
-	return nil
-}
-
-func sweepGossip(quick bool) error {
-	ns := sizes(quick, 128, 256, 512, 1024, 2048)
-	rows, err := tableRows(len(ns), func(i int) (string, error) {
-		n := ns[i]
-		t := n / 6
-		rumors := make([]uint64, n)
-		for j := range rumors {
-			rumors[j] = uint64(j)
-		}
-		r, err := lineartime.RunGossip(n, t, rumors, false,
-			lineartime.WithSeed(1), lineartime.WithRandomCrashes(t, 60))
-		if err != nil {
-			return "", err
-		}
-		if !r.Complete {
-			return "", fmt.Errorf("gossip incomplete at n=%d", n)
-		}
-		lglg := math.Log2(float64(n)) * math.Log2(float64(t))
-		return fmt.Sprintf("| %d | %d | %d | %.0f | %d | %.1f |",
-			n, t, r.Metrics.Rounds, lglg, r.Metrics.Messages,
-			float64(r.Metrics.Messages)/float64(n)), nil
-	})
-	if err != nil {
-		return err
-	}
-	printTable("| n | t | rounds | lg n · lg t | messages | msgs/n |",
-		"|---|---|--------|--------------|----------|--------|", rows,
-		"Claim: O(log n · log t) rounds and O(n + t log n log t) messages.")
-	return nil
-}
-
-func sweepCheckpointing(quick bool) error {
-	ns := sizes(quick, 128, 256, 512, 1024)
-	rows, err := tableRows(len(ns), func(i int) (string, error) {
-		n := ns[i]
-		t := n / 6
-		algo, err := lineartime.RunCheckpointing(n, t, false,
-			lineartime.WithSeed(1), lineartime.WithRandomCrashes(t, 60))
-		if err != nil {
-			return "", err
-		}
-		base, err := lineartime.RunCheckpointing(n, t, true,
-			lineartime.WithSeed(1), lineartime.WithRandomCrashes(t, 60))
-		if err != nil {
-			return "", err
-		}
-		if !algo.Agreement || !base.Agreement {
-			return "", fmt.Errorf("agreement violated at n=%d", n)
-		}
-		return fmt.Sprintf("| %d | %d | %d | %d | %d | %d | %.2f |",
-			n, t, algo.Metrics.Rounds, algo.Metrics.Messages,
-			base.Metrics.Rounds, base.Metrics.Messages,
-			float64(base.Metrics.Messages)/float64(algo.Metrics.Messages)), nil
-	})
-	if err != nil {
-		return err
-	}
-	printTable("| n | t | algo rounds | algo msgs | baseline rounds | baseline msgs | ratio |",
-		"|---|---|-------------|-----------|-----------------|---------------|-------|", rows,
-		"Claim: the §6 algorithm's messages beat the direct Θ(t·n²) exchange by a factor growing with n.")
-	return nil
-}
-
-func sweepByzantine(quick bool) error {
-	type point struct {
-		n    int
-		name string
-		s    lineartime.ByzantineStrategy
-	}
-	strategies := []struct {
-		name string
-		s    lineartime.ByzantineStrategy
-	}{{"silence", lineartime.Silence}, {"equivocate", lineartime.Equivocate}, {"spam", lineartime.Spam}}
-	var points []point
-	for _, n := range sizes(quick, 100, 400, 900, 1600) {
-		for _, strat := range strategies {
-			points = append(points, point{n: n, name: strat.name, s: strat.s})
-		}
-	}
-	rows, err := tableRows(len(points), func(i int) (string, error) {
-		p := points[i]
-		t := int(math.Sqrt(float64(p.n)) / 2)
-		if t < 1 {
-			t = 1
-		}
-		inputs := make([]uint64, p.n)
-		for j := range inputs {
-			inputs[j] = uint64(j)
-		}
-		corrupted := make([]int, 0, t)
-		for j := 0; j < t; j++ {
-			corrupted = append(corrupted, j)
-		}
-		r, err := lineartime.RunByzantineConsensus(p.n, t, inputs, false,
-			lineartime.WithSeed(1),
-			lineartime.WithByzantine(p.s, corrupted...))
-		if err != nil {
-			return "", err
-		}
-		return fmt.Sprintf("| %d | %d | %s | %d | %d | %d | %v |",
-			p.n, t, p.name, r.Metrics.Rounds, r.Metrics.Messages, t*t+p.n, r.Agreement), nil
-	})
-	if err != nil {
-		return err
-	}
-	printTable("| n | t=√n/2 | strategy | rounds | messages | t²+n | agreement |",
-		"|---|--------|----------|--------|----------|------|-----------|", rows,
-		"Claim: O(t) rounds, O(t²+n) non-faulty messages, agreement under every strategy.")
-	return nil
-}
-
-func sweepSinglePort(quick bool) error {
-	ns := sizes(quick, 128, 256, 512, 1024)
-	rows, err := tableRows(len(ns), func(i int) (string, error) {
-		n := ns[i]
-		t := n / 6
-		r, err := lineartime.RunConsensus(n, t, thirds(n),
-			lineartime.WithSeed(1),
-			lineartime.WithAlgorithm(lineartime.SinglePortLinear),
-			lineartime.WithRandomCrashes(t, 3*t))
-		if err != nil {
-			return "", err
-		}
-		if !r.Agreement || !r.Validity {
-			return "", fmt.Errorf("correctness violated at n=%d", n)
-		}
-		denom := float64(t) + math.Log2(float64(n))
-		return fmt.Sprintf("| %d | %d | %d | %.1f | %d | %.1f |",
-			n, t, r.Metrics.Rounds, float64(r.Metrics.Rounds)/denom,
-			r.Metrics.Bits, float64(r.Metrics.Bits)/float64(n)), nil
-	})
-	if err != nil {
-		return err
-	}
-	printTable("| n | t | rounds | rounds/(t+lg n) | bits | bits/n |",
-		"|---|---|--------|------------------|------|--------|", rows,
-		"Claim: Θ(t + log n) rounds (the ratio column is the compilation constant) and O(n + t log n) bits.")
-	return nil
-}
-
-func sweepLowerBound(quick bool) error {
-	fmt.Println("Divergence (Ω(log n) argument): diverged-node counts per single-port round vs the 3^i bound")
-	fmt.Println()
-	ns := sizes(quick, 81, 243, 729)
-	rows, err := tableRows(len(ns), func(i int) (string, error) {
-		n := ns[i]
-		series, err := lowerbound.DivergenceSeries(n, 24)
-		if err != nil {
-			return "", err
-		}
-		head := series
-		if len(head) > 12 {
-			head = head[:12]
-		}
-		return fmt.Sprintf("| %d | %v | %v | %d | %.1f |",
-			n, head, lowerbound.CheckDivergenceInvariant(series) >= 0,
-			lowerbound.RoundsToFullDivergence(series, n),
-			math.Log(float64(n))/math.Log(3)), nil
-	})
-	if err != nil {
-		return err
-	}
-	printTable("| n | series (per round) | 3^i violated | full divergence at round | log₃(n) |",
-		"|---|--------------------|--------------|--------------------------|---------|", rows, "")
-	fmt.Println()
-	fmt.Println("Isolation (Ω(t) argument): first round the victim hears anything, crash budget t")
-	fmt.Println()
-	ts := sizes(quick, 8, 16, 32, 64)
-	rows, err = tableRows(len(ts), func(i int) (string, error) {
-		t := ts[i]
-		first, err := lowerbound.FirstContactRound(128, t, 5, 400)
-		if err != nil {
-			return "", err
-		}
-		return fmt.Sprintf("| 128 | %d | %d | %d |", t, first, t/2), nil
-	})
-	if err != nil {
-		return err
-	}
-	printTable("| n | t | first contact round | t/2 bound |",
-		"|---|---|---------------------|-----------|", rows,
-		"Claim: divergence ≤ 3^i per round (so Ω(log n) rounds) and isolation ≥ t/2 rounds (so Ω(t)).")
-	return nil
-}
-
-func sweepCrossover(quick bool) error {
-	ns := sizes(quick, 64, 128, 256, 512, 1024)
-	rows, err := tableRows(len(ns), func(i int) (string, error) {
-		n := ns[i]
-		t := n / 6
-		algo, err := lineartime.RunConsensus(n, t, thirds(n), lineartime.WithSeed(1))
-		if err != nil {
-			return "", err
-		}
-		flood, err := lineartime.RunConsensus(n, t, thirds(n),
-			lineartime.WithSeed(1), lineartime.WithAlgorithm(lineartime.FloodingBaseline))
-		if err != nil {
-			return "", err
-		}
-		coord, err := lineartime.RunConsensus(n, t, thirds(n),
-			lineartime.WithSeed(1), lineartime.WithAlgorithm(lineartime.CoordinatorBaseline))
-		if err != nil {
-			return "", err
-		}
-		return fmt.Sprintf("| %d | %d | %d | %d | %d | %.2f | %.2f |",
-			n, t, algo.Metrics.Bits, flood.Metrics.Bits, coord.Metrics.Bits,
-			float64(flood.Metrics.Bits)/float64(algo.Metrics.Bits),
-			float64(coord.Metrics.Bits)/float64(algo.Metrics.Bits)), nil
-	})
-	if err != nil {
-		return err
-	}
-	printTable("| n | t | few-crashes bits | flooding bits | coordinator bits | flood/algo | coord/algo |",
-		"|---|---|------------------|---------------|------------------|------------|------------|", rows,
-		"Claim: the baselines' Θ(n²) and Θ(t·n) bits diverge from the algorithm's O(n + t log t); both ratios grow with n.")
-	return nil
-}
-
-func thirds(n int) []bool {
-	in := make([]bool, n)
-	for i := range in {
-		in[i] = i%3 == 0
-	}
-	return in
 }

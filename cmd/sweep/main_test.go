@@ -1,6 +1,9 @@
 package main
 
-import "testing"
+import (
+	"io"
+	"testing"
+)
 
 func TestSweepQuickSingleExperiments(t *testing.T) {
 	if testing.Short() {
@@ -8,7 +11,7 @@ func TestSweepQuickSingleExperiments(t *testing.T) {
 	}
 	for _, exp := range []string{"E3", "E5", "E10", "E11"} {
 		t.Run(exp, func(t *testing.T) {
-			if err := run([]string{"-quick", "-exp", exp}); err != nil {
+			if err := run([]string{"-quick", "-exp", exp}, io.Discard); err != nil {
 				t.Fatal(err)
 			}
 		})
@@ -16,24 +19,13 @@ func TestSweepQuickSingleExperiments(t *testing.T) {
 }
 
 func TestSweepUnknownExperimentIsNoop(t *testing.T) {
-	if err := run([]string{"-exp", "E99"}); err != nil {
+	if err := run([]string{"-exp", "E99"}, io.Discard); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestSweepBadFlags(t *testing.T) {
-	if err := run([]string{"-bogus"}); err == nil {
+	if err := run([]string{"-bogus"}, io.Discard); err == nil {
 		t.Fatal("bad flag accepted")
-	}
-}
-
-func TestSizesHelper(t *testing.T) {
-	full := sizes(false, 1, 2, 3, 4)
-	if len(full) != 4 {
-		t.Fatalf("full sizes = %v", full)
-	}
-	quick := sizes(true, 1, 2, 3, 4)
-	if len(quick) != 2 {
-		t.Fatalf("quick sizes = %v", quick)
 	}
 }

@@ -1,9 +1,11 @@
 // Command table1 regenerates the paper's Table 1 empirically: for each
-// (fault type, problem) row it runs the corresponding algorithm at the
-// claimed optimality boundary t and reports whether both performance
-// metrics stay linear — time O(t + log n) and communication O(n) —
-// by measuring them at two sizes and comparing the growth rate to the
-// linear prediction.
+// (fault type, problem) row it runs the corresponding registry
+// scenario at the claimed optimality boundary t and reports whether
+// both performance metrics stay linear — time O(t + log n) and
+// communication O(n) — by measuring them at two sizes and comparing
+// the growth rate to the linear prediction. The rows are declared in
+// internal/scenario/experiments (Table1Rows); this command is the
+// enumeration loop.
 //
 // Usage: table1 [-n 512] [-seed 1]
 package main
@@ -14,15 +16,8 @@ import (
 	"math"
 	"os"
 
-	"lineartime"
+	"lineartime/internal/scenario/experiments"
 )
-
-type row struct {
-	faultType string
-	problem   string
-	rangeOfT  string
-	run       func(n int, seed uint64) (rounds int, comm int64, t int, err error)
-}
 
 func main() {
 	if err := run(os.Args[1:]); err != nil {
@@ -39,204 +34,29 @@ func run(args []string) error {
 		return err
 	}
 
-	rows := []row{
-		{
-			faultType: "crash",
-			problem:   "consensus (Few-Crashes, §4)",
-			rangeOfT:  "t = O(n/log n)",
-			run: func(n int, seed uint64) (int, int64, int, error) {
-				t := boundary(n, 1) // n / lg n
-				if 5*t > n {
-					t = n / 5
-				}
-				r, err := lineartime.RunConsensus(n, t, thirdInputs(n),
-					lineartime.WithSeed(seed), lineartime.WithRandomCrashes(t, 5*t))
-				if err != nil {
-					return 0, 0, 0, err
-				}
-				if !r.Agreement || !r.Validity {
-					return 0, 0, 0, fmt.Errorf("correctness violated at n=%d", n)
-				}
-				return r.Metrics.Rounds, r.Metrics.Bits, t, nil
-			},
-		},
-		{
-			faultType: "crash",
-			problem:   "consensus single-port (§8)",
-			rangeOfT:  "t = O(n/log n)",
-			run: func(n int, seed uint64) (int, int64, int, error) {
-				t := boundary(n, 1)
-				if 5*t > n {
-					t = n / 5
-				}
-				r, err := lineartime.RunConsensus(n, t, thirdInputs(n),
-					lineartime.WithSeed(seed),
-					lineartime.WithAlgorithm(lineartime.SinglePortLinear))
-				if err != nil {
-					return 0, 0, 0, err
-				}
-				if !r.Agreement || !r.Validity {
-					return 0, 0, 0, fmt.Errorf("correctness violated at n=%d", n)
-				}
-				return r.Metrics.Rounds, r.Metrics.Bits, t, nil
-			},
-		},
-		{
-			faultType: "crash",
-			problem:   "gossip (§5)",
-			rangeOfT:  "t = O(n/log² n)",
-			run: func(n int, seed uint64) (int, int64, int, error) {
-				t := boundary(n, 2) // n / lg² n
-				if t < 1 {
-					t = 1
-				}
-				rumors := make([]uint64, n)
-				for i := range rumors {
-					rumors[i] = uint64(i)
-				}
-				r, err := lineartime.RunGossip(n, t, rumors, false,
-					lineartime.WithSeed(seed), lineartime.WithRandomCrashes(t, 40))
-				if err != nil {
-					return 0, 0, 0, err
-				}
-				if !r.Complete {
-					return 0, 0, 0, fmt.Errorf("gossip incomplete at n=%d", n)
-				}
-				return r.Metrics.Rounds, r.Metrics.Messages, t, nil
-			},
-		},
-		{
-			faultType: "crash",
-			problem:   "gossip single-port (§8)",
-			rangeOfT:  "t = O(n/log² n)",
-			run: func(n int, seed uint64) (int, int64, int, error) {
-				t := boundary(n, 2)
-				if t < 1 {
-					t = 1
-				}
-				rumors := make([]uint64, n)
-				for i := range rumors {
-					rumors[i] = uint64(i)
-				}
-				r, err := lineartime.RunGossip(n, t, rumors, false,
-					lineartime.WithSeed(seed), lineartime.WithSinglePortModel())
-				if err != nil {
-					return 0, 0, 0, err
-				}
-				if !r.Complete {
-					return 0, 0, 0, fmt.Errorf("single-port gossip incomplete at n=%d", n)
-				}
-				return r.Metrics.Rounds, r.Metrics.Messages, t, nil
-			},
-		},
-		{
-			faultType: "crash",
-			problem:   "checkpointing (§6)",
-			rangeOfT:  "t = O(n/log² n)",
-			run: func(n int, seed uint64) (int, int64, int, error) {
-				t := boundary(n, 2)
-				if t < 1 {
-					t = 1
-				}
-				r, err := lineartime.RunCheckpointing(n, t, false,
-					lineartime.WithSeed(seed), lineartime.WithRandomCrashes(t, 40))
-				if err != nil {
-					return 0, 0, 0, err
-				}
-				if !r.Agreement {
-					return 0, 0, 0, fmt.Errorf("checkpointing disagreement at n=%d", n)
-				}
-				return r.Metrics.Rounds, r.Metrics.Messages, t, nil
-			},
-		},
-		{
-			faultType: "crash",
-			problem:   "checkpointing single-port (§8)",
-			rangeOfT:  "t = O(n/log² n)",
-			run: func(n int, seed uint64) (int, int64, int, error) {
-				t := boundary(n, 2)
-				if t < 1 {
-					t = 1
-				}
-				r, err := lineartime.RunCheckpointing(n, t, false,
-					lineartime.WithSeed(seed), lineartime.WithSinglePortModel())
-				if err != nil {
-					return 0, 0, 0, err
-				}
-				if !r.Agreement {
-					return 0, 0, 0, fmt.Errorf("single-port checkpointing disagreement at n=%d", n)
-				}
-				return r.Metrics.Rounds, r.Metrics.Messages, t, nil
-			},
-		},
-		{
-			faultType: "auth. Byzantine",
-			problem:   "consensus (AB-Consensus, §7)",
-			rangeOfT:  "t = O(√n)",
-			run: func(n int, seed uint64) (int, int64, int, error) {
-				t := int(math.Sqrt(float64(n)) / 2)
-				if t < 1 {
-					t = 1
-				}
-				inputs := make([]uint64, n)
-				for i := range inputs {
-					inputs[i] = uint64(i)
-				}
-				corrupted := make([]int, 0, t)
-				for i := 0; i < t; i++ {
-					corrupted = append(corrupted, i)
-				}
-				r, err := lineartime.RunByzantineConsensus(n, t, inputs, false,
-					lineartime.WithSeed(seed),
-					lineartime.WithByzantine(lineartime.Equivocate, corrupted...))
-				if err != nil {
-					return 0, 0, 0, err
-				}
-				if !r.Agreement {
-					return 0, 0, 0, fmt.Errorf("byzantine disagreement at n=%d", n)
-				}
-				return r.Metrics.Rounds, r.Metrics.Messages, t, nil
-			},
-		},
-	}
-
 	fmt.Println("Table 1 (empirical): linear time and communication at the claimed ranges of t")
 	fmt.Println()
 	fmt.Printf("%-16s %-30s %-16s %8s %8s %10s %12s %9s %9s\n",
 		"fault type", "problem", "range of t", "n", "t", "rounds", "comm", "r-growth", "c-growth")
-	for _, rw := range rows {
+	for _, rw := range experiments.Table1Rows() {
 		small, large := *n/2, *n
-		r1, c1, _, err := rw.run(small, *seed)
+		r1, c1, _, err := rw.Run(small, *seed)
 		if err != nil {
-			return fmt.Errorf("%s/%s: %w", rw.faultType, rw.problem, err)
+			return fmt.Errorf("%s/%s: %w", rw.FaultType, rw.Problem, err)
 		}
-		r2, c2, t2, err := rw.run(large, *seed)
+		r2, c2, t2, err := rw.Run(large, *seed)
 		if err != nil {
-			return fmt.Errorf("%s/%s: %w", rw.faultType, rw.problem, err)
+			return fmt.Errorf("%s/%s: %w", rw.FaultType, rw.Problem, err)
 		}
 		// Growth exponents: log2 of the ratio when n doubles. Linear
 		// behavior gives ≈ 1.0 (or below, for polylog components).
 		rGrowth := math.Log2(float64(r2) / float64(r1))
 		cGrowth := math.Log2(float64(c2) / float64(c1))
 		fmt.Printf("%-16s %-30s %-16s %8d %8d %10d %12d %9.2f %9.2f\n",
-			rw.faultType, rw.problem, rw.rangeOfT, large, t2, r2, c2, rGrowth, cGrowth)
+			rw.FaultType, rw.Problem, rw.RangeOfT, large, t2, r2, c2, rGrowth, cGrowth)
 	}
 	fmt.Println()
 	fmt.Println("r-growth / c-growth: log2 of metric ratio when n doubles at the boundary t;")
 	fmt.Println("values ≤ ~1.2 indicate linear scaling (the Table 1 claim).")
 	return nil
-}
-
-// boundary returns n / lg^k(n).
-func boundary(n, k int) int {
-	lg := math.Log2(float64(n))
-	return int(float64(n) / math.Pow(lg, float64(k)))
-}
-
-func thirdInputs(n int) []bool {
-	in := make([]bool, n)
-	for i := range in {
-		in[i] = i%3 == 0
-	}
-	return in
 }

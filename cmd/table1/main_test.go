@@ -1,6 +1,10 @@
 package main
 
-import "testing"
+import (
+	"testing"
+
+	"lineartime/internal/scenario/experiments"
+)
 
 func TestTable1Runs(t *testing.T) {
 	if testing.Short() {
@@ -17,11 +21,23 @@ func TestTable1BadFlags(t *testing.T) {
 	}
 }
 
-func TestBoundary(t *testing.T) {
-	if got := boundary(1024, 1); got != 102 {
-		t.Fatalf("boundary(1024,1) = %d, want 102", got)
+func TestTable1RowsCoverThePaperTable(t *testing.T) {
+	rows := experiments.Table1Rows()
+	if len(rows) != 7 {
+		t.Fatalf("Table1Rows() has %d rows, want 7", len(rows))
 	}
-	if got := boundary(1024, 2); got != 10 {
-		t.Fatalf("boundary(1024,2) = %d, want 10", got)
+	crash, byz := 0, 0
+	for _, rw := range rows {
+		switch rw.FaultType {
+		case "crash":
+			crash++
+		case "auth. Byzantine":
+			byz++
+		default:
+			t.Errorf("unexpected fault type %q", rw.FaultType)
+		}
+	}
+	if crash != 6 || byz != 1 {
+		t.Fatalf("fault-type split = %d crash / %d byzantine, want 6/1", crash, byz)
 	}
 }

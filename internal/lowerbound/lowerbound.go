@@ -21,6 +21,7 @@ import (
 	"fmt"
 
 	"lineartime/internal/crash"
+	"lineartime/internal/scenario"
 	"lineartime/internal/sim"
 )
 
@@ -223,12 +224,12 @@ func FirstContactRound(n, t, victim, horizon int) (int, error) {
 		}
 	}
 	adv := crash.NewIsolate(victim, t)
-	_, err := sim.Run(sim.Config{
+	_, err := scenario.Execute(sim.Config{
 		Protocols:  ps,
 		Adversary:  adv,
 		MaxRounds:  horizon + 1,
 		SinglePort: true,
-	})
+	}, scenario.Serial)
 	if err != nil {
 		return 0, err
 	}

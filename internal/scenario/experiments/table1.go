@@ -1,0 +1,183 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"lineartime/internal/scenario"
+)
+
+// Table1Row is one row of the paper's Table 1, reproduced empirically:
+// the algorithm at its claimed optimality boundary t, measured at a
+// given size.
+type Table1Row struct {
+	FaultType string
+	Problem   string
+	RangeOfT  string
+	// Run measures the row at size n: rounds, the row's communication
+	// metric (bits for consensus, messages otherwise), and the t the
+	// boundary rule picked.
+	Run func(n int, seed uint64) (rounds int, comm int64, t int, err error)
+}
+
+// boundary returns n / lg^k(n), the paper's optimality-range rules.
+func boundary(n, k int) int {
+	lg := math.Log2(float64(n))
+	return int(float64(n) / math.Pow(lg, float64(k)))
+}
+
+// Table1Rows returns the rows of Table 1 in paper order, each bound to
+// its registry scenario.
+func Table1Rows() []Table1Row {
+	return []Table1Row{
+		{
+			FaultType: "crash",
+			Problem:   "consensus (Few-Crashes, §4)",
+			RangeOfT:  "t = O(n/log n)",
+			Run: func(n int, seed uint64) (int, int64, int, error) {
+				t := boundary(n, 1) // n / lg n
+				if 5*t > n {
+					t = n / 5
+				}
+				sp := scenario.MustLookup("consensus/few-crashes").Spec(n, t, seed)
+				sp.Fault = scenario.FaultModel{Kind: scenario.RandomCrashes, Count: t, Horizon: 5 * t}
+				rep, err := scenario.Run(sp)
+				if err != nil {
+					return 0, 0, 0, err
+				}
+				if !rep.Consensus.Agreement || !rep.Consensus.Validity {
+					return 0, 0, 0, fmt.Errorf("correctness violated at n=%d", n)
+				}
+				return rep.Metrics.Rounds, rep.Metrics.Bits, t, nil
+			},
+		},
+		{
+			FaultType: "crash",
+			Problem:   "consensus single-port (§8)",
+			RangeOfT:  "t = O(n/log n)",
+			Run: func(n int, seed uint64) (int, int64, int, error) {
+				t := boundary(n, 1)
+				if 5*t > n {
+					t = n / 5
+				}
+				rep, err := scenario.Run(scenario.MustLookup("consensus/single-port").Spec(n, t, seed))
+				if err != nil {
+					return 0, 0, 0, err
+				}
+				if !rep.Consensus.Agreement || !rep.Consensus.Validity {
+					return 0, 0, 0, fmt.Errorf("correctness violated at n=%d", n)
+				}
+				return rep.Metrics.Rounds, rep.Metrics.Bits, t, nil
+			},
+		},
+		{
+			FaultType: "crash",
+			Problem:   "gossip (§5)",
+			RangeOfT:  "t = O(n/log² n)",
+			Run: func(n int, seed uint64) (int, int64, int, error) {
+				t := boundary(n, 2) // n / lg² n
+				if t < 1 {
+					t = 1
+				}
+				sp := scenario.MustLookup("gossip/expander").Spec(n, t, seed)
+				sp.Fault = scenario.FaultModel{Kind: scenario.RandomCrashes, Count: t, Horizon: 40}
+				rep, err := scenario.Run(sp)
+				if err != nil {
+					return 0, 0, 0, err
+				}
+				if !rep.Gossip.Complete {
+					return 0, 0, 0, fmt.Errorf("gossip incomplete at n=%d", n)
+				}
+				return rep.Metrics.Rounds, rep.Metrics.Messages, t, nil
+			},
+		},
+		{
+			FaultType: "crash",
+			Problem:   "gossip single-port (§8)",
+			RangeOfT:  "t = O(n/log² n)",
+			Run: func(n int, seed uint64) (int, int64, int, error) {
+				t := boundary(n, 2)
+				if t < 1 {
+					t = 1
+				}
+				rep, err := scenario.Run(scenario.MustLookup("gossip/expander/single-port").Spec(n, t, seed))
+				if err != nil {
+					return 0, 0, 0, err
+				}
+				if !rep.Gossip.Complete {
+					return 0, 0, 0, fmt.Errorf("single-port gossip incomplete at n=%d", n)
+				}
+				return rep.Metrics.Rounds, rep.Metrics.Messages, t, nil
+			},
+		},
+		{
+			FaultType: "crash",
+			Problem:   "checkpointing (§6)",
+			RangeOfT:  "t = O(n/log² n)",
+			Run: func(n int, seed uint64) (int, int64, int, error) {
+				t := boundary(n, 2)
+				if t < 1 {
+					t = 1
+				}
+				sp := scenario.MustLookup("checkpoint/expander").Spec(n, t, seed)
+				sp.Fault = scenario.FaultModel{Kind: scenario.RandomCrashes, Count: t, Horizon: 40}
+				rep, err := scenario.Run(sp)
+				if err != nil {
+					return 0, 0, 0, err
+				}
+				if !rep.Checkpoint.Agreement {
+					return 0, 0, 0, fmt.Errorf("checkpointing disagreement at n=%d", n)
+				}
+				return rep.Metrics.Rounds, rep.Metrics.Messages, t, nil
+			},
+		},
+		{
+			FaultType: "crash",
+			Problem:   "checkpointing single-port (§8)",
+			RangeOfT:  "t = O(n/log² n)",
+			Run: func(n int, seed uint64) (int, int64, int, error) {
+				t := boundary(n, 2)
+				if t < 1 {
+					t = 1
+				}
+				rep, err := scenario.Run(scenario.MustLookup("checkpoint/expander/single-port").Spec(n, t, seed))
+				if err != nil {
+					return 0, 0, 0, err
+				}
+				if !rep.Checkpoint.Agreement {
+					return 0, 0, 0, fmt.Errorf("single-port checkpointing disagreement at n=%d", n)
+				}
+				return rep.Metrics.Rounds, rep.Metrics.Messages, t, nil
+			},
+		},
+		{
+			FaultType: "auth. Byzantine",
+			Problem:   "consensus (AB-Consensus, §7)",
+			RangeOfT:  "t = O(√n)",
+			Run: func(n int, seed uint64) (int, int64, int, error) {
+				t := int(math.Sqrt(float64(n)) / 2)
+				if t < 1 {
+					t = 1
+				}
+				corrupted := make([]int, 0, t)
+				for i := 0; i < t; i++ {
+					corrupted = append(corrupted, i)
+				}
+				sp := scenario.MustLookup("byzantine/ab-consensus").Spec(n, t, seed)
+				sp.Fault = scenario.FaultModel{
+					Kind:      scenario.ByzantineFaults,
+					Strategy:  scenario.Equivocate,
+					Corrupted: corrupted,
+				}
+				rep, err := scenario.Run(sp)
+				if err != nil {
+					return 0, 0, 0, err
+				}
+				if !rep.Byzantine.Agreement {
+					return 0, 0, 0, fmt.Errorf("byzantine disagreement at n=%d", n)
+				}
+				return rep.Metrics.Rounds, rep.Metrics.Messages, t, nil
+			},
+		},
+	}
+}

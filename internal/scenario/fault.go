@@ -1,0 +1,164 @@
+package scenario
+
+import (
+	"fmt"
+
+	"lineartime/internal/crash"
+	"lineartime/internal/sim"
+)
+
+// FaultKind enumerates the fault models of the evaluation matrix.
+type FaultKind int
+
+// The fault models.
+const (
+	// NoFailures runs fault-free.
+	NoFailures FaultKind = iota
+	// CrashSchedule crashes exactly the scheduled nodes.
+	CrashSchedule
+	// RandomCrashes crashes up to Count pseudo-random nodes at
+	// pseudo-random rounds below Horizon.
+	RandomCrashes
+	// CascadeCrashes crashes one node per round (the early-stopping
+	// worst case), Count crashes drawn from the first Pool names.
+	CascadeCrashes
+	// TargetLittleCrashes spends the whole budget on little nodes at
+	// round 0 (the Theorem 2 attack).
+	TargetLittleCrashes
+	// ByzantineFaults corrupts the listed nodes with a strategy;
+	// corruption is expressed through adversarial protocols, not a
+	// crash adversary.
+	ByzantineFaults
+)
+
+// String implements fmt.Stringer.
+func (k FaultKind) String() string {
+	switch k {
+	case NoFailures:
+		return "none"
+	case CrashSchedule:
+		return "crash-schedule"
+	case RandomCrashes:
+		return "random-crashes"
+	case CascadeCrashes:
+		return "cascade"
+	case TargetLittleCrashes:
+		return "target-little"
+	case ByzantineFaults:
+		return "byzantine"
+	default:
+		return "unknown"
+	}
+}
+
+// CrashEvent schedules one crash: node Node fails at round Round with
+// only its first Keep messages of that round delivered (Keep < 0
+// delivers all).
+type CrashEvent struct {
+	Node  int
+	Round int
+	Keep  int
+}
+
+// FaultModel is the fault dimension of a scenario. The zero value is
+// NoFailures. It is the single source of adversary construction: every
+// run path — public API, registry experiments, commands — converges on
+// Adversary.
+type FaultModel struct {
+	Kind FaultKind
+
+	// Schedule is the exact crash schedule (CrashSchedule).
+	Schedule []CrashEvent
+	// Count is the crash budget (RandomCrashes, CascadeCrashes,
+	// TargetLittleCrashes). RandomCrashes clamps it to the scenario's
+	// T; the targeted strategies take it verbatim (their constructors
+	// clamp to the victim pool), matching the proofs' existential
+	// adversaries that may spend any budget the experiment asks for.
+	Count int
+	// Horizon is the last round at which random crashes may happen
+	// (RandomCrashes).
+	Horizon int
+	// Keep is the number of final-outbox messages a cascading crash
+	// still delivers (CascadeCrashes).
+	Keep int
+	// Pool restricts cascade victims to the first Pool node names
+	// (0 = all nodes). For TargetLittleCrashes, Pool overrides the
+	// scenario topology's little-node count when positive.
+	Pool int
+	// Seed, when non-zero, seeds the adversary directly; zero derives
+	// the adversary seed from the run seed (runSeed + 101, the
+	// historical offset every committed experiment was generated
+	// with).
+	Seed uint64
+
+	// Strategy and Corrupted configure ByzantineFaults.
+	Strategy  ByzantineStrategy
+	Corrupted []int
+}
+
+// adversarySeed resolves the adversary seed for a run seed.
+func (f FaultModel) adversarySeed(runSeed uint64) uint64 {
+	if f.Seed != 0 {
+		return f.Seed
+	}
+	return runSeed + 101
+}
+
+// Adversary materializes the fault model into a sim.Adversary for a
+// scenario of n nodes, fault bound t, and little-node count little
+// (0 when the scenario has no expander topology). ByzantineFaults and
+// NoFailures return nil: Byzantine behaviour lives in the corrupted
+// nodes' protocols.
+func (f FaultModel) Adversary(n, t, little int, runSeed uint64) (sim.Adversary, error) {
+	switch f.Kind {
+	case NoFailures, ByzantineFaults:
+		return nil, nil
+	case CrashSchedule:
+		events := make([]crash.Event, len(f.Schedule))
+		for i, e := range f.Schedule {
+			events[i] = crash.Event{Node: e.Node, Round: e.Round, Keep: e.Keep}
+		}
+		return crash.NewSchedule(events), nil
+	case RandomCrashes:
+		count := f.Count
+		if count > t {
+			count = t
+		}
+		return crash.NewRandom(n, count, f.Horizon, f.adversarySeed(runSeed)), nil
+	case CascadeCrashes:
+		pool := f.Pool
+		if pool <= 0 {
+			pool = n
+		}
+		return crash.NewCascade(pool, f.Count, f.Keep, f.adversarySeed(runSeed)), nil
+	case TargetLittleCrashes:
+		pool := f.Pool
+		if pool <= 0 {
+			pool = little
+		}
+		if pool <= 0 {
+			pool = n
+		}
+		return crash.NewTargetLittle(pool, f.Count, f.adversarySeed(runSeed)), nil
+	default:
+		return nil, fmt.Errorf("scenario: unknown fault kind %d", int(f.Kind))
+	}
+}
+
+// validate checks the fault model against the scenario shape.
+func (f FaultModel) validate(sp Spec) error {
+	if f.Kind == ByzantineFaults {
+		if sp.Problem != ByzantineConsensus {
+			return fmt.Errorf("scenario: byzantine faults require the byzantine problem, got %v", sp.Problem)
+		}
+		if len(f.Corrupted) > sp.T {
+			return fmt.Errorf("scenario: %d corrupted nodes exceed t=%d", len(f.Corrupted), sp.T)
+		}
+		for _, id := range f.Corrupted {
+			if id < 0 || id >= sp.N {
+				return fmt.Errorf("scenario: corrupted node %d out of range", id)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,125 @@
+package scenario
+
+import (
+	"testing"
+
+	"lineartime/internal/crash"
+	"lineartime/internal/sim"
+)
+
+func TestFaultModelAdversaryKinds(t *testing.T) {
+	cases := []struct {
+		name    string
+		fault   FaultModel
+		wantNil bool
+		wantTyp interface{}
+	}{
+		{"none", FaultModel{}, true, nil},
+		{"byzantine", FaultModel{Kind: ByzantineFaults, Strategy: Silence}, true, nil},
+		{"schedule", FaultModel{Kind: CrashSchedule, Schedule: []CrashEvent{{Node: 1, Round: 0, Keep: -1}}}, false, (*crash.Schedule)(nil)},
+		{"random", FaultModel{Kind: RandomCrashes, Count: 3, Horizon: 10}, false, (*crash.Random)(nil)},
+		{"cascade", FaultModel{Kind: CascadeCrashes, Count: 3, Keep: 1}, false, (*crash.Cascade)(nil)},
+		{"target-little", FaultModel{Kind: TargetLittleCrashes, Count: 3}, false, (*crash.TargetLittle)(nil)},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			adv, err := tc.fault.Adversary(20, 4, 10, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if tc.wantNil {
+				if adv != nil {
+					t.Fatalf("adversary = %T, want nil", adv)
+				}
+				return
+			}
+			if adv == nil {
+				t.Fatal("adversary is nil")
+			}
+			switch tc.wantTyp.(type) {
+			case *crash.Schedule:
+				if _, ok := adv.(*crash.Schedule); !ok {
+					t.Fatalf("adversary = %T", adv)
+				}
+			case *crash.Random:
+				if _, ok := adv.(*crash.Random); !ok {
+					t.Fatalf("adversary = %T", adv)
+				}
+			case *crash.Cascade:
+				if _, ok := adv.(*crash.Cascade); !ok {
+					t.Fatalf("adversary = %T", adv)
+				}
+			case *crash.TargetLittle:
+				if _, ok := adv.(*crash.TargetLittle); !ok {
+					t.Fatalf("adversary = %T", adv)
+				}
+			}
+		})
+	}
+}
+
+// TestFaultModelRandomSeedDerivation pins the historical adversary
+// seed offset: a random fault model without an explicit seed must
+// derive runSeed+101, the offset every committed experiment artifact
+// was generated with.
+func TestFaultModelRandomSeedDerivation(t *testing.T) {
+	derived, err := FaultModel{Kind: RandomCrashes, Count: 4, Horizon: 16}.Adversary(40, 4, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	explicit, err := FaultModel{Kind: RandomCrashes, Count: 4, Horizon: 16, Seed: 102}.Adversary(40, 4, 0, 9999)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reference := crash.NewRandom(40, 4, 16, 102)
+	if !sameCrashPattern(derived, reference, 40, 20) || !sameCrashPattern(explicit, reference, 40, 20) {
+		t.Fatal("random adversary seed derivation diverged from crash.NewRandom(n, f, horizon, runSeed+101)")
+	}
+}
+
+// sameCrashPattern compares which (round, node) pairs two adversaries
+// crash over a window, using empty outboxes.
+func sameCrashPattern(a, b sim.Adversary, n, rounds int) bool {
+	for r := 0; r < rounds; r++ {
+		for id := 0; id < n; id++ {
+			_, ca := a.FilterSend(r, id, nil)
+			_, cb := b.FilterSend(r, id, nil)
+			if ca != cb {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func TestFaultModelRandomClampsToT(t *testing.T) {
+	adv, err := FaultModel{Kind: RandomCrashes, Count: 100, Horizon: 1}.Adversary(20, 3, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	crashes := 0
+	for id := 0; id < 20; id++ {
+		if _, crashed := adv.FilterSend(0, id, nil); crashed {
+			crashes++
+		}
+	}
+	if crashes > 3 {
+		t.Fatalf("%d crashes exceed the fault bound t=3", crashes)
+	}
+}
+
+func TestFaultModelValidation(t *testing.T) {
+	byzSpec := MustLookup("byzantine/ab-consensus").Spec(20, 3, 1)
+	tooMany := FaultModel{Kind: ByzantineFaults, Corrupted: []int{0, 1, 2, 3}}
+	if err := tooMany.validate(byzSpec); err == nil {
+		t.Fatal("corrupted > t accepted")
+	}
+	outOfRange := FaultModel{Kind: ByzantineFaults, Corrupted: []int{25}}
+	if err := outOfRange.validate(byzSpec); err == nil {
+		t.Fatal("out-of-range corrupted node accepted")
+	}
+	wrongProblem := MustLookup("consensus/few-crashes").Spec(20, 3, 1)
+	if err := (FaultModel{Kind: ByzantineFaults}).validate(wrongProblem); err == nil {
+		t.Fatal("byzantine fault model accepted on a crash problem")
+	}
+}

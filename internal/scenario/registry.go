@@ -1,0 +1,231 @@
+package scenario
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Definition is a registered scenario family: one protocol stack of
+// the evaluation matrix (problem × algorithm × port model), named so
+// commands and experiments can enumerate and materialize it at any
+// size. The fault-model and size dimensions are bound at
+// materialization time via Spec.
+type Definition struct {
+	// Name is the registry key, "<problem>/<algorithm>[/single-port]".
+	Name      string
+	Problem   Problem
+	Algorithm Algorithm
+	Port      PortModel
+	// Experiments lists the EXPERIMENTS.md experiment ids that
+	// exercise this cell (golden-matrix bookkeeping).
+	Experiments []string
+	// About is a one-line description (paper section and claim).
+	About string
+}
+
+// Spec materializes the definition at size (n, t) with the given seed:
+// canonical per-problem inputs, no failures, sequential engine. Callers
+// adjust the returned value (fault model, inputs, engine) before
+// passing it to Run.
+func (d Definition) Spec(n, t int, seed uint64) Spec {
+	sp := Spec{
+		Name:      d.Name,
+		Problem:   d.Problem,
+		Algorithm: d.Algorithm,
+		Port:      d.Port,
+		N:         n,
+		T:         t,
+		Seed:      seed,
+	}
+	switch d.Problem {
+	case Consensus, AlmostEverywhere, MajorityVote:
+		// Every third node inputs 1, the mixed-input workload of every
+		// committed experiment.
+		in := make([]bool, n)
+		for i := range in {
+			in[i] = i%3 == 0
+		}
+		sp.BoolInputs = in
+	case SpreadCommonValue:
+		// 3n/5 holders, the Theorem 6 threshold workload.
+		in := make([]bool, n)
+		for i := range in {
+			in[i] = i < 3*n/5
+		}
+		sp.BoolInputs = in
+	case Gossip:
+		rumors := make([]uint64, n)
+		for i := range rumors {
+			rumors[i] = uint64(i)
+		}
+		sp.Rumors = rumors
+	case ByzantineConsensus:
+		values := make([]uint64, n)
+		for i := range values {
+			values[i] = uint64(i)
+		}
+		sp.Values = values
+	}
+	return sp
+}
+
+// registry holds the definitions in registration order plus a name
+// index. Registration happens in package init (and tests); lookups are
+// read-only afterwards, so no locking.
+var (
+	registryOrder []string
+	registryByKey = make(map[string]Definition)
+)
+
+// Register adds a definition. It panics on an empty or duplicate name:
+// registrations are package-init wiring, and a collision is a
+// programming error.
+func Register(d Definition) {
+	if d.Name == "" {
+		panic("scenario: Register with empty name")
+	}
+	if _, dup := registryByKey[d.Name]; dup {
+		panic(fmt.Sprintf("scenario: duplicate registration of %q", d.Name))
+	}
+	registryByKey[d.Name] = d
+	registryOrder = append(registryOrder, d.Name)
+}
+
+// Lookup returns the definition registered under name.
+func Lookup(name string) (Definition, bool) {
+	d, ok := registryByKey[name]
+	return d, ok
+}
+
+// MustLookup returns the definition registered under name, panicking
+// if it is absent — for the built-in names, which the golden matrix
+// test pins.
+func MustLookup(name string) Definition {
+	d, ok := registryByKey[name]
+	if !ok {
+		panic(fmt.Sprintf("scenario: unknown scenario %q", name))
+	}
+	return d
+}
+
+// Names returns all registered names, sorted.
+func Names() []string {
+	names := append([]string(nil), registryOrder...)
+	sort.Strings(names)
+	return names
+}
+
+// All returns the definitions in registration order.
+func All() []Definition {
+	ds := make([]Definition, 0, len(registryOrder))
+	for _, name := range registryOrder {
+		ds = append(ds, registryByKey[name])
+	}
+	return ds
+}
+
+// ByProblem returns the definitions solving p, in registration order.
+func ByProblem(p Problem) []Definition {
+	var ds []Definition
+	for _, name := range registryOrder {
+		if d := registryByKey[name]; d.Problem == p {
+			ds = append(ds, d)
+		}
+	}
+	return ds
+}
+
+// The built-in matrix: every protocol stack the paper evaluates. The
+// golden matrix test (registry_test.go) pins this list, so dropping a
+// row of the paper's tables fails CI.
+func init() {
+	for _, d := range []Definition{
+		{
+			Name: "consensus/few-crashes", Problem: Consensus, Algorithm: FewCrashes, Port: MultiPort,
+			Experiments: []string{"E4", "E11", "T1"},
+			About:       "§4.3 Few-Crashes-Consensus: t < n/5, O(t+log n) rounds, O(n+t log t) bits",
+		},
+		{
+			Name: "consensus/many-crashes", Problem: Consensus, Algorithm: ManyCrashes, Port: MultiPort,
+			Experiments: []string{"E5"},
+			About:       "§4.4 Many-Crashes-Consensus: any t < n, ≤ n+3(1+lg n) rounds",
+		},
+		{
+			Name: "consensus/flooding", Problem: Consensus, Algorithm: Flooding, Port: MultiPort,
+			Experiments: []string{"E11"},
+			About:       "Θ(n²)-message textbook comparator",
+		},
+		{
+			Name: "consensus/single-port", Problem: Consensus, Algorithm: SinglePortLinear, Port: SinglePort,
+			Experiments: []string{"E9", "T1"},
+			About:       "§8 Linear-Consensus in the single-port model",
+		},
+		{
+			Name: "consensus/early-stopping", Problem: Consensus, Algorithm: EarlyStopping, Port: MultiPort,
+			Experiments: nil,
+			About:       "related-work early-stopping comparator: min(f+3, t+3) rounds",
+		},
+		{
+			Name: "consensus/rotating-coordinator", Problem: Consensus, Algorithm: RotatingCoordinator, Port: MultiPort,
+			Experiments: []string{"E11"},
+			About:       "rotating-coordinator comparator: t+1 rounds, Θ(t·n) messages",
+		},
+		{
+			Name: "gossip/expander", Problem: Gossip, Algorithm: GossipExpander, Port: MultiPort,
+			Experiments: []string{"E6", "T1"},
+			About:       "§5 gossip: O(log n·log t) rounds, O(n+t log n log t) messages",
+		},
+		{
+			Name: "gossip/expander/single-port", Problem: Gossip, Algorithm: GossipExpander, Port: SinglePort,
+			Experiments: []string{"T1"},
+			About:       "§8 single-port adaptation of §5 gossip",
+		},
+		{
+			Name: "gossip/all-to-all", Problem: Gossip, Algorithm: GossipAllToAll, Port: MultiPort,
+			Experiments: nil,
+			About:       "all-to-all gossip comparator",
+		},
+		{
+			Name: "checkpoint/expander", Problem: Checkpointing, Algorithm: CheckpointExpander, Port: MultiPort,
+			Experiments: []string{"E7", "T1"},
+			About:       "§6 checkpointing",
+		},
+		{
+			Name: "checkpoint/expander/single-port", Problem: Checkpointing, Algorithm: CheckpointExpander, Port: SinglePort,
+			Experiments: []string{"T1"},
+			About:       "§8 single-port adaptation of §6 checkpointing",
+		},
+		{
+			Name: "checkpoint/direct", Problem: Checkpointing, Algorithm: CheckpointDirect, Port: MultiPort,
+			Experiments: []string{"E7"},
+			About:       "direct O(tn)-message comparator",
+		},
+		{
+			Name: "byzantine/ab-consensus", Problem: ByzantineConsensus, Algorithm: ABConsensus, Port: MultiPort,
+			Experiments: []string{"E8", "T1"},
+			About:       "§7 AB-Consensus: O(t) rounds, O(t²+n) non-faulty messages",
+		},
+		{
+			Name: "byzantine/dolev-strong-all", Problem: ByzantineConsensus, Algorithm: DolevStrongAll, Port: MultiPort,
+			Experiments: nil,
+			About:       "all-nodes Dolev–Strong comparator",
+		},
+		{
+			Name: "aea/expander", Problem: AlmostEverywhere, Algorithm: AEA, Port: MultiPort,
+			Experiments: []string{"E2"},
+			About:       "§3 Almost-Everywhere Agreement: ≥ 3n/5 deciders, O(t) rounds, O(n) messages",
+		},
+		{
+			Name: "scv/expander", Problem: SpreadCommonValue, Algorithm: SCV, Port: MultiPort,
+			Experiments: []string{"E3"},
+			About:       "§4 Spread-Common-Value: O(log t) rounds, O(t log t) messages",
+		},
+		{
+			Name: "majority/expander", Problem: MajorityVote, Algorithm: Majority, Port: MultiPort,
+			Experiments: nil,
+			About:       "§9 extension: exact majority tally over an agreed ballot set",
+		},
+	} {
+		Register(d)
+	}
+}

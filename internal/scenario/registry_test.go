@@ -1,0 +1,157 @@
+package scenario
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestRegistryMatrixGolden pins the full scenario matrix: every
+// protocol stack of the paper's evaluation tables must stay
+// registered. An accidental drop of a table row fails here before it
+// silently disappears from the experiment sweeps.
+func TestRegistryMatrixGolden(t *testing.T) {
+	want := []string{
+		"aea/expander",
+		"byzantine/ab-consensus",
+		"byzantine/dolev-strong-all",
+		"checkpoint/direct",
+		"checkpoint/expander",
+		"checkpoint/expander/single-port",
+		"consensus/early-stopping",
+		"consensus/few-crashes",
+		"consensus/flooding",
+		"consensus/many-crashes",
+		"consensus/rotating-coordinator",
+		"consensus/single-port",
+		"gossip/all-to-all",
+		"gossip/expander",
+		"gossip/expander/single-port",
+		"majority/expander",
+		"scv/expander",
+	}
+	got := Names()
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("registry matrix drifted:\n got  %v\n want %v", got, want)
+	}
+	// Names() must be deduplicated (Register panics on duplicates, but
+	// pin it anyway against a future registry rewrite).
+	seen := make(map[string]bool, len(got))
+	for _, name := range got {
+		if seen[name] {
+			t.Fatalf("duplicate registry name %q", name)
+		}
+		seen[name] = true
+	}
+}
+
+// TestRegistryCountsPerProblem pins the per-problem row counts of the
+// matrix.
+func TestRegistryCountsPerProblem(t *testing.T) {
+	wantCounts := map[Problem]int{
+		Consensus:          6,
+		Gossip:             3,
+		Checkpointing:      3,
+		ByzantineConsensus: 2,
+		AlmostEverywhere:   1,
+		SpreadCommonValue:  1,
+		MajorityVote:       1,
+	}
+	total := 0
+	for problem, want := range wantCounts {
+		got := len(ByProblem(problem))
+		if got != want {
+			t.Errorf("ByProblem(%v) has %d definitions, want %d", problem, got, want)
+		}
+		total += got
+	}
+	if got := len(All()); got != total {
+		t.Errorf("All() has %d definitions, want %d", got, total)
+	}
+}
+
+// TestEveryExperimentIdIsCovered asserts each paper experiment id that
+// runs engine scenarios maps to at least one registry row (E10 is the
+// lower-bound constructions, which run through the Stepper, not a
+// registered protocol stack).
+func TestEveryExperimentIdIsCovered(t *testing.T) {
+	covered := make(map[string]bool)
+	for _, d := range All() {
+		for _, id := range d.Experiments {
+			covered[id] = true
+		}
+	}
+	for _, id := range []string{"E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E11", "T1"} {
+		if !covered[id] {
+			t.Errorf("experiment %s has no registry scenario", id)
+		}
+	}
+}
+
+func TestLookup(t *testing.T) {
+	d, ok := Lookup("consensus/few-crashes")
+	if !ok || d.Problem != Consensus || d.Algorithm != FewCrashes || d.Port != MultiPort {
+		t.Fatalf("Lookup(consensus/few-crashes) = %+v, %v", d, ok)
+	}
+	if _, ok := Lookup("consensus/nonsense"); ok {
+		t.Fatal("Lookup accepted an unknown name")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustLookup on unknown name did not panic")
+		}
+	}()
+	MustLookup("consensus/nonsense")
+}
+
+func TestRegisterRejectsDuplicatesAndEmptyNames(t *testing.T) {
+	mustPanic := func(name string, d Definition) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("Register(%q) did not panic", name)
+			}
+		}()
+		Register(d)
+	}
+	mustPanic("empty", Definition{})
+	mustPanic("duplicate", Definition{Name: "consensus/few-crashes"})
+}
+
+func TestDefinitionSpecCanonicalInputs(t *testing.T) {
+	n, tt := 30, 5
+	sp := MustLookup("consensus/few-crashes").Spec(n, tt, 7)
+	if sp.Name != "consensus/few-crashes" || sp.N != n || sp.T != tt || sp.Seed != 7 {
+		t.Fatalf("spec header = %+v", sp)
+	}
+	if len(sp.BoolInputs) != n || !sp.BoolInputs[0] || sp.BoolInputs[1] || !sp.BoolInputs[3] {
+		t.Fatalf("consensus canonical inputs wrong: %v", sp.BoolInputs)
+	}
+	if sp.Fault.Kind != NoFailures {
+		t.Fatalf("canonical fault = %v, want NoFailures", sp.Fault.Kind)
+	}
+
+	gp := MustLookup("gossip/expander").Spec(n, tt, 1)
+	if len(gp.Rumors) != n || gp.Rumors[17] != 17 {
+		t.Fatalf("gossip canonical rumors wrong: %v", gp.Rumors)
+	}
+
+	bp := MustLookup("byzantine/ab-consensus").Spec(n, tt, 1)
+	if len(bp.Values) != n || bp.Values[11] != 11 {
+		t.Fatalf("byzantine canonical values wrong: %v", bp.Values)
+	}
+
+	scv := MustLookup("scv/expander").Spec(n, tt, 1)
+	holders := 0
+	for _, h := range scv.BoolInputs {
+		if h {
+			holders++
+		}
+	}
+	if holders != 3*n/5 {
+		t.Fatalf("scv canonical holders = %d, want %d", holders, 3*n/5)
+	}
+
+	// Single-port definitions carry their port model into the spec.
+	if sp := MustLookup("gossip/expander/single-port").Spec(n, tt, 1); sp.Port != SinglePort {
+		t.Fatalf("single-port definition produced port %v", sp.Port)
+	}
+}

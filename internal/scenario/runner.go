@@ -1,0 +1,622 @@
+package scenario
+
+import (
+	"errors"
+	"fmt"
+
+	"lineartime/internal/bitset"
+	"lineartime/internal/byzantine"
+	"lineartime/internal/checkpoint"
+	"lineartime/internal/consensus"
+	"lineartime/internal/gossip"
+	"lineartime/internal/majority"
+	"lineartime/internal/sim"
+	"lineartime/internal/singleport"
+)
+
+// defaultRoundSlack is added to a protocol's schedule length to form
+// the engine round budget, absorbing the bounded overrun the paper's
+// termination arguments allow.
+const defaultRoundSlack = 8
+
+// ErrSinglePortParallel reports a parallel dispatch of a single-port
+// scenario; the sharded engine is multi-port only.
+var ErrSinglePortParallel = errors.New("scenario: parallel execution is multi-port only")
+
+// Execute is the single engine choke point: every simulator run in the
+// repository outside internal/sim — the public API, the registry
+// experiments, the commands, the lower-bound constructions — dispatches
+// through here, so the sequential/parallel decision and its
+// constraints live in one place.
+func Execute(cfg sim.Config, p Parallelism) (*sim.Result, error) {
+	if p.Enabled {
+		if cfg.SinglePort {
+			return nil, ErrSinglePortParallel
+		}
+		return sim.RunParallel(cfg, p.Workers)
+	}
+	return sim.Run(cfg)
+}
+
+// Runner materializes Specs into engine runs. It is stateless; the
+// zero value is ready to use.
+type Runner struct{}
+
+// Run materializes the spec into a sim.Config, executes it through
+// Execute, and returns the unified report.
+func (Runner) Run(sp Spec) (*Report, error) {
+	if sp.N <= 0 {
+		return nil, fmt.Errorf("scenario: n=%d must be positive", sp.N)
+	}
+	if err := sp.Fault.validate(sp); err != nil {
+		return nil, err
+	}
+	sys, err := materialize(sp)
+	if err != nil {
+		return nil, err
+	}
+	adv, err := sp.Fault.Adversary(sp.N, sp.T, sys.little, sp.Seed)
+	if err != nil {
+		return nil, err
+	}
+	slack := sp.RoundSlack
+	if slack <= 0 {
+		slack = defaultRoundSlack
+	}
+	res, err := Execute(sim.Config{
+		Protocols:   sys.ps,
+		PartLabeler: partLabelerOf(sys.ps),
+		Adversary:   adv,
+		Byzantine:   sys.byz,
+		MaxRounds:   sys.schedule + slack,
+		SinglePort:  sys.singlePort,
+	}, sp.Exec)
+	if err != nil {
+		return nil, err
+	}
+	rep := &Report{
+		Scenario:  sp.Name,
+		Problem:   sp.Problem,
+		Algorithm: sp.Algorithm,
+		Port:      sp.Port,
+		N:         sp.N,
+		T:         sp.T,
+		Metrics:   toMetrics(res),
+		Crashed:   res.Crashed.Elements(),
+	}
+	sys.finish(res, rep)
+	return rep, nil
+}
+
+// Run executes the spec on the default Runner.
+func Run(sp Spec) (*Report, error) { return Runner{}.Run(sp) }
+
+func toMetrics(res *sim.Result) Metrics {
+	m := Metrics{
+		Rounds:      res.Metrics.Rounds,
+		Messages:    res.Metrics.Messages,
+		Bits:        res.Metrics.Bits,
+		ByzMessages: res.Metrics.ByzMessages,
+		ByzBits:     res.Metrics.ByzBits,
+	}
+	if len(res.Metrics.PerPart) > 0 {
+		m.PerPart = make(map[string]int64, len(res.Metrics.PerPart))
+		for k, v := range res.Metrics.PerPart {
+			m.PerPart[k] = v
+		}
+	}
+	return m
+}
+
+// partLabelerOf returns the schedule labeler shared by a run's
+// protocols, if they provide one (schedules are identical across
+// nodes, so the first protocol's labeler covers the system).
+func partLabelerOf(ps []sim.Protocol) func(int) string {
+	if len(ps) == 0 {
+		return nil
+	}
+	if pl, ok := ps[0].(interface{ PartAt(round int) string }); ok {
+		return pl.PartAt
+	}
+	return nil
+}
+
+// system is a materialized scenario: the protocol stack plus the hooks
+// the runner needs to configure the engine and evaluate the outcome.
+type system struct {
+	ps         []sim.Protocol
+	schedule   int
+	singlePort bool
+	byz        *bitset.Set
+	// little is the expander topology's little-node count (0 when the
+	// scenario has no expander overlay), feeding TargetLittleCrashes.
+	little int
+	// finish evaluates the problem-specific outcome into the report.
+	finish func(res *sim.Result, rep *Report)
+}
+
+// materialize builds the protocol stack for the spec.
+func materialize(sp Spec) (*system, error) {
+	switch sp.Problem {
+	case Consensus:
+		return materializeConsensus(sp)
+	case Gossip:
+		return materializeGossip(sp)
+	case Checkpointing:
+		return materializeCheckpointing(sp)
+	case ByzantineConsensus:
+		return materializeByzantine(sp)
+	case AlmostEverywhere:
+		return materializeAEA(sp)
+	case SpreadCommonValue:
+		return materializeSCV(sp)
+	case MajorityVote:
+		return materializeMajority(sp)
+	default:
+		return nil, fmt.Errorf("scenario: unknown problem %v", sp.Problem)
+	}
+}
+
+func (sp Spec) topologyOptions() consensus.TopologyOptions {
+	return consensus.TopologyOptions{Seed: sp.Seed, Degree: sp.Degree}
+}
+
+// boolDecider is the decision surface shared by the consensus
+// protocols.
+type boolDecider interface {
+	Decision() (bool, bool)
+}
+
+func materializeConsensus(sp Spec) (*system, error) {
+	n, t := sp.N, sp.T
+	inputs := sp.BoolInputs
+	if len(inputs) != n {
+		return nil, fmt.Errorf("scenario: %d inputs for n=%d", len(inputs), n)
+	}
+	ps := make([]sim.Protocol, n)
+	ds := make([]boolDecider, n)
+	sys := &system{ps: ps}
+
+	switch sp.Algorithm {
+	case FewCrashes:
+		top, err := consensus.NewTopology(n, t, sp.topologyOptions())
+		if err != nil {
+			return nil, err
+		}
+		sys.little = top.L
+		for i := 0; i < n; i++ {
+			m := consensus.NewFewCrashes(i, top, inputs[i])
+			ps[i], ds[i] = m, m
+			sys.schedule = m.ScheduleLength()
+		}
+	case ManyCrashes:
+		top, err := consensus.NewManyTopology(n, t, sp.topologyOptions())
+		if err != nil {
+			return nil, err
+		}
+		for i := 0; i < n; i++ {
+			m := consensus.NewManyCrashes(i, top, inputs[i])
+			ps[i], ds[i] = m, m
+			sys.schedule = m.ScheduleLength()
+		}
+	case Flooding:
+		for i := 0; i < n; i++ {
+			m := consensus.NewFlooding(i, n, t, inputs[i])
+			ps[i], ds[i] = m, m
+			sys.schedule = m.ScheduleLength()
+		}
+	case SinglePortLinear:
+		top, err := consensus.NewTopology(n, t, sp.topologyOptions())
+		if err != nil {
+			return nil, err
+		}
+		sys.little = top.L
+		for i := 0; i < n; i++ {
+			m := singleport.New(i, top, inputs[i])
+			ps[i], ds[i] = m, m
+			sys.schedule = m.ScheduleLength()
+		}
+		sys.singlePort = true
+	case EarlyStopping:
+		for i := 0; i < n; i++ {
+			m := consensus.NewEarlyStopping(i, n, t, inputs[i])
+			ps[i], ds[i] = m, m
+			sys.schedule = m.MaxRounds()
+		}
+	case RotatingCoordinator:
+		for i := 0; i < n; i++ {
+			m := consensus.NewRotatingCoordinator(i, n, t, inputs[i])
+			ps[i], ds[i] = m, m
+			sys.schedule = m.ScheduleLength()
+		}
+	default:
+		return nil, fmt.Errorf("scenario: unknown consensus algorithm %q", sp.Algorithm)
+	}
+
+	sys.finish = func(res *sim.Result, rep *Report) {
+		out := &ConsensusOutcome{
+			Decisions: make([]int, n),
+			Agreement: true,
+			Validity:  true,
+		}
+		any0, any1 := false, false
+		for _, in := range inputs {
+			if in {
+				any1 = true
+			} else {
+				any0 = true
+			}
+		}
+		first := -1
+		for i := 0; i < n; i++ {
+			out.Decisions[i] = -1
+			if res.Crashed.Contains(i) {
+				continue
+			}
+			v, ok := ds[i].Decision()
+			if !ok {
+				out.Agreement = false
+				continue
+			}
+			d := 0
+			if v {
+				d = 1
+			}
+			out.Decisions[i] = d
+			if first < 0 {
+				first = d
+			} else if first != d {
+				out.Agreement = false
+			}
+			if (d == 1 && !any1) || (d == 0 && !any0) {
+				out.Validity = false
+			}
+		}
+		rep.Consensus = out
+	}
+	return sys, nil
+}
+
+func materializeGossip(sp Spec) (*system, error) {
+	n, t := sp.N, sp.T
+	rumors := sp.Rumors
+	if len(rumors) != n {
+		return nil, fmt.Errorf("scenario: %d rumors for n=%d", len(rumors), n)
+	}
+	ps := make([]sim.Protocol, n)
+	extants := make([]func() *gossip.ExtantSet, n)
+	sys := &system{ps: ps}
+
+	switch {
+	case sp.Algorithm == GossipAllToAll:
+		for i := 0; i < n; i++ {
+			m := gossip.NewAllToAll(i, n, gossip.Rumor(rumors[i]))
+			ps[i] = m
+			extants[i] = m.Extant
+			sys.schedule = m.ScheduleLength()
+		}
+	case sp.Algorithm == GossipExpander && sp.Port == SinglePort:
+		top, err := consensus.NewTopology(n, t, sp.topologyOptions())
+		if err != nil {
+			return nil, err
+		}
+		sys.little = top.L
+		sched, err := singleport.NewGossipSchedule(top, sp.Seed)
+		if err != nil {
+			return nil, err
+		}
+		for i := 0; i < n; i++ {
+			m := singleport.NewSPGossip(i, sched, gossip.Rumor(rumors[i]))
+			ps[i] = m
+			extants[i] = m.Extant
+			sys.schedule = m.ScheduleLength()
+		}
+		sys.singlePort = true
+	case sp.Algorithm == GossipExpander:
+		top, err := consensus.NewTopology(n, t, sp.topologyOptions())
+		if err != nil {
+			return nil, err
+		}
+		sys.little = top.L
+		for i := 0; i < n; i++ {
+			m := gossip.New(i, top, gossip.Rumor(rumors[i]))
+			ps[i] = m
+			extants[i] = m.Extant
+			sys.schedule = m.ScheduleLength()
+		}
+	default:
+		return nil, fmt.Errorf("scenario: unknown gossip algorithm %q", sp.Algorithm)
+	}
+
+	sys.finish = func(res *sim.Result, rep *Report) {
+		out := &GossipOutcome{
+			Extant:   make([]map[int]uint64, n),
+			Complete: true,
+		}
+		for i := 0; i < n; i++ {
+			if res.Crashed.Contains(i) {
+				continue
+			}
+			e := extants[i]()
+			view := make(map[int]uint64, e.Count())
+			e.Known().ForEach(func(j int) { view[j] = uint64(e.Rumor(j)) })
+			out.Extant[i] = view
+			for j := 0; j < n; j++ {
+				if !res.Crashed.Contains(j) {
+					if _, ok := view[j]; !ok {
+						out.Complete = false
+					}
+				}
+			}
+		}
+		rep.Gossip = out
+	}
+	return sys, nil
+}
+
+func materializeCheckpointing(sp Spec) (*system, error) {
+	n, t := sp.N, sp.T
+	ps := make([]sim.Protocol, n)
+	outs := make([]func() (*bitset.Set, bool), n)
+	sys := &system{ps: ps}
+
+	switch {
+	case sp.Algorithm == CheckpointDirect:
+		for i := 0; i < n; i++ {
+			m := checkpoint.NewDirect(i, n, t)
+			ps[i] = m
+			outs[i] = m.Decision
+			sys.schedule = m.ScheduleLength()
+		}
+	case sp.Algorithm == CheckpointExpander && sp.Port == SinglePort:
+		top, err := consensus.NewTopology(n, t, sp.topologyOptions())
+		if err != nil {
+			return nil, err
+		}
+		sys.little = top.L
+		sched, err := singleport.NewGossipSchedule(top, sp.Seed)
+		if err != nil {
+			return nil, err
+		}
+		for i := 0; i < n; i++ {
+			m := singleport.NewSPCheckpointing(i, sched)
+			ps[i] = m
+			outs[i] = m.Decision
+			sys.schedule = m.ScheduleLength()
+		}
+		sys.singlePort = true
+	case sp.Algorithm == CheckpointExpander:
+		top, err := consensus.NewTopology(n, t, sp.topologyOptions())
+		if err != nil {
+			return nil, err
+		}
+		sys.little = top.L
+		for i := 0; i < n; i++ {
+			m := checkpoint.New(i, top)
+			ps[i] = m
+			outs[i] = m.Decision
+			sys.schedule = m.ScheduleLength()
+		}
+	default:
+		return nil, fmt.Errorf("scenario: unknown checkpointing algorithm %q", sp.Algorithm)
+	}
+
+	sys.finish = func(res *sim.Result, rep *Report) {
+		out := &CheckpointOutcome{Agreement: true}
+		var agreed *bitset.Set
+		for i := 0; i < n; i++ {
+			if res.Crashed.Contains(i) {
+				continue
+			}
+			set, ok := outs[i]()
+			if !ok {
+				out.Agreement = false
+				continue
+			}
+			if agreed == nil {
+				agreed = set
+			} else if !agreed.Equal(set) {
+				out.Agreement = false
+			}
+		}
+		if agreed != nil && out.Agreement {
+			out.ExtantSet = agreed.Elements()
+		}
+		rep.Checkpoint = out
+	}
+	return sys, nil
+}
+
+// uintDecider is the decision surface of the Byzantine protocols.
+type uintDecider interface {
+	Decision() (uint64, bool)
+}
+
+func materializeByzantine(sp Spec) (*system, error) {
+	n, t := sp.N, sp.T
+	inputs := sp.Values
+	if len(inputs) != n {
+		return nil, fmt.Errorf("scenario: %d inputs for n=%d", len(inputs), n)
+	}
+	cfg, err := byzantine.NewConfig(n, t, sp.Seed)
+	if err != nil {
+		return nil, err
+	}
+	corrupted := make(map[int]bool, len(sp.Fault.Corrupted))
+	for _, id := range sp.Fault.Corrupted {
+		corrupted[id] = true
+	}
+
+	ps := make([]sim.Protocol, n)
+	ds := make([]uintDecider, n)
+	byz := bitset.New(n)
+	baseline := sp.Algorithm == DolevStrongAll
+	if !baseline && sp.Algorithm != ABConsensus {
+		return nil, fmt.Errorf("scenario: unknown byzantine algorithm %q", sp.Algorithm)
+	}
+	for i := 0; i < n; i++ {
+		if corrupted[i] {
+			byz.Add(i)
+			switch sp.Fault.Strategy {
+			case Equivocate:
+				ps[i] = byzantine.NewEquivocator(i, cfg, cfg.Authority.Signer(i), inputs[i], inputs[i]+1)
+			case Spam:
+				ps[i] = byzantine.NewSpammer(i, cfg, cfg.Authority.Signer(i))
+			default:
+				ps[i] = byzantine.NewSilent(cfg)
+			}
+			continue
+		}
+		if baseline {
+			m := byzantine.NewDSAll(i, cfg, cfg.Authority.Signer(i), inputs[i])
+			ps[i], ds[i] = m, m
+		} else {
+			m := byzantine.NewABConsensus(i, cfg, cfg.Authority.Signer(i), inputs[i])
+			ps[i], ds[i] = m, m
+		}
+	}
+	sys := &system{ps: ps, schedule: cfg.ScheduleLength(), byz: byz}
+	sys.finish = func(res *sim.Result, rep *Report) {
+		out := &ByzantineOutcome{
+			L:         cfg.L,
+			Decisions: make([]uint64, n),
+			Decided:   make([]bool, n),
+			Agreement: true,
+		}
+		var agreed *uint64
+		for i := 0; i < n; i++ {
+			if ds[i] == nil {
+				continue
+			}
+			v, ok := ds[i].Decision()
+			if !ok {
+				out.Agreement = false
+				continue
+			}
+			out.Decisions[i] = v
+			out.Decided[i] = true
+			if agreed == nil {
+				agreed = &v
+			} else if *agreed != v {
+				out.Agreement = false
+			}
+		}
+		rep.Byzantine = out
+	}
+	return sys, nil
+}
+
+func materializeAEA(sp Spec) (*system, error) {
+	n, t := sp.N, sp.T
+	inputs := sp.BoolInputs
+	if len(inputs) != n {
+		return nil, fmt.Errorf("scenario: %d inputs for n=%d", len(inputs), n)
+	}
+	top, err := consensus.NewTopology(n, t, sp.topologyOptions())
+	if err != nil {
+		return nil, err
+	}
+	ps := make([]sim.Protocol, n)
+	ms := make([]*consensus.AEA, n)
+	sys := &system{ps: ps, little: top.L}
+	for i := 0; i < n; i++ {
+		ms[i] = consensus.NewAEA(i, top, inputs[i], 0, true)
+		ps[i] = ms[i]
+		sys.schedule = ms[i].ScheduleLength()
+	}
+	sys.finish = func(res *sim.Result, rep *Report) {
+		out := &SubroutineOutcome{AllDecided: true}
+		for i, m := range ms {
+			_, ok := m.Decided()
+			if !ok {
+				out.AllDecided = false
+			}
+			if ok && !res.Crashed.Contains(i) {
+				out.Deciders++
+			}
+		}
+		rep.Subroutine = out
+	}
+	return sys, nil
+}
+
+func materializeMajority(sp Spec) (*system, error) {
+	n, t := sp.N, sp.T
+	votes := sp.BoolInputs
+	if len(votes) != n {
+		return nil, fmt.Errorf("scenario: %d votes for n=%d", len(votes), n)
+	}
+	top, err := consensus.NewTopology(n, t, sp.topologyOptions())
+	if err != nil {
+		return nil, err
+	}
+	ps := make([]sim.Protocol, n)
+	ms := make([]*majority.Vote, n)
+	sys := &system{ps: ps, little: top.L}
+	for i := 0; i < n; i++ {
+		ms[i] = majority.New(i, top, votes[i])
+		ps[i] = ms[i]
+		sys.schedule = ms[i].ScheduleLength()
+	}
+	sys.finish = func(res *sim.Result, rep *Report) {
+		out := &MajorityOutcome{Agreement: true}
+		first := false
+		for i := 0; i < n; i++ {
+			if res.Crashed.Contains(i) {
+				continue
+			}
+			verdict, yes, ballots, ok := ms[i].Verdict()
+			if !ok {
+				out.Agreement = false
+				continue
+			}
+			if !first {
+				out.YesWins = verdict == majority.Yes
+				out.YesVotes = yes
+				out.Ballots = ballots
+				first = true
+				continue
+			}
+			if (verdict == majority.Yes) != out.YesWins ||
+				yes != out.YesVotes || ballots != out.Ballots {
+				out.Agreement = false
+			}
+		}
+		rep.Majority = out
+	}
+	return sys, nil
+}
+
+func materializeSCV(sp Spec) (*system, error) {
+	n, t := sp.N, sp.T
+	inputs := sp.BoolInputs
+	if len(inputs) != n {
+		return nil, fmt.Errorf("scenario: %d inputs for n=%d", len(inputs), n)
+	}
+	top, err := consensus.NewTopology(n, t, sp.topologyOptions())
+	if err != nil {
+		return nil, err
+	}
+	ps := make([]sim.Protocol, n)
+	ms := make([]*consensus.SCV, n)
+	sys := &system{ps: ps, little: top.L}
+	for i := 0; i < n; i++ {
+		ms[i] = consensus.NewSCV(i, top, inputs[i], true, 0, true)
+		ps[i] = ms[i]
+		sys.schedule = ms[i].ScheduleLength()
+	}
+	sys.finish = func(res *sim.Result, rep *Report) {
+		out := &SubroutineOutcome{AllDecided: true}
+		for i, m := range ms {
+			_, ok := m.Decided()
+			if !ok {
+				out.AllDecided = false
+			}
+			if ok && !res.Crashed.Contains(i) {
+				out.Deciders++
+			}
+		}
+		rep.Subroutine = out
+	}
+	return sys, nil
+}

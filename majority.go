@@ -3,9 +3,7 @@ package lineartime
 import (
 	"fmt"
 
-	"lineartime/internal/consensus"
-	"lineartime/internal/majority"
-	"lineartime/internal/sim"
+	"lineartime/internal/scenario"
 )
 
 // MajorityReport is the outcome of RunMajorityVote.
@@ -31,53 +29,20 @@ func RunMajorityVote(n, t int, votes []bool, opts ...Option) (*MajorityReport, e
 		return nil, fmt.Errorf("lineartime: %d votes for n=%d", len(votes), n)
 	}
 	o := buildOptions(opts)
-	top, err := consensus.NewTopology(n, t, consensus.TopologyOptions{Seed: o.seed, Degree: o.degree})
+	sp := o.spec("majority/expander", n, t)
+	sp.BoolInputs = votes
+	rep, err := scenario.Run(sp)
 	if err != nil {
-		return nil, err
+		return nil, apiErr(err)
 	}
-	ms := make([]*majority.Vote, n)
-	ps := make([]sim.Protocol, n)
-	for i := 0; i < n; i++ {
-		ms[i] = majority.New(i, top, votes[i])
-		ps[i] = ms[i]
-	}
-	res, err := runEngine(o, sim.Config{
-		Protocols:   ps,
-		PartLabeler: partLabelerOf(ps),
-		Adversary:   o.adversary(n, t),
-		MaxRounds:   ms[0].ScheduleLength() + 8,
-	})
-	if err != nil {
-		return nil, err
-	}
-	report := &MajorityReport{
+	return &MajorityReport{
 		N:         n,
 		T:         t,
-		Metrics:   toMetrics(res),
-		Crashed:   res.Crashed.Elements(),
-		Agreement: true,
-	}
-	first := false
-	for i := 0; i < n; i++ {
-		if res.Crashed.Contains(i) {
-			continue
-		}
-		verdict, yes, ballots, ok := ms[i].Verdict()
-		if !ok {
-			report.Agreement = false
-			continue
-		}
-		if !first {
-			report.YesWins = verdict == majority.Yes
-			report.YesVotes = yes
-			report.Ballots = ballots
-			first = true
-			continue
-		}
-		if (verdict == majority.Yes) != report.YesWins ||
-			yes != report.YesVotes || ballots != report.Ballots {
-			report.Agreement = false
-		}
-	}
-	return report, nil
+		Metrics:   toMetrics(rep.Metrics),
+		Crashed:   rep.Crashed,
+		YesWins:   rep.Majority.YesWins,
+		YesVotes:  rep.Majority.YesVotes,
+		Ballots:   rep.Majority.Ballots,
+		Agreement: rep.Majority.Agreement,
+	}, nil
 }
