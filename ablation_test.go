@@ -63,7 +63,7 @@ func BenchmarkAblationProbingDelta(b *testing.B) {
 				}
 				res, err := sim.Run(sim.Config{
 					Protocols: ps,
-					Adversary: crash.NewTargetLittle(top.L, t, 3),
+					Fault:     crash.NewTargetLittle(top.L, t, 3),
 					MaxRounds: ms[0].ScheduleLength() + 4,
 				})
 				if err != nil {

@@ -29,7 +29,7 @@ func TestFewCrashesUnderAdaptiveAdversary(t *testing.T) {
 	}
 	res, err := sim.Run(sim.Config{
 		Protocols: ps,
-		Adversary: crash.NewAdaptive(tt, 3),
+		Fault:     crash.NewAdaptive(tt, 3),
 		MaxRounds: ms[0].ScheduleLength() + 4,
 	})
 	if err != nil {
@@ -69,7 +69,7 @@ func TestGossipUnderAdaptiveAdversary(t *testing.T) {
 	}
 	res, err := sim.Run(sim.Config{
 		Protocols: ps,
-		Adversary: crash.NewAdaptive(tt, 2),
+		Fault:     crash.NewAdaptive(tt, 2),
 		MaxRounds: ms[0].ScheduleLength() + 4,
 	})
 	if err != nil {

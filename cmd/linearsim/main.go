@@ -4,12 +4,17 @@
 // verdicts. The -problem/-algo flags resolve to a scenario registry
 // name (internal/scenario); -list enumerates the registry.
 //
+// Any registered fault model can be applied from the CLI with -fault
+// (kind[:key=value,...]); -list enumerates the scenarios and the fault
+// kinds with their parameter spellings.
+//
 // Examples:
 //
 //	linearsim -problem consensus -algo few-crashes -n 200 -t 40 -crashes 40
 //	linearsim -problem consensus -algo single-port -n 100 -t 20
-//	linearsim -problem gossip -n 150 -t 30
-//	linearsim -problem checkpoint -n 150 -t 30 -baseline
+//	linearsim -problem consensus -n 200 -t 40 -fault omission:rate=0.05
+//	linearsim -problem gossip -n 150 -t 30 -fault delay:d=2
+//	linearsim -problem checkpoint -n 150 -t 30 -fault partition:from=1,to=4
 //	linearsim -problem byzantine -n 100 -t 10 -byz equivocate -byzcount 10
 //	linearsim -list
 package main
@@ -45,7 +50,8 @@ func run(args []string) error {
 		byzCount = fs.Int("byzcount", 0, "number of corrupted nodes (byzantine problem)")
 		ones     = fs.Int("ones", -1, "consensus: number of nodes with input 1 (-1 = every third)")
 		trace    = fs.Bool("trace", false, "print a transcript summary (few-crashes consensus only)")
-		list     = fs.Bool("list", false, "list the registered scenarios and exit")
+		list     = fs.Bool("list", false, "list the registered scenarios and fault models, then exit")
+		faultArg = fs.String("fault", "", "fault model, kind[:key=value,...] (see -list); overrides -crashes")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -61,6 +67,13 @@ func run(args []string) error {
 	if *crashes > 0 {
 		fault = scenario.FaultModel{Kind: scenario.RandomCrashes, Count: *crashes, Horizon: *horizon}
 	}
+	if *faultArg != "" {
+		f, err := scenario.ParseFault(*faultArg)
+		if err != nil {
+			return err
+		}
+		fault = f
+	}
 
 	switch *problem {
 	case "consensus":
@@ -70,17 +83,26 @@ func run(args []string) error {
 	case "checkpoint":
 		return runCheckpoint(*n, *t, *baseline, *seed, fault)
 	case "byzantine":
+		if *faultArg != "" {
+			return fmt.Errorf("the byzantine problem configures its faults with -byz/-byzcount, not -fault")
+		}
 		return runByzantine(*n, *t, *byz, *byzCount, *baseline, *seed)
 	default:
 		return fmt.Errorf("unknown problem %q", *problem)
 	}
 }
 
-// listScenarios prints the registry.
+// listScenarios prints the scenario registry and the fault-model
+// kinds with their -fault spellings.
 func listScenarios() error {
+	fmt.Println("scenarios:")
 	for _, name := range scenario.Names() {
 		d := scenario.MustLookup(name)
-		fmt.Printf("%-34s %s\n", d.Name, d.About)
+		fmt.Printf("  %-34s %s\n", d.Name, d.About)
+	}
+	fmt.Println("\nfault models (-fault kind[:key=value,...]):")
+	for _, u := range scenario.FaultUsages() {
+		fmt.Printf("  %-44s %s\n", u.Spec, u.About)
 	}
 	return nil
 }

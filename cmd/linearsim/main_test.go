@@ -21,6 +21,16 @@ func TestRunAllProblems(t *testing.T) {
 		{"-problem", "byzantine", "-n", "40", "-t", "4", "-byz", "spam", "-byzcount", "2"},
 		{"-problem", "byzantine", "-n", "30", "-t", "3", "-baseline"},
 		{"-problem", "byzantine", "-n", "30", "-t", "3", "-byzcount", "9"}, // clamped to t
+		// The -fault flag: any registered fault model from the CLI.
+		{"-problem", "consensus", "-n", "60", "-t", "10", "-fault", "omission:rate=0.05"},
+		{"-problem", "consensus", "-n", "60", "-t", "10", "-fault", "delay:d=2"},
+		{"-problem", "consensus", "-algo", "flooding", "-n", "40", "-t", "8", "-fault", "partition:from=1,to=4"},
+		{"-problem", "consensus", "-n", "60", "-t", "10", "-fault", "random-crashes:count=10,horizon=40"},
+		{"-problem", "consensus", "-n", "60", "-t", "10", "-fault", "crash-schedule:events=1@0;2@1/0"},
+		{"-problem", "gossip", "-n", "50", "-t", "10", "-fault", "delay:d=1"},
+		{"-problem", "checkpoint", "-n", "50", "-t", "10", "-fault", "partition:from=1,to=3,cut=25"},
+		// -fault overrides -crashes.
+		{"-problem", "consensus", "-n", "60", "-t", "10", "-crashes", "5", "-fault", "none"},
 	}
 	for _, args := range cases {
 		t.Run(strings.Join(args, " "), func(t *testing.T) {
@@ -38,6 +48,11 @@ func TestRunErrors(t *testing.T) {
 		{"-problem", "byzantine", "-byz", "nonsense"},
 		{"-problem", "consensus", "-n", "10", "-t", "9"}, // t > n/5 for few-crashes
 		{"-badflag"},
+		{"-problem", "consensus", "-n", "60", "-t", "10", "-fault", "gremlins"},
+		{"-problem", "consensus", "-n", "60", "-t", "10", "-fault", "omission:rate=1.5"},
+		{"-problem", "consensus", "-n", "60", "-t", "10", "-fault", "partition:from=4,to=4"},
+		{"-problem", "consensus", "-n", "60", "-t", "10", "-fault", "delay:d=0"},
+		{"-problem", "byzantine", "-n", "40", "-t", "4", "-fault", "omission:rate=0.1"},
 	}
 	for _, args := range cases {
 		t.Run(strings.Join(args, " "), func(t *testing.T) {

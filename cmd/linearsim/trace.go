@@ -27,13 +27,13 @@ func runTraced(n, t int, seed uint64, crashes, horizon int) error {
 		ms[i] = consensus.NewFewCrashes(i, top, i%3 == 0)
 		ps[i] = ms[i]
 	}
-	var adv sim.Adversary
+	var adv sim.LinkFault
 	if crashes > 0 {
 		adv = crash.NewRandom(n, crashes, horizon, seed+101)
 	}
 	res, err := scenario.Execute(sim.Config{
 		Protocols:   ps,
-		Adversary:   adv,
+		Fault:       adv,
 		Observer:    rec,
 		PartLabeler: ms[0].PartAt,
 		MaxRounds:   ms[0].ScheduleLength() + 8,

@@ -9,7 +9,7 @@ import (
 	"lineartime/internal/sim"
 )
 
-func runCheckpointing(t *testing.T, n, tt int, adv sim.Adversary, seed uint64) ([]*Checkpointing, *sim.Result) {
+func runCheckpointing(t *testing.T, n, tt int, adv sim.LinkFault, seed uint64) ([]*Checkpointing, *sim.Result) {
 	t.Helper()
 	top, err := consensus.NewTopology(n, tt, consensus.TopologyOptions{Seed: seed})
 	if err != nil {
@@ -21,7 +21,7 @@ func runCheckpointing(t *testing.T, n, tt int, adv sim.Adversary, seed uint64) (
 		ms[i] = New(i, top)
 		ps[i] = ms[i]
 	}
-	res, err := sim.Run(sim.Config{Protocols: ps, Adversary: adv, MaxRounds: ms[0].ScheduleLength() + 5})
+	res, err := sim.Run(sim.Config{Protocols: ps, Fault: adv, MaxRounds: ms[0].ScheduleLength() + 5})
 	if err != nil {
 		t.Fatalf("run: %v", err)
 	}
@@ -117,7 +117,7 @@ func TestDirectBaseline(t *testing.T) {
 		{Node: 5, Round: 0, Keep: 0},
 		{Node: 7, Round: 3, Keep: 2},
 	})
-	res, err := sim.Run(sim.Config{Protocols: ps, Adversary: adv, MaxRounds: tt + 4})
+	res, err := sim.Run(sim.Config{Protocols: ps, Fault: adv, MaxRounds: tt + 4})
 	if err != nil {
 		t.Fatal(err)
 	}

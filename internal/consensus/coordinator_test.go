@@ -7,7 +7,7 @@ import (
 	"lineartime/internal/sim"
 )
 
-func runCoordinator(t *testing.T, n, tt int, inputs []bool, adv sim.Adversary) ([]*RotatingCoordinator, *sim.Result) {
+func runCoordinator(t *testing.T, n, tt int, inputs []bool, adv sim.LinkFault) ([]*RotatingCoordinator, *sim.Result) {
 	t.Helper()
 	ms := make([]*RotatingCoordinator, n)
 	ps := make([]sim.Protocol, n)
@@ -15,7 +15,7 @@ func runCoordinator(t *testing.T, n, tt int, inputs []bool, adv sim.Adversary) (
 		ms[i] = NewRotatingCoordinator(i, n, tt, inputs[i])
 		ps[i] = ms[i]
 	}
-	res, err := sim.Run(sim.Config{Protocols: ps, Adversary: adv, MaxRounds: tt + 4})
+	res, err := sim.Run(sim.Config{Protocols: ps, Fault: adv, MaxRounds: tt + 4})
 	if err != nil {
 		t.Fatalf("run: %v", err)
 	}

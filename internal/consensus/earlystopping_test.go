@@ -7,7 +7,7 @@ import (
 	"lineartime/internal/sim"
 )
 
-func runEarlyStopping(t *testing.T, n, tt int, inputs []bool, adv sim.Adversary) ([]*EarlyStopping, *sim.Result) {
+func runEarlyStopping(t *testing.T, n, tt int, inputs []bool, adv sim.LinkFault) ([]*EarlyStopping, *sim.Result) {
 	t.Helper()
 	ms := make([]*EarlyStopping, n)
 	ps := make([]sim.Protocol, n)
@@ -15,7 +15,7 @@ func runEarlyStopping(t *testing.T, n, tt int, inputs []bool, adv sim.Adversary)
 		ms[i] = NewEarlyStopping(i, n, tt, inputs[i])
 		ps[i] = ms[i]
 	}
-	res, err := sim.Run(sim.Config{Protocols: ps, Adversary: adv, MaxRounds: tt + 6})
+	res, err := sim.Run(sim.Config{Protocols: ps, Fault: adv, MaxRounds: tt + 6})
 	if err != nil {
 		t.Fatalf("run: %v", err)
 	}

@@ -103,7 +103,7 @@ func TestManyCrashesFallbackDisabled(t *testing.T) {
 	}
 	_, err = sim.Run(sim.Config{
 		Protocols: ps,
-		Adversary: crash.NewSchedule(events),
+		Fault:     crash.NewSchedule(events),
 		MaxRounds: ms[0].ScheduleLength() + 4,
 	})
 	if err != nil {

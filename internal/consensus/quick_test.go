@@ -86,7 +86,7 @@ func TestFloodingSafetyQuick(t *testing.T) {
 		}
 		res, err := sim.Run(sim.Config{
 			Protocols: ps,
-			Adversary: crash.NewSchedule(c.events),
+			Fault:     crash.NewSchedule(c.events),
 			MaxRounds: tt + 4,
 		})
 		if err != nil {
@@ -114,7 +114,7 @@ func TestEarlyStoppingSafetyQuick(t *testing.T) {
 		}
 		res, err := sim.Run(sim.Config{
 			Protocols: ps,
-			Adversary: crash.NewSchedule(c.events),
+			Fault:     crash.NewSchedule(c.events),
 			MaxRounds: tt + 6,
 		})
 		if err != nil {
@@ -142,7 +142,7 @@ func TestCoordinatorSafetyQuick(t *testing.T) {
 		}
 		res, err := sim.Run(sim.Config{
 			Protocols: ps,
-			Adversary: crash.NewSchedule(c.events),
+			Fault:     crash.NewSchedule(c.events),
 			MaxRounds: tt + 4,
 		})
 		if err != nil {
@@ -179,7 +179,7 @@ func TestFewCrashesSafetyQuick(t *testing.T) {
 		}
 		res, err := sim.Run(sim.Config{
 			Protocols: ps,
-			Adversary: crash.NewSchedule(c.events),
+			Fault:     crash.NewSchedule(c.events),
 			MaxRounds: schedule + 4,
 		})
 		if err != nil {

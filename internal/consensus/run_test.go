@@ -10,7 +10,7 @@ import (
 
 // runFew executes Few-Crashes-Consensus on n nodes with crash bound t,
 // the given inputs and adversary, and returns the machines and result.
-func runFew(t *testing.T, n, tt int, inputs []bool, adv sim.Adversary, seed uint64) ([]*FewCrashes, *sim.Result) {
+func runFew(t *testing.T, n, tt int, inputs []bool, adv sim.LinkFault, seed uint64) ([]*FewCrashes, *sim.Result) {
 	t.Helper()
 	top, err := NewTopology(n, tt, TopologyOptions{Seed: seed})
 	if err != nil {
@@ -24,7 +24,7 @@ func runFew(t *testing.T, n, tt int, inputs []bool, adv sim.Adversary, seed uint
 	}
 	res, err := sim.Run(sim.Config{
 		Protocols: ps,
-		Adversary: adv,
+		Fault:     adv,
 		MaxRounds: ms[0].ScheduleLength() + 5,
 	})
 	if err != nil {
@@ -228,7 +228,7 @@ func TestAEAUnderLittleCrashes(t *testing.T) {
 		ps[i] = ms[i]
 	}
 	adv := crash.NewTargetLittle(top.L, tt, 17)
-	res, err := sim.Run(sim.Config{Protocols: ps, Adversary: adv, MaxRounds: ms[0].ScheduleLength() + 2})
+	res, err := sim.Run(sim.Config{Protocols: ps, Fault: adv, MaxRounds: ms[0].ScheduleLength() + 2})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -318,7 +318,7 @@ func TestSCVWithCrashesAmongHolders(t *testing.T) {
 		ps[i] = ms[i]
 	}
 	adv := crash.NewRandom(n, tt, 10, 2)
-	res, err := sim.Run(sim.Config{Protocols: ps, Adversary: adv, MaxRounds: ms[0].ScheduleLength() + 2})
+	res, err := sim.Run(sim.Config{Protocols: ps, Fault: adv, MaxRounds: ms[0].ScheduleLength() + 2})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -347,7 +347,7 @@ func TestManyCrashesAllAlpha(t *testing.T) {
 			ps[i] = ms[i]
 		}
 		adv := crash.NewRandom(n, tt, n, uint64(tt)*3+1)
-		res, err := sim.Run(sim.Config{Protocols: ps, Adversary: adv, MaxRounds: ms[0].ScheduleLength() + 5})
+		res, err := sim.Run(sim.Config{Protocols: ps, Fault: adv, MaxRounds: ms[0].ScheduleLength() + 5})
 		if err != nil {
 			t.Fatalf("t=%d: %v", tt, err)
 		}
@@ -390,7 +390,7 @@ func TestManyCrashesExtremeWipeout(t *testing.T) {
 	}
 	res, err := sim.Run(sim.Config{
 		Protocols: ps,
-		Adversary: crash.NewSchedule(events),
+		Fault:     crash.NewSchedule(events),
 		MaxRounds: ms[0].ScheduleLength() + 5,
 	})
 	if err != nil {
@@ -416,7 +416,7 @@ func TestFloodingBaselineCorrect(t *testing.T) {
 			ps[i] = ms[i]
 		}
 		adv := crash.NewRandom(n, tt, tt+2, 5)
-		res, err := sim.Run(sim.Config{Protocols: ps, Adversary: adv, MaxRounds: tt + 4})
+		res, err := sim.Run(sim.Config{Protocols: ps, Fault: adv, MaxRounds: tt + 4})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -451,7 +451,7 @@ func TestFloodingBaselineCascadeChain(t *testing.T) {
 	}
 	res, err := sim.Run(sim.Config{
 		Protocols: ps,
-		Adversary: crash.NewSchedule(events),
+		Fault:     crash.NewSchedule(events),
 		MaxRounds: tt + 4,
 	})
 	if err != nil {

@@ -36,7 +36,7 @@ func NewAdaptive(t, period int) *Adaptive {
 	}
 }
 
-// FilterSend implements sim.Adversary.
+// FilterSend implements sim.LinkFault.
 func (a *Adaptive) FilterSend(round int, from sim.NodeID, outbox []sim.Envelope) ([]sim.Envelope, bool) {
 	a.sent[from] += len(outbox)
 	if a.budget <= 0 || a.crashed[from] {
@@ -76,4 +76,4 @@ func (a *Adaptive) busiest() sim.NodeID {
 	return best
 }
 
-var _ sim.Adversary = (*Adaptive)(nil)
+var _ sim.LinkFault = (*Adaptive)(nil)

@@ -53,7 +53,7 @@ func NewSchedule(events []Event) *Schedule {
 // Total returns the number of scheduled crashes.
 func (s *Schedule) Total() int { return s.total }
 
-// FilterSend implements sim.Adversary.
+// FilterSend implements sim.LinkFault.
 func (s *Schedule) FilterSend(round int, from sim.NodeID, outbox []sim.Envelope) ([]sim.Envelope, bool) {
 	for _, e := range s.byRound[round] {
 		if e.Node != from {
@@ -67,7 +67,7 @@ func (s *Schedule) FilterSend(round int, from sim.NodeID, outbox []sim.Envelope)
 	return outbox, false
 }
 
-var _ sim.Adversary = (*Schedule)(nil)
+var _ sim.LinkFault = (*Schedule)(nil)
 
 // Random crashes up to t distinct nodes at pseudo-random rounds within
 // [0, horizon), each keeping a pseudo-random prefix of its final
@@ -99,12 +99,12 @@ func NewRandom(n, t, horizon int, seed uint64) *Random {
 	return &Random{schedule: NewSchedule(events)}
 }
 
-// FilterSend implements sim.Adversary.
+// FilterSend implements sim.LinkFault.
 func (a *Random) FilterSend(round int, from sim.NodeID, outbox []sim.Envelope) ([]sim.Envelope, bool) {
 	return a.schedule.FilterSend(round, from, outbox)
 }
 
-var _ sim.Adversary = (*Random)(nil)
+var _ sim.LinkFault = (*Random)(nil)
 
 // Cascade crashes one chosen node per round starting at round 0, the
 // classic worst case that forces early-stopping consensus to run for
@@ -130,7 +130,7 @@ func NewCascade(pool, t, keep int, seed uint64) *Cascade {
 	return &Cascade{victims: perm[:t], keep: keep}
 }
 
-// FilterSend implements sim.Adversary.
+// FilterSend implements sim.LinkFault.
 func (a *Cascade) FilterSend(round int, from sim.NodeID, outbox []sim.Envelope) ([]sim.Envelope, bool) {
 	if round < len(a.victims) && a.victims[round] == from {
 		if a.keep < 0 || a.keep >= len(outbox) {
@@ -141,7 +141,7 @@ func (a *Cascade) FilterSend(round int, from sim.NodeID, outbox []sim.Envelope) 
 	return outbox, false
 }
 
-var _ sim.Adversary = (*Cascade)(nil)
+var _ sim.LinkFault = (*Cascade)(nil)
 
 // TargetLittle crashes t of the 5t little nodes at round 0 before they
 // send anything, the direct attack on the survival-set machinery of
@@ -165,7 +165,7 @@ func NewTargetLittle(little, t int, seed uint64) *TargetLittle {
 	return &TargetLittle{victims: victims}
 }
 
-// FilterSend implements sim.Adversary.
+// FilterSend implements sim.LinkFault.
 func (a *TargetLittle) FilterSend(round int, from sim.NodeID, outbox []sim.Envelope) ([]sim.Envelope, bool) {
 	if round == 0 && a.victims[from] {
 		return nil, true
@@ -173,7 +173,7 @@ func (a *TargetLittle) FilterSend(round int, from sim.NodeID, outbox []sim.Envel
 	return outbox, false
 }
 
-var _ sim.Adversary = (*TargetLittle)(nil)
+var _ sim.LinkFault = (*TargetLittle)(nil)
 
 // Isolate cuts one chosen node off from the world: starting at round 0
 // it crashes, round by round, every node that the victim sends to or
@@ -191,7 +191,7 @@ func NewIsolate(victim sim.NodeID, t int) *Isolate {
 	return &Isolate{victim: victim, budget: t, crashed: make(map[sim.NodeID]bool)}
 }
 
-// FilterSend implements sim.Adversary. Any node exchanging a message
+// FilterSend implements sim.LinkFault. Any node exchanging a message
 // with the victim is crashed before the message is delivered, while
 // messages from the victim are suppressed by crashing their recipients
 // on first contact.
@@ -222,4 +222,4 @@ func (a *Isolate) FilterSend(round int, from sim.NodeID, outbox []sim.Envelope) 
 	return outbox, false
 }
 
-var _ sim.Adversary = (*Isolate)(nil)
+var _ sim.LinkFault = (*Isolate)(nil)

@@ -8,7 +8,7 @@ import (
 	"lineartime/internal/sim"
 )
 
-func runGossip(t *testing.T, n, tt int, adv sim.Adversary, seed uint64) ([]*Gossip, *sim.Result) {
+func runGossip(t *testing.T, n, tt int, adv sim.LinkFault, seed uint64) ([]*Gossip, *sim.Result) {
 	t.Helper()
 	top, err := consensus.NewTopology(n, tt, consensus.TopologyOptions{Seed: seed})
 	if err != nil {
@@ -20,7 +20,7 @@ func runGossip(t *testing.T, n, tt int, adv sim.Adversary, seed uint64) ([]*Goss
 		ms[i] = New(i, top, Rumor(1000+i))
 		ps[i] = ms[i]
 	}
-	res, err := sim.Run(sim.Config{Protocols: ps, Adversary: adv, MaxRounds: ms[0].ScheduleLength() + 5})
+	res, err := sim.Run(sim.Config{Protocols: ps, Fault: adv, MaxRounds: ms[0].ScheduleLength() + 5})
 	if err != nil {
 		t.Fatalf("run: %v", err)
 	}
@@ -184,7 +184,7 @@ func TestAllToAllWithSilentCrash(t *testing.T) {
 		ps[i] = ms[i]
 	}
 	adv := crash.NewSchedule([]crash.Event{{Node: 4, Round: 0, Keep: 0}})
-	res, err := sim.Run(sim.Config{Protocols: ps, Adversary: adv, MaxRounds: 5})
+	res, err := sim.Run(sim.Config{Protocols: ps, Fault: adv, MaxRounds: 5})
 	if err != nil {
 		t.Fatal(err)
 	}

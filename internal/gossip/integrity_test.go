@@ -44,7 +44,7 @@ func TestGossipRumorIntegrityQuick(t *testing.T) {
 		}
 		res, err := sim.Run(sim.Config{
 			Protocols: ps,
-			Adversary: crash.NewSchedule(events),
+			Fault:     crash.NewSchedule(events),
 			MaxRounds: ms[0].ScheduleLength() + 4,
 		})
 		if err != nil {
@@ -86,7 +86,7 @@ func TestGossipOwnPairStableQuick(t *testing.T) {
 		}
 		res, err := sim.Run(sim.Config{
 			Protocols: ps,
-			Adversary: crash.NewRandom(n, tt, 30, seed),
+			Fault:     crash.NewRandom(n, tt, 30, seed),
 			MaxRounds: ms[0].ScheduleLength() + 4,
 		})
 		if err != nil {

@@ -226,7 +226,7 @@ func FirstContactRound(n, t, victim, horizon int) (int, error) {
 	adv := crash.NewIsolate(victim, t)
 	_, err := scenario.Execute(sim.Config{
 		Protocols:  ps,
-		Adversary:  adv,
+		Fault:      adv,
 		MaxRounds:  horizon + 1,
 		SinglePort: true,
 	}, scenario.Serial)

@@ -8,7 +8,7 @@ import (
 	"lineartime/internal/sim"
 )
 
-func runVote(t *testing.T, n, tt, yesCount int, adv sim.Adversary) ([]*Vote, *sim.Result) {
+func runVote(t *testing.T, n, tt, yesCount int, adv sim.LinkFault) ([]*Vote, *sim.Result) {
 	t.Helper()
 	top, err := consensus.NewTopology(n, tt, consensus.TopologyOptions{Seed: 3})
 	if err != nil {
@@ -20,7 +20,7 @@ func runVote(t *testing.T, n, tt, yesCount int, adv sim.Adversary) ([]*Vote, *si
 		ms[i] = New(i, top, i < yesCount)
 		ps[i] = ms[i]
 	}
-	res, err := sim.Run(sim.Config{Protocols: ps, Adversary: adv, MaxRounds: ms[0].ScheduleLength() + 8})
+	res, err := sim.Run(sim.Config{Protocols: ps, Fault: adv, MaxRounds: ms[0].ScheduleLength() + 8})
 	if err != nil {
 		t.Fatalf("run: %v", err)
 	}

@@ -41,7 +41,7 @@ type Experiment struct {
 
 // All returns the experiments in EXPERIMENTS.md order.
 func All() []Experiment {
-	return []Experiment{e2(), e3(), e4(), e5(), e6(), e7(), e8(), e9(), e10(), e11()}
+	return []Experiment{e2(), e3(), e4(), e5(), e6(), e7(), e8(), e9(), e10(), e11(), e12()}
 }
 
 // sizes returns all sizes, or the first two in quick mode.
@@ -412,6 +412,89 @@ func e10() Experiment {
 					Points:   isolation,
 				},
 			}
+		},
+	}
+}
+
+// faultLabel renders a fault-bound scenario's fault model for the E12
+// table.
+func faultLabel(f scenario.FaultModel) string {
+	switch f.Kind {
+	case scenario.OmissionFaults:
+		return fmt.Sprintf("omission %g%%", f.Rate*100)
+	case scenario.PartitionWindow:
+		cut := "n/2"
+		if f.Cut > 0 {
+			cut = fmt.Sprintf("%d", f.Cut)
+		}
+		return fmt.Sprintf("partition [%d,%d) cut %s", f.WindowStart, f.WindowEnd, cut)
+	case scenario.DelayedLinks:
+		return fmt.Sprintf("delay ≤%d", f.Delay)
+	default:
+		return f.Kind.String()
+	}
+}
+
+// faultVerdict summarizes the problem-specific correctness of a run
+// under link faults. Degradation is a result here, not an error: the
+// paper's algorithms are designed for crashes, and the table shows
+// which guarantees survive which link faults.
+func faultVerdict(rep *scenario.Report) string {
+	switch {
+	case rep.Consensus != nil:
+		return fmt.Sprintf("agreement=%v validity=%v", rep.Consensus.Agreement, rep.Consensus.Validity)
+	case rep.Gossip != nil:
+		return fmt.Sprintf("complete=%v", rep.Gossip.Complete)
+	case rep.Checkpoint != nil:
+		return fmt.Sprintf("agreement=%v", rep.Checkpoint.Agreement)
+	case rep.Majority != nil:
+		return fmt.Sprintf("agreement=%v", rep.Majority.Agreement)
+	default:
+		return "-"
+	}
+}
+
+func e12() Experiment {
+	section := func(quick bool, preamble string, names ...string) Section {
+		ns := sizes(quick, 128, 256, 512)
+		var pts []Point
+		for _, name := range names {
+			for _, n := range ns {
+				pts = append(pts, Point{Run: func() (string, error) {
+					t := n / 6
+					d := scenario.MustLookup(name)
+					rep, err := scenario.Run(d.Spec(n, t, 1))
+					if err != nil {
+						return "", err
+					}
+					return fmt.Sprintf("| %s | %d | %d | %s | %d | %d | %s |",
+						name, n, t, faultLabel(d.Fault),
+						rep.Metrics.Rounds, rep.Metrics.Messages, faultVerdict(rep)), nil
+				}})
+			}
+		}
+		return Section{
+			Preamble: preamble,
+			Header:   "| scenario | n | t | fault | rounds | messages | verdict |",
+			Sep:      "|----------|---|---|-------|--------|----------|---------|",
+			Points:   pts,
+		}
+	}
+	return Experiment{
+		ID:    "E12",
+		Title: "Link-fault matrix — omission, partition and delay models",
+		Sections: func(quick bool) []Section {
+			omission := section(quick,
+				"Omission (seeded per-link loss): senders pay for lost traffic; receivers see a lossy network",
+				"consensus/few-crashes/omission", "gossip/expander/omission", "majority/expander/omission")
+			partition := section(quick,
+				"Partition (network split for rounds [a,b), then healed): cross-cut messages are lost inside the window",
+				"consensus/flooding/partition", "checkpoint/expander/partition")
+			delay := section(quick,
+				"Delay (adversarial delivery up to d rounds late): the bounded-delay scheduler inside the synchronous round budget",
+				"consensus/few-crashes/delay", "gossip/expander/delay")
+			delay.Footer = "Observation: the crash-tolerant stacks are not delay- or partition-tolerant by design; the verdict column records which guarantees survive which link faults."
+			return []Section{omission, partition, delay}
 		},
 	}
 }

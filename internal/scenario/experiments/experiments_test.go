@@ -9,7 +9,7 @@ import (
 // and titles of EXPERIMENTS.md, in order. cmd/sweep renders exactly
 // this list, so a dropped experiment fails here.
 func TestExperimentIndexGolden(t *testing.T) {
-	want := []string{"E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11"}
+	want := []string{"E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12"}
 	all := All()
 	if len(all) != len(want) {
 		t.Fatalf("All() has %d experiments, want %d", len(all), len(want))
@@ -77,12 +77,13 @@ func TestBoundary(t *testing.T) {
 // TestOnePointPerProblemRuns executes one small sweep point from each
 // problem family (consensus E4 is exercised by the cmd/sweep
 // equivalence test at full width; here the cheapest row of E3 and E5
-// guards the registry wiring end to end).
+// guards the registry wiring end to end, and E12's first point guards
+// the link-fault rows).
 func TestOnePointPerProblemRuns(t *testing.T) {
 	if testing.Short() {
 		t.Skip("experiment points skipped in -short mode")
 	}
-	for _, id := range []string{"E3", "E5"} {
+	for _, id := range []string{"E3", "E5", "E12"} {
 		for _, e := range All() {
 			if e.ID != id {
 				continue

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"lineartime/internal/crash"
+	"lineartime/internal/link"
 	"lineartime/internal/sim"
 )
 
@@ -29,6 +30,17 @@ const (
 	// corruption is expressed through adversarial protocols, not a
 	// crash adversary.
 	ByzantineFaults
+	// OmissionFaults loses each message independently with the
+	// per-link probability Rate, seeded; no node ever crashes.
+	OmissionFaults
+	// PartitionWindow splits the network into two sides for rounds
+	// [WindowStart, WindowEnd): the first Cut node names (n/2 when
+	// Cut is 0) against the rest. Cross-cut messages are lost inside
+	// the window; the network heals at WindowEnd.
+	PartitionWindow
+	// DelayedLinks delivers each message up to Delay rounds late —
+	// the adversarial bounded-delay scheduler.
+	DelayedLinks
 )
 
 // String implements fmt.Stringer.
@@ -46,6 +58,12 @@ func (k FaultKind) String() string {
 		return "target-little"
 	case ByzantineFaults:
 		return "byzantine"
+	case OmissionFaults:
+		return "omission"
+	case PartitionWindow:
+		return "partition"
+	case DelayedLinks:
+		return "delay"
 	default:
 		return "unknown"
 	}
@@ -61,9 +79,9 @@ type CrashEvent struct {
 }
 
 // FaultModel is the fault dimension of a scenario. The zero value is
-// NoFailures. It is the single source of adversary construction: every
+// NoFailures. It is the single source of fault construction: every
 // run path — public API, registry experiments, commands — converges on
-// Adversary.
+// LinkFault.
 type FaultModel struct {
 	Kind FaultKind
 
@@ -94,6 +112,17 @@ type FaultModel struct {
 	// Strategy and Corrupted configure ByzantineFaults.
 	Strategy  ByzantineStrategy
 	Corrupted []int
+
+	// Rate is the per-link message loss probability (OmissionFaults),
+	// in [0, 1].
+	Rate float64
+	// WindowStart and WindowEnd bound the partition rounds
+	// [WindowStart, WindowEnd), and Cut sizes the window's first side
+	// (PartitionWindow; Cut 0 means n/2).
+	WindowStart, WindowEnd int
+	Cut                    int
+	// Delay is the delivery-delay bound d in rounds (DelayedLinks).
+	Delay int
 }
 
 // adversarySeed resolves the adversary seed for a run seed.
@@ -104,12 +133,12 @@ func (f FaultModel) adversarySeed(runSeed uint64) uint64 {
 	return runSeed + 101
 }
 
-// Adversary materializes the fault model into a sim.Adversary for a
+// LinkFault materializes the fault model into a sim.LinkFault for a
 // scenario of n nodes, fault bound t, and little-node count little
 // (0 when the scenario has no expander topology). ByzantineFaults and
 // NoFailures return nil: Byzantine behaviour lives in the corrupted
 // nodes' protocols.
-func (f FaultModel) Adversary(n, t, little int, runSeed uint64) (sim.Adversary, error) {
+func (f FaultModel) LinkFault(n, t, little int, runSeed uint64) (sim.LinkFault, error) {
 	switch f.Kind {
 	case NoFailures, ByzantineFaults:
 		return nil, nil
@@ -140,25 +169,87 @@ func (f FaultModel) Adversary(n, t, little int, runSeed uint64) (sim.Adversary, 
 			pool = n
 		}
 		return crash.NewTargetLittle(pool, f.Count, f.adversarySeed(runSeed)), nil
+	case OmissionFaults:
+		return link.NewOmission(f.Rate, f.adversarySeed(runSeed)), nil
+	case PartitionWindow:
+		cut := f.Cut
+		if cut == 0 {
+			cut = n / 2
+		}
+		return link.NewPartition(f.WindowStart, f.WindowEnd, cut), nil
+	case DelayedLinks:
+		return link.NewDelay(f.Delay, f.adversarySeed(runSeed)), nil
 	default:
-		return nil, fmt.Errorf("scenario: unknown fault kind %d", int(f.Kind))
+		return nil, fmt.Errorf("lineartime: unknown fault kind %d", int(f.Kind))
 	}
 }
 
-// validate checks the fault model against the scenario shape.
+// validate checks the fault model's parameters against the scenario
+// shape before anything runs. Errors carry the public "lineartime:"
+// prefix: these are user-facing configuration mistakes, reported up
+// front instead of being silently clamped away (or panicking inside
+// an adversary constructor).
 func (f FaultModel) validate(sp Spec) error {
-	if f.Kind == ByzantineFaults {
+	switch f.Kind {
+	case NoFailures:
+		return nil
+	case ByzantineFaults:
 		if sp.Problem != ByzantineConsensus {
-			return fmt.Errorf("scenario: byzantine faults require the byzantine problem, got %v", sp.Problem)
+			return fmt.Errorf("lineartime: byzantine faults require the byzantine problem, got %v", sp.Problem)
 		}
 		if len(f.Corrupted) > sp.T {
-			return fmt.Errorf("scenario: %d corrupted nodes exceed t=%d", len(f.Corrupted), sp.T)
+			return fmt.Errorf("lineartime: %d corrupted nodes exceed t=%d", len(f.Corrupted), sp.T)
 		}
 		for _, id := range f.Corrupted {
 			if id < 0 || id >= sp.N {
-				return fmt.Errorf("scenario: corrupted node %d out of range", id)
+				return fmt.Errorf("lineartime: corrupted node %d out of range", id)
 			}
 		}
+	case CrashSchedule:
+		for _, e := range f.Schedule {
+			if e.Node < 0 || e.Node >= sp.N {
+				return fmt.Errorf("lineartime: scheduled crash of node %d outside [0, %d)", e.Node, sp.N)
+			}
+			if e.Round < 0 {
+				return fmt.Errorf("lineartime: scheduled crash of node %d at negative round %d", e.Node, e.Round)
+			}
+		}
+	case RandomCrashes, CascadeCrashes, TargetLittleCrashes:
+		if f.Count < 0 {
+			return fmt.Errorf("lineartime: negative crash budget %d", f.Count)
+		}
+		if f.Count > sp.N {
+			return fmt.Errorf("lineartime: crash budget %d exceeds n=%d", f.Count, sp.N)
+		}
+		if f.Horizon < 0 {
+			return fmt.Errorf("lineartime: negative crash horizon %d", f.Horizon)
+		}
+		if f.Kind == RandomCrashes && f.Count > 0 && f.Horizon == 0 {
+			return fmt.Errorf("lineartime: random crashes need a positive horizon")
+		}
+		if f.Pool < 0 || f.Pool > sp.N {
+			return fmt.Errorf("lineartime: victim pool %d outside [0, %d]", f.Pool, sp.N)
+		}
+	case OmissionFaults:
+		if f.Rate < 0 || f.Rate > 1 {
+			return fmt.Errorf("lineartime: omission rate %v outside [0, 1]", f.Rate)
+		}
+	case PartitionWindow:
+		if f.WindowStart < 0 {
+			return fmt.Errorf("lineartime: partition window starts at negative round %d", f.WindowStart)
+		}
+		if f.WindowEnd <= f.WindowStart {
+			return fmt.Errorf("lineartime: empty partition window [%d, %d)", f.WindowStart, f.WindowEnd)
+		}
+		if f.Cut < 0 || f.Cut > sp.N {
+			return fmt.Errorf("lineartime: partition cut %d outside [0, %d]", f.Cut, sp.N)
+		}
+	case DelayedLinks:
+		if f.Delay <= 0 {
+			return fmt.Errorf("lineartime: delay bound %d must be positive", f.Delay)
+		}
+	default:
+		return fmt.Errorf("lineartime: unknown fault kind %d", int(f.Kind))
 	}
 	return nil
 }

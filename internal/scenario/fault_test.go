@@ -23,7 +23,7 @@ func TestFaultModelAdversaryKinds(t *testing.T) {
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
-			adv, err := tc.fault.Adversary(20, 4, 10, 1)
+			adv, err := tc.fault.LinkFault(20, 4, 10, 1)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -63,11 +63,11 @@ func TestFaultModelAdversaryKinds(t *testing.T) {
 // derive runSeed+101, the offset every committed experiment artifact
 // was generated with.
 func TestFaultModelRandomSeedDerivation(t *testing.T) {
-	derived, err := FaultModel{Kind: RandomCrashes, Count: 4, Horizon: 16}.Adversary(40, 4, 0, 1)
+	derived, err := FaultModel{Kind: RandomCrashes, Count: 4, Horizon: 16}.LinkFault(40, 4, 0, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
-	explicit, err := FaultModel{Kind: RandomCrashes, Count: 4, Horizon: 16, Seed: 102}.Adversary(40, 4, 0, 9999)
+	explicit, err := FaultModel{Kind: RandomCrashes, Count: 4, Horizon: 16, Seed: 102}.LinkFault(40, 4, 0, 9999)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -79,7 +79,7 @@ func TestFaultModelRandomSeedDerivation(t *testing.T) {
 
 // sameCrashPattern compares which (round, node) pairs two adversaries
 // crash over a window, using empty outboxes.
-func sameCrashPattern(a, b sim.Adversary, n, rounds int) bool {
+func sameCrashPattern(a, b sim.LinkFault, n, rounds int) bool {
 	for r := 0; r < rounds; r++ {
 		for id := 0; id < n; id++ {
 			_, ca := a.FilterSend(r, id, nil)
@@ -93,7 +93,7 @@ func sameCrashPattern(a, b sim.Adversary, n, rounds int) bool {
 }
 
 func TestFaultModelRandomClampsToT(t *testing.T) {
-	adv, err := FaultModel{Kind: RandomCrashes, Count: 100, Horizon: 1}.Adversary(20, 3, 0, 1)
+	adv, err := FaultModel{Kind: RandomCrashes, Count: 100, Horizon: 1}.LinkFault(20, 3, 0, 1)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,155 @@
+package scenario
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ParseFault parses the CLI spelling of a fault model,
+// "kind[:key=value,...]", into a FaultModel. The kind names match
+// FaultKind.String(); parameters are comma-separated key=value pairs.
+// Crash schedules spell their events as node@round[/keep] separated by
+// semicolons. ByzantineFaults is not parseable here: corruption is a
+// protocol-level configuration (cmd/linearsim's -byz/-byzcount flags),
+// not a link fault. Parameter range checking is left to the runner's
+// up-front validation, which sees the scenario shape.
+func ParseFault(s string) (FaultModel, error) {
+	kindName, params, hasParams := strings.Cut(s, ":")
+	var f FaultModel
+	switch kindName {
+	case "none", "":
+		f.Kind = NoFailures
+	case "crash-schedule":
+		f.Kind = CrashSchedule
+	case "random-crashes":
+		f.Kind = RandomCrashes
+	case "cascade":
+		f.Kind = CascadeCrashes
+	case "target-little":
+		f.Kind = TargetLittleCrashes
+	case "omission":
+		f.Kind = OmissionFaults
+	case "partition":
+		f.Kind = PartitionWindow
+	case "delay":
+		f.Kind = DelayedLinks
+	case "byzantine":
+		return f, fmt.Errorf("lineartime: byzantine faults are configured per scenario (-byz/-byzcount), not as a link fault")
+	default:
+		return f, fmt.Errorf("lineartime: unknown fault kind %q (see the fault-model list)", kindName)
+	}
+	if !hasParams || params == "" {
+		return f, nil
+	}
+	for _, pair := range strings.Split(params, ",") {
+		key, value, ok := strings.Cut(pair, "=")
+		if !ok {
+			return f, fmt.Errorf("lineartime: fault parameter %q is not key=value", pair)
+		}
+		if err := f.setParam(key, value); err != nil {
+			return f, err
+		}
+	}
+	return f, nil
+}
+
+// setParam assigns one parsed key=value parameter, rejecting keys the
+// kind does not accept so a typo fails loudly instead of silently
+// running fault-free.
+func (f *FaultModel) setParam(key, value string) error {
+	atoi := func() (int, error) {
+		v, err := strconv.Atoi(value)
+		if err != nil {
+			return 0, fmt.Errorf("lineartime: fault parameter %s=%q is not an integer", key, value)
+		}
+		return v, nil
+	}
+	var err error
+	switch {
+	case key == "seed" && f.Kind != CrashSchedule && f.Kind != PartitionWindow:
+		u, perr := strconv.ParseUint(value, 10, 64)
+		if perr != nil {
+			return fmt.Errorf("lineartime: fault parameter seed=%q is not an unsigned integer", value)
+		}
+		f.Seed = u
+	case key == "count" && (f.Kind == RandomCrashes || f.Kind == CascadeCrashes || f.Kind == TargetLittleCrashes):
+		f.Count, err = atoi()
+	case key == "horizon" && f.Kind == RandomCrashes:
+		f.Horizon, err = atoi()
+	case key == "keep" && f.Kind == CascadeCrashes:
+		f.Keep, err = atoi()
+	case key == "pool" && (f.Kind == CascadeCrashes || f.Kind == TargetLittleCrashes):
+		f.Pool, err = atoi()
+	case key == "events" && f.Kind == CrashSchedule:
+		f.Schedule, err = parseCrashEvents(value)
+	case key == "rate" && f.Kind == OmissionFaults:
+		r, perr := strconv.ParseFloat(value, 64)
+		if perr != nil {
+			return fmt.Errorf("lineartime: fault parameter rate=%q is not a number", value)
+		}
+		f.Rate = r
+	case key == "from" && f.Kind == PartitionWindow:
+		f.WindowStart, err = atoi()
+	case key == "to" && f.Kind == PartitionWindow:
+		f.WindowEnd, err = atoi()
+	case key == "cut" && f.Kind == PartitionWindow:
+		f.Cut, err = atoi()
+	case key == "d" && f.Kind == DelayedLinks:
+		f.Delay, err = atoi()
+	default:
+		return fmt.Errorf("lineartime: fault kind %v does not take parameter %q", f.Kind, key)
+	}
+	return err
+}
+
+// parseCrashEvents parses "node@round[/keep];..." into crash events.
+// keep defaults to -1 (deliver the whole final outbox).
+func parseCrashEvents(s string) ([]CrashEvent, error) {
+	var events []CrashEvent
+	for _, item := range strings.Split(s, ";") {
+		nodePart, rest, ok := strings.Cut(item, "@")
+		if !ok {
+			return nil, fmt.Errorf("lineartime: crash event %q is not node@round[/keep]", item)
+		}
+		roundPart, keepPart, hasKeep := strings.Cut(rest, "/")
+		e := CrashEvent{Keep: -1}
+		var err error
+		if e.Node, err = strconv.Atoi(nodePart); err != nil {
+			return nil, fmt.Errorf("lineartime: crash event %q has non-integer node", item)
+		}
+		if e.Round, err = strconv.Atoi(roundPart); err != nil {
+			return nil, fmt.Errorf("lineartime: crash event %q has non-integer round", item)
+		}
+		if hasKeep {
+			if e.Keep, err = strconv.Atoi(keepPart); err != nil {
+				return nil, fmt.Errorf("lineartime: crash event %q has non-integer keep", item)
+			}
+		}
+		events = append(events, e)
+	}
+	return events, nil
+}
+
+// FaultUsage is one row of the CLI fault-model listing.
+type FaultUsage struct {
+	Kind  FaultKind
+	Spec  string
+	About string
+}
+
+// FaultUsages enumerates every fault kind with its CLI spelling, for
+// cmd/linearsim's -list output.
+func FaultUsages() []FaultUsage {
+	return []FaultUsage{
+		{NoFailures, "none", "fault-free run (the default)"},
+		{CrashSchedule, "crash-schedule:events=N@R[/K];...", "crash node N at round R keeping K final messages (K<0 = all)"},
+		{RandomCrashes, "random-crashes:count=C,horizon=H[,seed=S]", "≤C pseudo-random crashes at rounds below H"},
+		{CascadeCrashes, "cascade:count=C[,keep=K][,pool=P][,seed=S]", "one crash per round from the first P names (early-stopping worst case)"},
+		{TargetLittleCrashes, "target-little:count=C[,pool=P][,seed=S]", "spend the budget on little nodes at round 0 (Theorem 2 attack)"},
+		{ByzantineFaults, "byzantine (via -byz / -byzcount)", "corrupted protocols; byzantine problem only"},
+		{OmissionFaults, "omission:rate=R[,seed=S]", "lose each message independently with probability R"},
+		{PartitionWindow, "partition:from=A,to=B[,cut=C]", "split first C nodes (default n/2) from the rest for rounds [A, B)"},
+		{DelayedLinks, "delay:d=D[,seed=S]", "deliver each message up to D rounds late"},
+	}
+}

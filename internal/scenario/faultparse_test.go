@@ -1,0 +1,122 @@
+package scenario
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestParseFault(t *testing.T) {
+	cases := []struct {
+		in   string
+		want FaultModel
+	}{
+		{"none", FaultModel{}},
+		{"", FaultModel{}},
+		{"random-crashes:count=10,horizon=64", FaultModel{Kind: RandomCrashes, Count: 10, Horizon: 64}},
+		{"random-crashes:count=3,horizon=8,seed=99", FaultModel{Kind: RandomCrashes, Count: 3, Horizon: 8, Seed: 99}},
+		{"cascade:count=5,keep=1,pool=20", FaultModel{Kind: CascadeCrashes, Count: 5, Keep: 1, Pool: 20}},
+		{"target-little:count=4", FaultModel{Kind: TargetLittleCrashes, Count: 4}},
+		{"omission:rate=0.05", FaultModel{Kind: OmissionFaults, Rate: 0.05}},
+		{"omission:rate=0.25,seed=7", FaultModel{Kind: OmissionFaults, Rate: 0.25, Seed: 7}},
+		{"partition:from=2,to=6", FaultModel{Kind: PartitionWindow, WindowStart: 2, WindowEnd: 6}},
+		{"partition:from=1,to=4,cut=30", FaultModel{Kind: PartitionWindow, WindowStart: 1, WindowEnd: 4, Cut: 30}},
+		{"delay:d=3", FaultModel{Kind: DelayedLinks, Delay: 3}},
+		{"crash-schedule:events=3@2;5@0/1", FaultModel{Kind: CrashSchedule, Schedule: []CrashEvent{
+			{Node: 3, Round: 2, Keep: -1}, {Node: 5, Round: 0, Keep: 1},
+		}}},
+	}
+	for _, tc := range cases {
+		got, err := ParseFault(tc.in)
+		if err != nil {
+			t.Errorf("ParseFault(%q): %v", tc.in, err)
+			continue
+		}
+		if !reflect.DeepEqual(got, tc.want) {
+			t.Errorf("ParseFault(%q) = %+v, want %+v", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestParseFaultRejects(t *testing.T) {
+	for _, in := range []string{
+		"gremlins",
+		"byzantine",
+		"omission:rate=high",
+		"omission:count=3",
+		"delay:d=2,rate=0.5",
+		"partition:from=1,to",
+		"random-crashes:count=1,horizon=4,seed=-1",
+		"crash-schedule:events=5",
+		"crash-schedule:events=a@1",
+	} {
+		if _, err := ParseFault(in); err == nil {
+			t.Errorf("ParseFault(%q) accepted", in)
+		} else if !strings.HasPrefix(err.Error(), "lineartime: ") {
+			t.Errorf("ParseFault(%q) error %q lacks the lineartime: prefix", in, err)
+		}
+	}
+}
+
+// TestParsedFaultsValidate runs every parseable kind end to end
+// through a real scenario, pinning that the parser's output passes the
+// runner's up-front validation.
+func TestParsedFaultsValidate(t *testing.T) {
+	for _, in := range []string{
+		"none",
+		"random-crashes:count=3,horizon=10",
+		"cascade:count=3,keep=1",
+		"target-little:count=3",
+		"omission:rate=0.1",
+		"partition:from=1,to=3",
+		"delay:d=2",
+		"crash-schedule:events=1@0;2@1/0",
+	} {
+		fault, err := ParseFault(in)
+		if err != nil {
+			t.Fatalf("ParseFault(%q): %v", in, err)
+		}
+		sp := MustLookup("consensus/few-crashes").Spec(60, 10, 1)
+		sp.Fault = fault
+		if _, err := Run(sp); err != nil {
+			t.Errorf("run with %q: %v", in, err)
+		}
+	}
+}
+
+func TestFaultModelValidationErrors(t *testing.T) {
+	sp := MustLookup("consensus/few-crashes").Spec(60, 10, 1)
+	cases := []struct {
+		name  string
+		fault FaultModel
+	}{
+		{"count-exceeds-n", FaultModel{Kind: RandomCrashes, Count: 61, Horizon: 10}},
+		{"negative-count", FaultModel{Kind: CascadeCrashes, Count: -1}},
+		{"negative-horizon", FaultModel{Kind: RandomCrashes, Count: 3, Horizon: -4}},
+		{"zero-horizon", FaultModel{Kind: RandomCrashes, Count: 3}},
+		{"pool-exceeds-n", FaultModel{Kind: TargetLittleCrashes, Count: 1, Pool: 100}},
+		{"schedule-node-range", FaultModel{Kind: CrashSchedule, Schedule: []CrashEvent{{Node: 60, Round: 0, Keep: -1}}}},
+		{"schedule-negative-round", FaultModel{Kind: CrashSchedule, Schedule: []CrashEvent{{Node: 0, Round: -1, Keep: -1}}}},
+		{"rate-too-high", FaultModel{Kind: OmissionFaults, Rate: 1.5}},
+		{"rate-negative", FaultModel{Kind: OmissionFaults, Rate: -0.1}},
+		{"empty-window", FaultModel{Kind: PartitionWindow, WindowStart: 4, WindowEnd: 4}},
+		{"inverted-window", FaultModel{Kind: PartitionWindow, WindowStart: 5, WindowEnd: 2}},
+		{"negative-window", FaultModel{Kind: PartitionWindow, WindowStart: -1, WindowEnd: 2}},
+		{"cut-exceeds-n", FaultModel{Kind: PartitionWindow, WindowStart: 0, WindowEnd: 2, Cut: 61}},
+		{"zero-delay", FaultModel{Kind: DelayedLinks}},
+		{"negative-delay", FaultModel{Kind: DelayedLinks, Delay: -2}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			spec := sp
+			spec.Fault = tc.fault
+			_, err := Run(spec)
+			if err == nil {
+				t.Fatalf("invalid fault model %+v accepted", tc.fault)
+			}
+			if !strings.HasPrefix(err.Error(), "lineartime: ") {
+				t.Fatalf("validation error %q lacks the lineartime: prefix", err)
+			}
+		})
+	}
+}

@@ -5,17 +5,25 @@ import (
 	"sort"
 )
 
-// Definition is a registered scenario family: one protocol stack of
-// the evaluation matrix (problem × algorithm × port model), named so
-// commands and experiments can enumerate and materialize it at any
-// size. The fault-model and size dimensions are bound at
-// materialization time via Spec.
+// Definition is a registered scenario family: one cell of the
+// evaluation matrix (problem × algorithm × port model, optionally
+// bound to a fault model), named so commands and experiments can
+// enumerate and materialize it at any size. The size dimension is
+// bound at materialization time via Spec; fault-bound rows carry
+// their FaultModel, while the plain protocol stacks leave the fault
+// dimension to the caller.
 type Definition struct {
-	// Name is the registry key, "<problem>/<algorithm>[/single-port]".
+	// Name is the registry key,
+	// "<problem>/<algorithm>[/single-port][/<fault>]".
 	Name      string
 	Problem   Problem
 	Algorithm Algorithm
 	Port      PortModel
+	// Fault is the row's bound fault model; the zero value leaves the
+	// spec fault-free for the caller to fill in. Size-relative
+	// parameters (e.g. a partition Cut of 0) resolve against n at
+	// materialization.
+	Fault FaultModel
 	// Experiments lists the EXPERIMENTS.md experiment ids that
 	// exercise this cell (golden-matrix bookkeeping).
 	Experiments []string
@@ -24,9 +32,10 @@ type Definition struct {
 }
 
 // Spec materializes the definition at size (n, t) with the given seed:
-// canonical per-problem inputs, no failures, sequential engine. Callers
-// adjust the returned value (fault model, inputs, engine) before
-// passing it to Run.
+// canonical per-problem inputs, the definition's fault model (none for
+// the plain protocol stacks), sequential engine. Callers adjust the
+// returned value (fault model, inputs, engine) before passing it to
+// Run.
 func (d Definition) Spec(n, t int, seed uint64) Spec {
 	sp := Spec{
 		Name:      d.Name,
@@ -36,6 +45,7 @@ func (d Definition) Spec(n, t int, seed uint64) Spec {
 		N:         n,
 		T:         t,
 		Seed:      seed,
+		Fault:     d.Fault,
 	}
 	switch d.Problem {
 	case Consensus, AlmostEverywhere, MajorityVote:
@@ -224,6 +234,52 @@ func init() {
 			Name: "majority/expander", Problem: MajorityVote, Algorithm: Majority, Port: MultiPort,
 			Experiments: nil,
 			About:       "§9 extension: exact majority tally over an agreed ballot set",
+		},
+		// The link-fault rows: the paper's stacks under the omission,
+		// partition and delay models of internal/link, widening the
+		// matrix beyond the crash-only adversary (the §2 model admits
+		// them all). E12 sweeps these.
+		{
+			Name: "consensus/few-crashes/omission", Problem: Consensus, Algorithm: FewCrashes, Port: MultiPort,
+			Fault:       FaultModel{Kind: OmissionFaults, Rate: 0.05},
+			Experiments: []string{"E12"},
+			About:       "§4.3 consensus over lossy links: 5% per-message omission",
+		},
+		{
+			Name: "consensus/few-crashes/delay", Problem: Consensus, Algorithm: FewCrashes, Port: MultiPort,
+			Fault:       FaultModel{Kind: DelayedLinks, Delay: 2},
+			Experiments: []string{"E12"},
+			About:       "§4.3 consensus under adversarial delivery up to 2 rounds late",
+		},
+		{
+			Name: "consensus/flooding/partition", Problem: Consensus, Algorithm: Flooding, Port: MultiPort,
+			Fault:       FaultModel{Kind: PartitionWindow, WindowStart: 1, WindowEnd: 4},
+			Experiments: []string{"E12"},
+			About:       "flooding comparator through an n/2 split for rounds [1,4), then healed",
+		},
+		{
+			Name: "gossip/expander/omission", Problem: Gossip, Algorithm: GossipExpander, Port: MultiPort,
+			Fault:       FaultModel{Kind: OmissionFaults, Rate: 0.05},
+			Experiments: []string{"E12"},
+			About:       "§5 gossip over lossy links: 5% per-message omission",
+		},
+		{
+			Name: "gossip/expander/delay", Problem: Gossip, Algorithm: GossipExpander, Port: MultiPort,
+			Fault:       FaultModel{Kind: DelayedLinks, Delay: 2},
+			Experiments: []string{"E12"},
+			About:       "§5 gossip under adversarial delivery up to 2 rounds late",
+		},
+		{
+			Name: "checkpoint/expander/partition", Problem: Checkpointing, Algorithm: CheckpointExpander, Port: MultiPort,
+			Fault:       FaultModel{Kind: PartitionWindow, WindowStart: 1, WindowEnd: 4},
+			Experiments: []string{"E12"},
+			About:       "§6 checkpointing through an n/2 split for rounds [1,4), then healed",
+		},
+		{
+			Name: "majority/expander/omission", Problem: MajorityVote, Algorithm: Majority, Port: MultiPort,
+			Fault:       FaultModel{Kind: OmissionFaults, Rate: 0.03},
+			Experiments: []string{"E12"},
+			About:       "§9 majority tally over lossy links: 3% per-message omission",
 		},
 	} {
 		Register(d)

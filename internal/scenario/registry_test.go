@@ -16,17 +16,24 @@ func TestRegistryMatrixGolden(t *testing.T) {
 		"byzantine/dolev-strong-all",
 		"checkpoint/direct",
 		"checkpoint/expander",
+		"checkpoint/expander/partition",
 		"checkpoint/expander/single-port",
 		"consensus/early-stopping",
 		"consensus/few-crashes",
+		"consensus/few-crashes/delay",
+		"consensus/few-crashes/omission",
 		"consensus/flooding",
+		"consensus/flooding/partition",
 		"consensus/many-crashes",
 		"consensus/rotating-coordinator",
 		"consensus/single-port",
 		"gossip/all-to-all",
 		"gossip/expander",
+		"gossip/expander/delay",
+		"gossip/expander/omission",
 		"gossip/expander/single-port",
 		"majority/expander",
+		"majority/expander/omission",
 		"scv/expander",
 	}
 	got := Names()
@@ -48,13 +55,13 @@ func TestRegistryMatrixGolden(t *testing.T) {
 // matrix.
 func TestRegistryCountsPerProblem(t *testing.T) {
 	wantCounts := map[Problem]int{
-		Consensus:          6,
-		Gossip:             3,
-		Checkpointing:      3,
+		Consensus:          9,
+		Gossip:             5,
+		Checkpointing:      4,
 		ByzantineConsensus: 2,
 		AlmostEverywhere:   1,
 		SpreadCommonValue:  1,
-		MajorityVote:       1,
+		MajorityVote:       2,
 	}
 	total := 0
 	for problem, want := range wantCounts {
@@ -80,7 +87,7 @@ func TestEveryExperimentIdIsCovered(t *testing.T) {
 			covered[id] = true
 		}
 	}
-	for _, id := range []string{"E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E11", "T1"} {
+	for _, id := range []string{"E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E11", "E12", "T1"} {
 		if !covered[id] {
 			t.Errorf("experiment %s has no registry scenario", id)
 		}
@@ -153,5 +160,46 @@ func TestDefinitionSpecCanonicalInputs(t *testing.T) {
 	// Single-port definitions carry their port model into the spec.
 	if sp := MustLookup("gossip/expander/single-port").Spec(n, tt, 1); sp.Port != SinglePort {
 		t.Fatalf("single-port definition produced port %v", sp.Port)
+	}
+}
+
+// TestFaultBoundDefinitionsRun pins that every fault-bound registry
+// row carries its fault model into the spec and materializes into a
+// run that terminates within the round budget.
+func TestFaultBoundDefinitionsRun(t *testing.T) {
+	wantKinds := map[string]FaultKind{
+		"consensus/few-crashes/omission": OmissionFaults,
+		"consensus/few-crashes/delay":    DelayedLinks,
+		"consensus/flooding/partition":   PartitionWindow,
+		"gossip/expander/omission":       OmissionFaults,
+		"gossip/expander/delay":          DelayedLinks,
+		"checkpoint/expander/partition":  PartitionWindow,
+		"majority/expander/omission":     OmissionFaults,
+	}
+	faultBound := 0
+	for _, d := range All() {
+		if d.Fault.Kind == NoFailures {
+			continue
+		}
+		faultBound++
+		want, ok := wantKinds[d.Name]
+		if !ok {
+			t.Errorf("unexpected fault-bound row %q", d.Name)
+			continue
+		}
+		if d.Fault.Kind != want {
+			t.Errorf("%s fault kind = %v, want %v", d.Name, d.Fault.Kind, want)
+		}
+		sp := d.Spec(60, 10, 1)
+		if sp.Fault.Kind != d.Fault.Kind {
+			t.Errorf("%s spec dropped the fault model", d.Name)
+			continue
+		}
+		if _, err := Run(sp); err != nil {
+			t.Errorf("%s: %v", d.Name, err)
+		}
+	}
+	if faultBound < 6 {
+		t.Errorf("%d fault-bound rows registered, want at least 6", faultBound)
 	}
 }

@@ -55,7 +55,7 @@ func (Runner) Run(sp Spec) (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
-	adv, err := sp.Fault.Adversary(sp.N, sp.T, sys.little, sp.Seed)
+	fault, err := sp.Fault.LinkFault(sp.N, sp.T, sys.little, sp.Seed)
 	if err != nil {
 		return nil, err
 	}
@@ -66,7 +66,7 @@ func (Runner) Run(sp Spec) (*Report, error) {
 	res, err := Execute(sim.Config{
 		Protocols:   sys.ps,
 		PartLabeler: partLabelerOf(sys.ps),
-		Adversary:   adv,
+		Fault:       fault,
 		Byzantine:   sys.byz,
 		MaxRounds:   sys.schedule + slack,
 		SinglePort:  sys.singlePort,

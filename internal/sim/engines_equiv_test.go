@@ -114,16 +114,67 @@ func (m multiCrash) FilterSend(round int, from NodeID, out []Envelope) ([]Envelo
 	return out, false
 }
 
+// fuzzLink is a randomized link fault layered over an optional crash
+// schedule: every surviving envelope is independently dropped, delayed
+// 1..d rounds, or delivered, decided by a stateless hash of the link
+// coordinates (so verdicts are identical regardless of evaluation
+// order or engine). It exercises the full LinkFault surface — crash,
+// omission and delay at once.
+type fuzzLink struct {
+	crash    multiCrash
+	useCrash bool
+	d        int
+	seed     uint64
+}
+
+func (f fuzzLink) FilterSend(round int, from NodeID, out []Envelope) ([]Envelope, bool) {
+	if f.useCrash {
+		return f.crash.FilterSend(round, from, out)
+	}
+	return out, false
+}
+
+func (f fuzzLink) FilterLink(round int, env Envelope) Verdict {
+	x := f.seed
+	x ^= uint64(round) * 0x9e3779b97f4a7c15
+	x ^= uint64(env.From) * 0xbf58476d1ce4e5b9
+	x ^= uint64(env.To) * 0x94d049bb133111eb
+	x ^= uint64(env.Payload.SizeBits()) * 0xd6e8feb86659fd93
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	switch p := x % 100; {
+	case p < 12:
+		return Drop
+	case p < 35:
+		return DelayBy(1 + int((x>>32)%uint64(f.d)))
+	default:
+		return Deliver
+	}
+}
+
+func (f fuzzLink) MaxDelay() int { return f.d }
+
 // referenceRun reimplements the pre-refactor engine verbatim: fresh
-// [][]Envelope inboxes each round, per-node sort.Slice, map-based
-// single-port buffers, per-sender label lookups. It is the oracle for
-// the old semantics.
+// [][]Envelope inboxes each round, per-node sort, map-based
+// single-port buffers, per-sender label lookups — extended with a
+// naive map-of-slices rendering of the link layer (pending arrivals
+// keyed by round) as the oracle for omission/partition/delay
+// semantics. Inboxes sort stably by sender, the tie-break the engines
+// guarantee (chronological within a sender).
 func referenceRun(cfg Config) (*Result, error) {
 	n := len(cfg.Protocols)
-	adv := cfg.Adversary
+	adv := cfg.Fault
 	if adv == nil {
 		adv = NoFailures{}
 	}
+	var filter LinkFilter
+	if lf, ok := adv.(LinkFilter); ok {
+		filter = lf
+	}
+	// pending holds delayed envelopes keyed by arrival round — the
+	// naive rendering of the engines' delay ring.
+	pending := make(map[int][]Envelope)
 	isByz := func(id NodeID) bool { return cfg.Byzantine != nil && cfg.Byzantine.Contains(id) }
 	crashed := bitset.New(n)
 	haltedAt := make([]int, n)
@@ -184,6 +235,16 @@ func referenceRun(cfg Config) (*Result, error) {
 		inboxes := make([][]Envelope, n)
 		var crashedNow []NodeID
 		var deposits [][]Envelope
+		if arrivals := pending[r]; len(arrivals) > 0 {
+			if cfg.SinglePort {
+				deposits = append(deposits, arrivals)
+			} else {
+				for _, env := range arrivals {
+					inboxes[env.To] = append(inboxes[env.To], env)
+				}
+			}
+			delete(pending, r)
+		}
 		for id := 0; id < n; id++ {
 			if !alive(id) {
 				continue
@@ -194,6 +255,20 @@ func referenceRun(cfg Config) (*Result, error) {
 				crashedNow = append(crashedNow, id)
 			}
 			count(r, id, deliver)
+			if filter != nil {
+				kept := deliver[:0:0]
+				for _, env := range deliver {
+					switch v := filter.FilterLink(r, env); {
+					case v == Deliver:
+						kept = append(kept, env)
+					case v == Drop:
+					default:
+						arrival := r + int(v)
+						pending[arrival] = append(pending[arrival], env)
+					}
+				}
+				deliver = kept
+			}
 			if cfg.SinglePort {
 				deposits = append(deposits, append([]Envelope(nil), deliver...))
 			} else {
@@ -235,7 +310,7 @@ func referenceRun(cfg Config) (*Result, error) {
 				continue
 			}
 			inbox := inboxes[id]
-			sort.Slice(inbox, func(a, b int) bool { return inbox[a].From < inbox[b].From })
+			sort.SliceStable(inbox, func(a, b int) bool { return inbox[a].From < inbox[b].From })
 			cfg.Protocols[id].Deliver(r, inbox)
 			if cfg.Protocols[id].Halted() {
 				haltedAt[id] = r
@@ -254,6 +329,10 @@ type equivCase struct {
 	crash      bool
 	byzantine  bool
 	labeler    bool
+	// link layers the randomized drop/delay filter (fuzzLink) over the
+	// fault — combined with crash it exercises the whole LinkFault
+	// surface at once.
+	link bool
 }
 
 func buildFuzz(n, horizon int, single bool, seed uint64) ([]Protocol, []*fuzzNode) {
@@ -269,7 +348,15 @@ func buildFuzz(n, horizon int, single bool, seed uint64) ([]Protocol, []*fuzzNod
 func equivConfig(c equivCase, ps []Protocol, n, horizon int, seed uint64) Config {
 	cfg := Config{Protocols: ps, MaxRounds: horizon + 16, SinglePort: c.singlePort}
 	if c.crash {
-		cfg.Adversary = newMultiCrash(n, n/6, horizon, seed+17)
+		cfg.Fault = newMultiCrash(n, n/6, horizon, seed+17)
+	}
+	if c.link {
+		fl := fuzzLink{d: 3, seed: seed + 29}
+		if c.crash {
+			fl.crash = newMultiCrash(n, n/6, horizon, seed+17)
+			fl.useCrash = true
+		}
+		cfg.Fault = fl
 	}
 	if c.byzantine {
 		byz := bitset.New(n)
@@ -311,6 +398,11 @@ func TestEngineEquivalenceRandomized(t *testing.T) {
 		{name: "single-port", singlePort: true, labeler: true},
 		{name: "single-port/crash", singlePort: true, crash: true},
 		{name: "single-port/byzantine", singlePort: true, byzantine: true},
+		{name: "multi-port/link", link: true, labeler: true},
+		{name: "multi-port/link+crash", link: true, crash: true},
+		{name: "multi-port/link/byzantine", link: true, byzantine: true, labeler: true},
+		{name: "single-port/link", singlePort: true, link: true},
+		{name: "single-port/link+crash", singlePort: true, link: true, crash: true},
 	}
 	for _, c := range cases {
 		t.Run(c.name, func(t *testing.T) {

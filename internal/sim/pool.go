@@ -10,10 +10,11 @@ import (
 // (≈GOMAXPROCS, not one goroutine per node), barrier-synced per phase:
 //
 //	send phase     workers call Send + validate for their shard
-//	serial stitch  adversary, metrics, CSR staging, in node order
+//	serial stitch  fault layer, metrics, CSR staging, in node order
 //	deliver phase  workers call Deliver + Halted for their shard
 //
-// Everything order-sensitive — the adversary, the traffic counters, the
+// Everything order-sensitive — the fault layer (node-level crashes and
+// per-envelope link verdicts alike), the traffic counters, the
 // inbox construction — runs serially in node order on the coordinator,
 // so the transcript is identical to the sequential engine's; only the
 // protocol callbacks, which touch disjoint per-node state, fan out.
@@ -155,11 +156,14 @@ func (s *state) roundParallel(r int) error {
 	p.runPhase(jobSend, r)
 
 	// Serial stitch in node order: validation errors surface for the
-	// lowest offending node, then the adversary, counters and CSR
-	// staging see the exact sequence the sequential engine produces.
+	// lowest offending node, then the fault layer, counters and CSR
+	// staging see the exact sequence the sequential engine produces —
+	// including delayed arrivals ahead of fresh sends and the stable
+	// sender re-sort when any arrived.
 	sc := s.scratch
 	sc.beginRound()
 	s.label, s.labelSet = "", false
+	arrivals := s.injectArrivals(r, true)
 	crashedNow := s.crashedNow[:0]
 	for id := 0; id < s.n; id++ {
 		if !s.alive(id) {
@@ -170,16 +174,23 @@ func (s *state) roundParallel(r int) error {
 		}
 		out := p.outbox[id]
 		p.outbox[id] = nil
-		deliver, crash := s.adv.FilterSend(r, id, out)
+		deliver, crash := s.fault.FilterSend(r, id, out)
 		if crash {
 			crashedNow = append(crashedNow, id)
 		}
 		s.count(r, id, deliver)
-		sc.stage(deliver, true)
+		if s.filter == nil {
+			sc.stage(deliver, true)
+		} else if err := s.stageFiltered(r, deliver, true); err != nil {
+			return err
+		}
 	}
 	s.crashedNow = crashedNow
 	for _, id := range crashedNow {
 		s.crashed.Add(id)
+	}
+	if arrivals > 0 {
+		sortStagedBySender(sc.flat)
 	}
 	sc.place()
 

@@ -73,11 +73,11 @@ func TestConcurrentMatchesSequential(t *testing.T) {
 		adv1 := crashAt{node: 3, round: 2, keep: 1}
 		adv2 := crashAt{node: 3, round: 2, keep: 1}
 
-		seqRes, err := Run(Config{Protocols: seqPs, Adversary: adv1, MaxRounds: 100})
+		seqRes, err := Run(Config{Protocols: seqPs, Fault: adv1, MaxRounds: 100})
 		if err != nil {
 			t.Fatal(err)
 		}
-		conRes, err := RunConcurrent(Config{Protocols: conPs, Adversary: adv2, MaxRounds: 100})
+		conRes, err := RunConcurrent(Config{Protocols: conPs, Fault: adv2, MaxRounds: 100})
 		if err != nil {
 			t.Fatal(err)
 		}

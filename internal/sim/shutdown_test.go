@@ -64,7 +64,7 @@ func TestSinglePortDropsBuffersOfDeadTargets(t *testing.T) {
 	dst := &pollProbe{pollRound: 6}
 	ps := []Protocol{src, dst}
 	adv := crashAt{node: 1, round: 3, keep: -1}
-	res, err := Run(Config{Protocols: ps, MaxRounds: 20, SinglePort: true, Adversary: adv})
+	res, err := Run(Config{Protocols: ps, MaxRounds: 20, SinglePort: true, Fault: adv})
 	if err != nil {
 		t.Fatal(err)
 	}

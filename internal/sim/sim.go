@@ -8,10 +8,14 @@
 //     one in-port per round. Ports buffer messages and give no signal
 //     (§2, §8), so polling an empty port wastes the round.
 //
-// The engine is deterministic: given the same protocols, adversary and
-// configuration it produces identical transcripts, which the tests use
-// to cross-validate the sequential engine against the sharded parallel
-// runtime in pool.go.
+// Faults are injected through the pluggable link layer of linkfault.go:
+// node-level crashes (including the §2 midway-multicast interruption)
+// plus per-envelope omission, partition and bounded-delay models.
+//
+// The engine is deterministic: given the same protocols, fault layer
+// and configuration it produces identical transcripts, which the tests
+// use to cross-validate the sequential engine against the sharded
+// parallel runtime in pool.go.
 //
 // The hot path is allocation-free in steady state: inboxes are built in
 // a reusable CSR-style workspace (scratch.go), single-port buffers are
@@ -70,26 +74,6 @@ type Poller interface {
 	Poll(round int) (from NodeID, ok bool)
 }
 
-// Adversary controls crash failures. FilterSend is invoked once per
-// alive node per round with the node's outbox; returning crash=true
-// crashes the node at this round, with only the returned subset of its
-// outbox delivered (the strongest crash semantics of §2: a crash may
-// interrupt a multicast midway). For surviving nodes implementations
-// must return the outbox unchanged.
-type Adversary interface {
-	FilterSend(round int, from NodeID, outbox []Envelope) (deliver []Envelope, crash bool)
-}
-
-// NoFailures is the trivial adversary that never crashes anyone.
-type NoFailures struct{}
-
-// FilterSend implements Adversary.
-func (NoFailures) FilterSend(_ int, _ NodeID, outbox []Envelope) ([]Envelope, bool) {
-	return outbox, false
-}
-
-var _ Adversary = NoFailures{}
-
 // Metrics aggregates the communication and time performance of a run,
 // matching the paper's two metrics (§2). For Byzantine runs, Messages
 // and Bits count only traffic sent by non-faulty nodes, with faulty
@@ -115,8 +99,11 @@ type Metrics struct {
 type Config struct {
 	// Protocols holds one state machine per node; len(Protocols) = n.
 	Protocols []Protocol
-	// Adversary controls crashes. Nil means NoFailures.
-	Adversary Adversary
+	// Fault is the fault-injection layer (linkfault.go): node-level
+	// crashes via LinkFault, plus per-envelope omission / partition /
+	// delay when the value also implements LinkFilter. Nil means
+	// NoFailures.
+	Fault LinkFault
 	// Byzantine marks nodes whose traffic is excluded from the
 	// non-faulty counters. Nil means none. (Byzantine behaviour itself
 	// is expressed by giving those indices adversarial Protocols.)
@@ -138,9 +125,11 @@ type Config struct {
 
 // Observer receives engine events during a sequential run.
 type Observer interface {
-	// OnMessage fires for every delivered message at send time.
+	// OnMessage fires at send time for every message the node-level
+	// fault admits (a link-level drop or delay still fires here: the
+	// sender paid for the message).
 	OnMessage(round int, env Envelope)
-	// OnCrash fires when the adversary crashes a node.
+	// OnCrash fires when the fault layer crashes a node.
 	OnCrash(round int, node NodeID)
 	// OnHalt fires when a node halts voluntarily.
 	OnHalt(round int, node NodeID)
@@ -149,7 +138,7 @@ type Observer interface {
 // Result is the outcome of a run.
 type Result struct {
 	Metrics Metrics
-	// Crashed is the set of nodes the adversary crashed.
+	// Crashed is the set of nodes the fault layer crashed.
 	Crashed *bitset.Set
 	// HaltedAt[i] is the round at which node i halted voluntarily, or
 	// -1 if it crashed or never halted within the round budget.
@@ -222,19 +211,29 @@ func newState(cfg Config) (*state, error) {
 	if cfg.MaxRounds <= 0 {
 		return nil, errors.New("sim: MaxRounds must be positive")
 	}
-	adv := cfg.Adversary
-	if adv == nil {
-		adv = NoFailures{}
+	fault := cfg.Fault
+	if fault == nil {
+		fault = NoFailures{}
 	}
 
 	st := &state{
 		cfg:      cfg,
 		n:        n,
-		adv:      adv,
+		fault:    fault,
 		byz:      make([]bool, n),
 		crashed:  bitset.New(n),
 		haltedAt: make([]int, n),
 		scratch:  newScratch(n),
+	}
+	if lf, ok := fault.(LinkFilter); ok {
+		st.filter = lf
+		switch d := lf.MaxDelay(); {
+		case d < 0:
+			return nil, fmt.Errorf("sim: link filter declares negative MaxDelay %d", d)
+		case d > 0:
+			st.maxDelay = d
+			st.ring = newDelayRing(d)
+		}
 	}
 	if cfg.Byzantine != nil {
 		for id := 0; id < n; id++ {
@@ -264,9 +263,15 @@ func newState(cfg Config) (*state, error) {
 }
 
 type state struct {
-	cfg      Config
-	n        int
-	adv      Adversary
+	cfg Config
+	n   int
+	// fault is the node-level fault layer; filter, maxDelay and ring
+	// are set only when the fault also acts on individual envelopes
+	// (LinkFilter), so crash-only runs skip the link level entirely.
+	fault    LinkFault
+	filter   LinkFilter
+	maxDelay int
+	ring     *delayRing
 	byz      []bool
 	crashed  *bitset.Set
 	haltedAt []int
@@ -335,8 +340,14 @@ func (s *state) round(r int) error {
 	single := s.cfg.SinglePort
 	obs := s.cfg.Observer
 
-	// Send phase. Collect each alive node's outbox, apply the crash
-	// adversary, count traffic, and stage the survivors' envelopes in
+	// Delayed arrivals scheduled for this round enter the staged
+	// buffer ahead of the round's fresh sends; the stable sender sort
+	// below restores the delivery-order guarantee.
+	arrivals := s.injectArrivals(r, !single)
+
+	// Send phase. Collect each alive node's outbox, apply the
+	// node-level fault, count traffic, and stage the surviving
+	// envelopes — through the link filter when one is installed — in
 	// sender order.
 	crashedNow := s.crashedNow[:0]
 	for id := 0; id < s.n; id++ {
@@ -347,7 +358,7 @@ func (s *state) round(r int) error {
 		if err := s.validateOutbox(id, out); err != nil {
 			return err
 		}
-		deliver, crash := s.adv.FilterSend(r, id, out)
+		deliver, crash := s.fault.FilterSend(r, id, out)
 		if crash {
 			crashedNow = append(crashedNow, id)
 			if obs != nil {
@@ -360,7 +371,11 @@ func (s *state) round(r int) error {
 				obs.OnMessage(r, env)
 			}
 		}
-		sc.stage(deliver, !single)
+		if s.filter == nil {
+			sc.stage(deliver, !single)
+		} else if err := s.stageFiltered(r, deliver, !single); err != nil {
+			return err
+		}
 	}
 	s.crashedNow = crashedNow
 	for _, id := range crashedNow {
@@ -379,6 +394,9 @@ func (s *state) round(r int) error {
 			s.ports[to].push(s.n, sc.flat[i])
 		}
 	} else {
+		if arrivals > 0 {
+			sortStagedBySender(sc.flat)
+		}
 		sc.place()
 	}
 

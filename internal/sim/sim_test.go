@@ -136,7 +136,7 @@ func (a crashAt) FilterSend(round int, from NodeID, out []Envelope) ([]Envelope,
 func TestCrashSuppressesTraffic(t *testing.T) {
 	ps, gs := newGatherers(10)
 	// Node 1 (bit=1) crashes at round 0 delivering nothing.
-	res, err := Run(Config{Protocols: ps, Adversary: crashAt{node: 1, round: 0, keep: 0}, MaxRounds: 10})
+	res, err := Run(Config{Protocols: ps, Fault: crashAt{node: 1, round: 0, keep: 0}, MaxRounds: 10})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -158,7 +158,7 @@ func TestPartialCrashDelivery(t *testing.T) {
 	// A node multicasting to three targets crashes keeping 1 message.
 	multi := &multicaster{n: 4}
 	ps := []Protocol{multi, &sink{}, &sink{}, &sink{}}
-	res, err := Run(Config{Protocols: ps, Adversary: crashAt{node: 0, round: 0, keep: 1}, MaxRounds: 5})
+	res, err := Run(Config{Protocols: ps, Fault: crashAt{node: 0, round: 0, keep: 1}, MaxRounds: 5})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -9,7 +9,7 @@ import (
 	"lineartime/internal/sim"
 )
 
-func runSPGossip(t *testing.T, n, tt int, adv sim.Adversary, seed uint64) ([]*SPGossip, *sim.Result) {
+func runSPGossip(t *testing.T, n, tt int, adv sim.LinkFault, seed uint64) ([]*SPGossip, *sim.Result) {
 	t.Helper()
 	top, err := consensus.NewTopology(n, tt, consensus.TopologyOptions{Seed: seed})
 	if err != nil {
@@ -27,7 +27,7 @@ func runSPGossip(t *testing.T, n, tt int, adv sim.Adversary, seed uint64) ([]*SP
 	}
 	res, err := sim.Run(sim.Config{
 		Protocols:  ps,
-		Adversary:  adv,
+		Fault:      adv,
 		MaxRounds:  sched.Length() + 5,
 		SinglePort: true,
 	})

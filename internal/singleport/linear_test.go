@@ -9,7 +9,7 @@ import (
 	"lineartime/internal/sim"
 )
 
-func runLinear(t *testing.T, n, tt int, inputs []bool, adv sim.Adversary, seed uint64) ([]*LinearConsensus, *sim.Result) {
+func runLinear(t *testing.T, n, tt int, inputs []bool, adv sim.LinkFault, seed uint64) ([]*LinearConsensus, *sim.Result) {
 	t.Helper()
 	top, err := consensus.NewTopology(n, tt, consensus.TopologyOptions{Seed: seed})
 	if err != nil {
@@ -23,7 +23,7 @@ func runLinear(t *testing.T, n, tt int, inputs []bool, adv sim.Adversary, seed u
 	}
 	res, err := sim.Run(sim.Config{
 		Protocols:  ps,
-		Adversary:  adv,
+		Fault:      adv,
 		MaxRounds:  ms[0].ScheduleLength() + 5,
 		SinglePort: true,
 	})

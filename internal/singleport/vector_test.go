@@ -55,7 +55,7 @@ func TestSPVectorConsensusAgreement(t *testing.T) {
 	}
 }
 
-func runSPCheckpointing(t *testing.T, n, tt int, adv sim.Adversary, seed uint64) ([]*SPCheckpointing, *sim.Result) {
+func runSPCheckpointing(t *testing.T, n, tt int, adv sim.LinkFault, seed uint64) ([]*SPCheckpointing, *sim.Result) {
 	t.Helper()
 	top, err := consensus.NewTopology(n, tt, consensus.TopologyOptions{Seed: seed})
 	if err != nil {
@@ -73,7 +73,7 @@ func runSPCheckpointing(t *testing.T, n, tt int, adv sim.Adversary, seed uint64)
 	}
 	res, err := sim.Run(sim.Config{
 		Protocols:  ps,
-		Adversary:  adv,
+		Fault:      adv,
 		MaxRounds:  ms[0].ScheduleLength() + 5,
 		SinglePort: true,
 	})

@@ -9,7 +9,7 @@ import (
 	"lineartime/internal/sim"
 )
 
-func runTraced(t *testing.T, n, tt int, adv sim.Adversary) (*Recorder, *sim.Result) {
+func runTraced(t *testing.T, n, tt int, adv sim.LinkFault) (*Recorder, *sim.Result) {
 	t.Helper()
 	top, err := consensus.NewTopology(n, tt, consensus.TopologyOptions{Seed: 3})
 	if err != nil {
@@ -25,7 +25,7 @@ func runTraced(t *testing.T, n, tt int, adv sim.Adversary) (*Recorder, *sim.Resu
 	}
 	res, err := sim.Run(sim.Config{
 		Protocols: ps,
-		Adversary: adv,
+		Fault:     adv,
 		Observer:  rec,
 		MaxRounds: schedule + 4,
 	})
