@@ -3,13 +3,22 @@
 // at the repository root (the CHC-COMP-style standing benchmark: each
 // PR that touches the engine regenerates the file, so regressions show
 // up in the diff). It measures ns/round and allocs/round for the
-// sequential and parallel engines at fixed (n, fanout) points, and
-// probes the largest feasible n under a per-round time budget.
+// sequential and parallel engines at fixed (n, fanout) points, the
+// amortized steady-state cost of repeated runs on one pooled arena
+// (the engine/reuse family), and probes the largest feasible n under a
+// per-round time budget.
+//
+// Parallel rows are honest: the file records the real GOMAXPROCS and
+// CPU count the run saw, and every parallel row carries its measured
+// speedup_vs_sequential against the matching sequential row — a
+// speedup near (or below) 1.0 on a single-CPU machine is reported as
+// such, not hidden.
 //
 // Usage:
 //
 //	go run ./cmd/benchjson            # write BENCH_sim.json
 //	go run ./cmd/benchjson -o out.json -quick
+//	go run ./cmd/benchjson -maxprocs 8
 package main
 
 import (
@@ -27,8 +36,8 @@ import (
 
 // broadcaster mirrors the benchmark protocol of the engine's
 // engine_bench_test.go: every node sends fanout one-bit messages per
-// round and halts after the horizon, with a persistent outbox so the
-// measurement is of the engine, not the harness.
+// round and halts after the horizon, with a persistent pre-sized
+// outbox so the measurement is of the engine, not the harness.
 type broadcaster struct {
 	id, n, fanout, horizon int
 	rounds                 int
@@ -36,9 +45,6 @@ type broadcaster struct {
 }
 
 func (b *broadcaster) Send(round int) []sim.Envelope {
-	if b.out == nil {
-		b.out = make([]sim.Envelope, 0, b.fanout)
-	}
 	out := b.out[:0]
 	for k := 1; k <= b.fanout; k++ {
 		out = append(out, sim.Envelope{From: b.id, To: (b.id + k) % b.n, Payload: sim.Bit(true)})
@@ -54,7 +60,8 @@ func buildSystem(n, fanout, horizon int) (sim.Config, []*broadcaster) {
 	ps := make([]sim.Protocol, n)
 	bs := make([]*broadcaster, n)
 	for j := 0; j < n; j++ {
-		bs[j] = &broadcaster{id: j, n: n, fanout: fanout, horizon: horizon}
+		bs[j] = &broadcaster{id: j, n: n, fanout: fanout, horizon: horizon,
+			out: make([]sim.Envelope, 0, fanout)}
 		ps[j] = bs[j]
 	}
 	return sim.Config{Protocols: ps, MaxRounds: horizon + 2}, bs
@@ -63,7 +70,7 @@ func buildSystem(n, fanout, horizon int) (sim.Config, []*broadcaster) {
 // benchPoint is one measured engine configuration.
 type benchPoint struct {
 	Name         string  `json:"name"`
-	Engine       string  `json:"engine"` // "sequential" | "parallel"
+	Engine       string  `json:"engine"` // "sequential" | "parallel" | "reuse" | "reuse-parallel"
 	N            int     `json:"n"`
 	Fanout       int     `json:"fanout"`
 	Rounds       int     `json:"rounds"`
@@ -72,28 +79,64 @@ type benchPoint struct {
 	AllocsPerOp  int64   `json:"allocs_per_op"`
 	BytesPerOp   int64   `json:"bytes_per_op"`
 	MsgsPerRound int64   `json:"msgs_per_round"`
+	// SpeedupVsSequential is set on parallel rows: the matching
+	// sequential row's ns_per_op divided by this row's. Values at or
+	// below 1.0 mean the worker pool bought nothing — expected when
+	// GOMAXPROCS or the CPU count is 1.
+	SpeedupVsSequential float64 `json:"speedup_vs_sequential,omitempty"`
 }
 
 func measure(engine string, n, fanout, horizon, workers int) (benchPoint, error) {
 	cfg, bs := buildSystem(n, fanout, horizon)
+	reset := func() {
+		for _, bc := range bs {
+			bc.rounds = 0
+		}
+	}
 	var runErr error
-	res := testing.Benchmark(func(b *testing.B) {
-		b.ReportAllocs()
-		for i := 0; i < b.N; i++ {
-			for _, bc := range bs {
-				bc.rounds = 0
-			}
-			exec := scenario.Serial
-			if engine == "parallel" {
-				exec = scenario.Parallel(workers)
-			}
-			_, err := scenario.Execute(cfg, exec)
-			if err != nil {
-				runErr = err
-				b.FailNow()
+	var body func(b *testing.B)
+	switch engine {
+	case "sequential", "parallel":
+		// The public path: scenario.Execute on a pooled arena, result
+		// detached per run.
+		exec := scenario.Serial
+		if engine == "parallel" {
+			exec = scenario.Parallel(workers)
+		}
+		body = func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				reset()
+				if _, err := scenario.Execute(cfg, exec); err != nil {
+					runErr = err
+					b.FailNow()
+				}
 			}
 		}
-	})
+	case "reuse", "reuse-parallel":
+		// The arena path: b.N consecutive runs on one Runtime, so the
+		// per-op numbers are the amortized steady-state cost of a
+		// repeated run (allocs/op ~0 once the buffers have grown).
+		rt := sim.NewRuntime()
+		defer rt.Close()
+		run := rt.Run
+		if engine == "reuse-parallel" {
+			run = func(cfg sim.Config) (*sim.Result, error) { return rt.RunParallel(cfg, workers) }
+		}
+		body = func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				reset()
+				if _, err := run(cfg); err != nil {
+					runErr = err
+					b.FailNow()
+				}
+			}
+		}
+	default:
+		return benchPoint{}, fmt.Errorf("unknown engine %q", engine)
+	}
+	res := testing.Benchmark(body)
 	if runErr != nil {
 		return benchPoint{}, runErr
 	}
@@ -110,6 +153,35 @@ func measure(engine string, n, fanout, horizon, workers int) (benchPoint, error)
 		BytesPerOp:   res.AllocedBytesPerOp(),
 		MsgsPerRound: int64(n) * int64(fanout),
 	}, nil
+}
+
+// fillSpeedups sets speedup_vs_sequential on every parallel-flavoured
+// row that has a matching same-shape row of its sequential flavour.
+func fillSpeedups(points []benchPoint) {
+	base := func(engine string, n, fanout int) float64 {
+		for i := range points {
+			p := &points[i]
+			if p.Engine == engine && p.N == n && p.Fanout == fanout {
+				return p.NsPerOp
+			}
+		}
+		return 0
+	}
+	for i := range points {
+		p := &points[i]
+		var seq float64
+		switch p.Engine {
+		case "parallel":
+			seq = base("sequential", p.N, p.Fanout)
+		case "reuse-parallel":
+			seq = base("reuse", p.N, p.Fanout)
+		default:
+			continue
+		}
+		if seq > 0 && p.NsPerOp > 0 {
+			p.SpeedupVsSequential = seq / p.NsPerOp
+		}
+	}
 }
 
 // maxFeasibleN doubles n until one round of the sequential engine at
@@ -135,9 +207,13 @@ func maxFeasibleN(fanout int, budget time.Duration, capN int) (int, float64) {
 
 // report is the BENCH_sim.json schema.
 type report struct {
-	Schema      string       `json:"schema"`
-	Go          string       `json:"go"`
+	Schema string `json:"schema"`
+	Go     string `json:"go"`
+	// GOMAXPROCS and NumCPU are the real values of the measuring run
+	// (after any -maxprocs override); parallel rows mean nothing
+	// without them.
 	GOMAXPROCS  int          `json:"gomaxprocs"`
+	NumCPU      int          `json:"num_cpu"`
 	Benchmarks  []benchPoint `json:"benchmarks"`
 	MaxFeasible struct {
 		Fanout           int     `json:"fanout"`
@@ -169,8 +245,12 @@ func run(args []string, stdout *os.File) error {
 	out := fs.String("o", "BENCH_sim.json", "output path ('-' for stdout)")
 	quick := fs.Bool("quick", false, "tiny sizes (CI smoke)")
 	budgetMs := fs.Int("budget", 100, "max-feasible-n time budget, ms per round")
+	maxprocs := fs.Int("maxprocs", 0, "override GOMAXPROCS for the measuring run (0 = leave as is)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *maxprocs > 0 {
+		runtime.GOMAXPROCS(*maxprocs)
 	}
 
 	type point struct {
@@ -184,17 +264,25 @@ func run(args []string, stdout *os.File) error {
 		{"sequential", 256, 64, 20},
 		{"parallel", 1000, 8, 20},
 		{"parallel", 4096, 8, 20},
+		{"reuse", 1000, 8, 20},
+		{"reuse", 4096, 8, 20},
+		{"reuse-parallel", 4096, 8, 20},
 	}
 	capN := 1 << 17
 	if *quick {
-		points = []point{{"sequential", 64, 4, 5}, {"parallel", 64, 4, 5}}
+		points = []point{
+			{"sequential", 64, 4, 5},
+			{"parallel", 64, 4, 5},
+			{"reuse", 64, 4, 5},
+		}
 		capN = 2048
 	}
 
 	var rep report
-	rep.Schema = "lineartime/bench_sim/v1"
+	rep.Schema = "lineartime/bench_sim/v2"
 	rep.Go = runtime.Version()
 	rep.GOMAXPROCS = runtime.GOMAXPROCS(0)
+	rep.NumCPU = runtime.NumCPU()
 	for _, p := range points {
 		bp, err := measure(p.engine, p.n, p.fanout, p.rounds, 0)
 		if err != nil {
@@ -202,6 +290,7 @@ func run(args []string, stdout *os.File) error {
 		}
 		rep.Benchmarks = append(rep.Benchmarks, bp)
 	}
+	fillSpeedups(rep.Benchmarks)
 	rep.MaxFeasible.Fanout = 8
 	rep.MaxFeasible.BudgetMsPerRound = float64(*budgetMs)
 	rep.MaxFeasible.N, rep.MaxFeasible.NsPerRound =

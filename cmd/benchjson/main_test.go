@@ -23,16 +23,32 @@ func TestBenchJSONQuick(t *testing.T) {
 	if err := json.Unmarshal(data, &rep); err != nil {
 		t.Fatalf("invalid JSON: %v", err)
 	}
-	if rep.Schema != "lineartime/bench_sim/v1" {
+	if rep.Schema != "lineartime/bench_sim/v2" {
 		t.Fatalf("schema = %q", rep.Schema)
 	}
-	if len(rep.Benchmarks) != 2 {
-		t.Fatalf("benchmarks = %d, want 2", len(rep.Benchmarks))
+	if len(rep.Benchmarks) != 3 {
+		t.Fatalf("benchmarks = %d, want 3", len(rep.Benchmarks))
 	}
+	var sawParallel, sawReuse bool
 	for _, bp := range rep.Benchmarks {
 		if bp.NsPerRound <= 0 || bp.MsgsPerRound <= 0 {
 			t.Fatalf("degenerate point %+v", bp)
 		}
+		switch bp.Engine {
+		case "parallel":
+			sawParallel = true
+			if bp.SpeedupVsSequential <= 0 {
+				t.Fatalf("parallel row missing speedup_vs_sequential: %+v", bp)
+			}
+		case "reuse":
+			sawReuse = true
+		}
+	}
+	if !sawParallel || !sawReuse {
+		t.Fatalf("missing parallel or reuse rows: %+v", rep.Benchmarks)
+	}
+	if rep.GOMAXPROCS <= 0 || rep.NumCPU <= 0 {
+		t.Fatalf("gomaxprocs=%d num_cpu=%d; want both positive", rep.GOMAXPROCS, rep.NumCPU)
 	}
 	if rep.MaxFeasible.N < 1024 {
 		t.Fatalf("max feasible n = %d, want ≥ 1024", rep.MaxFeasible.N)

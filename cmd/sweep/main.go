@@ -6,7 +6,10 @@
 //
 // Sweep points within an experiment are independent runs, so they are
 // fanned across a worker pool (-parallel, default GOMAXPROCS) and the
-// rows printed in order once all have completed.
+// rows printed in order once all have completed. Each worker's runs
+// dispatch through scenario.Execute, whose arena pool (sim.Runtime)
+// hands every consecutive point a warm engine — steady-state sweep
+// points pay no per-run state rebuild.
 //
 // Usage:
 //

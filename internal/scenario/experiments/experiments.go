@@ -16,7 +16,10 @@ import (
 )
 
 // Point is one sweep point: an independent unit of work producing one
-// formatted table row. Points of a section may run concurrently.
+// formatted table row. Points of a section may run concurrently; every
+// point dispatches through scenario.Execute, so consecutive points on
+// one sweep worker reuse a pooled run arena (sim.Runtime) instead of
+// rebuilding engine state per run.
 type Point struct {
 	Run func() (string, error)
 }

@@ -3,6 +3,7 @@ package scenario
 import (
 	"errors"
 	"fmt"
+	"sync"
 
 	"lineartime/internal/bitset"
 	"lineartime/internal/byzantine"
@@ -23,19 +24,37 @@ const defaultRoundSlack = 8
 // scenario; the sharded engine is multi-port only.
 var ErrSinglePortParallel = errors.New("scenario: parallel execution is multi-port only")
 
+// runtimes pools sim run arenas across Execute calls: a sweep worker
+// or experiment loop that executes many scenarios back to back lands
+// on a warm Runtime (grown scratch buffers, parked parallel workers)
+// instead of rebuilding ~MBs of engine state per run. sync.Pool's
+// per-P caching gives each concurrent sweep worker its own arena.
+var runtimes = sync.Pool{New: func() any { return sim.NewRuntime() }}
+
 // Execute is the single engine choke point: every simulator run in the
 // repository outside internal/sim — the public API, the registry
 // experiments, the commands, the lower-bound constructions — dispatches
 // through here, so the sequential/parallel decision and its
-// constraints live in one place.
+// constraints live in one place. Runs execute on a pooled run arena;
+// the returned Result is detached from it (Clone), so callers may
+// retain it freely.
 func Execute(cfg sim.Config, p Parallelism) (*sim.Result, error) {
+	rt := runtimes.Get().(*sim.Runtime)
+	defer runtimes.Put(rt)
+	var res *sim.Result
+	var err error
 	if p.Enabled {
 		if cfg.SinglePort {
 			return nil, ErrSinglePortParallel
 		}
-		return sim.RunParallel(cfg, p.Workers)
+		res, err = rt.RunParallel(cfg, p.Workers)
+	} else {
+		res, err = rt.Run(cfg)
 	}
-	return sim.Run(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return res.Clone(), nil
 }
 
 // Runner materializes Specs into engine runs. It is stateless; the

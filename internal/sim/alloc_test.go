@@ -1,0 +1,84 @@
+package sim
+
+import "testing"
+
+// Alloc-regression guard: a pooled Runtime's steady-state (post-warmup)
+// run must be allocation-free on the fault-free and crash paths, and on
+// the link-fault path with inline payloads — the delay ring, like every
+// other arena buffer, grows to the run's peak once and then recycles.
+// Only the escape side table may grow while escapes are parked across
+// rounds (wire.go documents the bound), which these configs avoid by
+// sending inline payloads only.
+
+// The guard's protocol is the shared broadcaster benchmark harness
+// (engine_bench_test.go): fixed fanout of inline one-bit payloads,
+// persistent pre-sized outbox, resettable.
+
+// allocDelayFilter delays a deterministic slice of the traffic and
+// drops another, with MaxDelay 2, using no per-verdict state.
+type allocDelayFilter struct{}
+
+func (allocDelayFilter) FilterSend(_ int, _ NodeID, out []Envelope) ([]Envelope, bool) {
+	return out, false
+}
+
+func (allocDelayFilter) FilterLink(round int, env Envelope) Verdict {
+	switch (env.From + env.To + round) % 7 {
+	case 0:
+		return Drop
+	case 1:
+		return DelayBy(1)
+	case 2:
+		return DelayBy(2)
+	default:
+		return Deliver
+	}
+}
+
+func (allocDelayFilter) MaxDelay() int { return 2 }
+
+func TestRuntimeSteadyStateAllocs(t *testing.T) {
+	const n, fanout, horizon = 256, 4, 12
+	cases := []struct {
+		name  string
+		fault LinkFault
+	}{
+		{name: "fault-free", fault: nil},
+		{name: "crash", fault: newMultiCrash(n, n/8, horizon, 99)},
+		{name: "link-delay", fault: allocDelayFilter{}},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			ps := make([]Protocol, n)
+			bs := make([]*broadcaster, n)
+			for i := 0; i < n; i++ {
+				bs[i] = &broadcaster{id: i, n: n, fanout: fanout, horizon: horizon,
+					out: make([]Envelope, 0, fanout)}
+				ps[i] = bs[i]
+			}
+			cfg := Config{Protocols: ps, Fault: c.fault, MaxRounds: horizon + 4}
+			rt := NewRuntime()
+			var runErr error
+			oneRun := func() {
+				for _, b := range bs {
+					b.reset()
+				}
+				if _, err := rt.Run(cfg); err != nil {
+					runErr = err
+				}
+			}
+			// Two warmup runs grow every arena buffer to its peak.
+			oneRun()
+			oneRun()
+			if runErr != nil {
+				t.Fatal(runErr)
+			}
+			if allocs := testing.AllocsPerRun(5, oneRun); allocs != 0 {
+				t.Fatalf("steady-state pooled run allocated %.1f times; want 0", allocs)
+			}
+			if runErr != nil {
+				t.Fatal(runErr)
+			}
+		})
+	}
+}

@@ -36,10 +36,23 @@ func (b *broadcaster) reset()                          { b.rounds = 0 }
 
 func benchEngine(b *testing.B, n, fanout, horizon, workers int) {
 	b.Helper()
+	benchEngineRun(b, n, fanout, horizon, func(cfg Config) (*Result, error) {
+		if workers != 0 {
+			return RunParallel(cfg, workers)
+		}
+		return Run(cfg)
+	})
+}
+
+func benchEngineRun(b *testing.B, n, fanout, horizon int, run func(Config) (*Result, error)) {
+	b.Helper()
 	ps := make([]Protocol, n)
 	bs := make([]*broadcaster, n)
 	for j := 0; j < n; j++ {
-		bs[j] = &broadcaster{id: j, n: n, fanout: fanout, horizon: horizon}
+		// Pre-size the persistent outbox so the harness protocol is
+		// allocation-free from the first round.
+		bs[j] = &broadcaster{id: j, n: n, fanout: fanout, horizon: horizon,
+			out: make([]Envelope, 0, fanout)}
 		ps[j] = bs[j]
 	}
 	cfg := Config{Protocols: ps, MaxRounds: horizon + 2}
@@ -48,13 +61,7 @@ func benchEngine(b *testing.B, n, fanout, horizon, workers int) {
 		for _, bc := range bs {
 			bc.reset()
 		}
-		var res *Result
-		var err error
-		if workers != 0 {
-			res, err = RunParallel(cfg, workers)
-		} else {
-			res, err = Run(cfg)
-		}
+		res, err := run(cfg)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -83,6 +90,32 @@ func BenchmarkEngineParallel(b *testing.B) {
 	for _, c := range []struct{ n, fanout int }{{256, 8}, {1024, 8}, {4096, 8}} {
 		b.Run(fmt.Sprintf("n=%d/fanout=%d", c.n, c.fanout), func(b *testing.B) {
 			benchEngine(b, c.n, c.fanout, 20, -1)
+		})
+	}
+}
+
+// BenchmarkEngineReuse measures the arena: k consecutive runs on one
+// Runtime, so the per-op numbers are the amortized steady-state cost
+// of a repeated run — allocs/op is ~0 once the buffers have grown.
+// This is the shape sweeps and replications pay per point.
+func BenchmarkEngineReuse(b *testing.B) {
+	for _, c := range []struct{ n, fanout int }{{1000, 8}, {4096, 8}} {
+		b.Run(fmt.Sprintf("n=%d/fanout=%d", c.n, c.fanout), func(b *testing.B) {
+			rt := NewRuntime()
+			defer rt.Close()
+			benchEngineRun(b, c.n, c.fanout, 20, rt.Run)
+		})
+	}
+}
+
+func BenchmarkEngineReuseParallel(b *testing.B) {
+	for _, c := range []struct{ n, fanout int }{{1000, 8}, {4096, 8}} {
+		b.Run(fmt.Sprintf("n=%d/fanout=%d", c.n, c.fanout), func(b *testing.B) {
+			rt := NewRuntime()
+			defer rt.Close()
+			benchEngineRun(b, c.n, c.fanout, 20, func(cfg Config) (*Result, error) {
+				return rt.RunParallel(cfg, 0)
+			})
 		})
 	}
 }

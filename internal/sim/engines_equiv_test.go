@@ -26,19 +26,26 @@ func (p fuzzPayload) SizeBits() int { return p.bits }
 
 // fuzzNode is a randomized protocol: traffic pattern, poll choices and
 // halting depend on a per-node PRNG and on everything received so far,
-// so any divergence between engines cascades into the transcript.
+// so any divergence between engines cascades into the transcript. With
+// mixed set, sends alternate between the engine's inline payload kinds
+// (Bit, Inquiry, Probe) and the protocol-defined fuzzPayload, so the
+// wire plane's inline packing and the escape side table are exercised
+// together; Deliver folds each payload's concrete value into the
+// accumulator, so a round-trip that loses a bit of payload content (not
+// just its size) diverges the transcript.
 type fuzzNode struct {
 	id, n, horizon int
 	single         bool
+	mixed          bool
 	r              *rng.SplitMix64
 	acc            uint64
 	rounds         int
 	out            []Envelope
 }
 
-func newFuzzNode(id, n, horizon int, single bool, seed uint64) *fuzzNode {
+func newFuzzNode(id, n, horizon int, single, mixed bool, seed uint64) *fuzzNode {
 	return &fuzzNode{
-		id: id, n: n, horizon: horizon + id%5, single: single,
+		id: id, n: n, horizon: horizon + id%5, single: single, mixed: mixed,
 		r:   rng.New(seed ^ uint64(id)*0x9e3779b97f4a7c15),
 		acc: uint64(id) + 1,
 	}
@@ -52,6 +59,20 @@ func (f *fuzzNode) target() NodeID {
 	return to
 }
 
+func (f *fuzzNode) payload() Payload {
+	if f.mixed {
+		switch f.r.Intn(5) {
+		case 0:
+			return Bit(f.acc&1 != 0)
+		case 1:
+			return Inquiry{}
+		case 2:
+			return Probe{Rumor: Bit(f.acc&2 != 0)}
+		}
+	}
+	return fuzzPayload{bits: 1 + int((f.acc>>3)%7)}
+}
+
 func (f *fuzzNode) Send(round int) []Envelope {
 	f.out = f.out[:0]
 	fanout := f.r.Intn(4)
@@ -62,7 +83,7 @@ func (f *fuzzNode) Send(round int) []Envelope {
 		f.out = append(f.out, Envelope{
 			From:    f.id,
 			To:      f.target(),
-			Payload: fuzzPayload{bits: 1 + int((f.acc>>3)%7)},
+			Payload: f.payload(),
 		})
 	}
 	return f.out
@@ -75,9 +96,28 @@ func (f *fuzzNode) Poll(round int) (NodeID, bool) {
 	return f.target(), true
 }
 
+// payloadFingerprint hashes a payload's concrete type and value, so the
+// equivalence accumulator distinguishes Bit(true) from Bit(false) and a
+// Probe from an Inquiry, not just their sizes.
+func payloadFingerprint(p Payload) uint64 {
+	switch v := p.(type) {
+	case Bit:
+		return 0x11 + uint64(v.Value())
+	case Inquiry:
+		return 0x23
+	case Probe:
+		return 0x31 + uint64(v.Rumor.Value())
+	case fuzzPayload:
+		return 0x47 ^ uint64(v.bits)<<8
+	default:
+		return 0x59
+	}
+}
+
 func (f *fuzzNode) Deliver(round int, inbox []Envelope) {
 	for _, env := range inbox {
 		f.acc = f.acc*0x100000001b3 ^ uint64(env.From)<<17 ^ uint64(env.Payload.SizeBits())
+		f.acc ^= payloadFingerprint(env.Payload) << 7
 	}
 	f.rounds++
 }
@@ -333,13 +373,17 @@ type equivCase struct {
 	// fault — combined with crash it exercises the whole LinkFault
 	// surface at once.
 	link bool
+	// mixed interleaves inline payload kinds with the protocol-defined
+	// fuzzPayload, proving the escape side-table encoding round-trips
+	// byte-identically against the oracle.
+	mixed bool
 }
 
-func buildFuzz(n, horizon int, single bool, seed uint64) ([]Protocol, []*fuzzNode) {
+func buildFuzz(n, horizon int, c equivCase, seed uint64) ([]Protocol, []*fuzzNode) {
 	ps := make([]Protocol, n)
 	fs := make([]*fuzzNode, n)
 	for i := 0; i < n; i++ {
-		fs[i] = newFuzzNode(i, n, horizon, single, seed)
+		fs[i] = newFuzzNode(i, n, horizon, c.singlePort, c.mixed, seed)
 		ps[i] = fs[i]
 	}
 	return ps, fs
@@ -403,18 +447,23 @@ func TestEngineEquivalenceRandomized(t *testing.T) {
 		{name: "multi-port/link/byzantine", link: true, byzantine: true, labeler: true},
 		{name: "single-port/link", singlePort: true, link: true},
 		{name: "single-port/link+crash", singlePort: true, link: true, crash: true},
+		{name: "multi-port/mixed-payloads", mixed: true, labeler: true},
+		{name: "multi-port/mixed/link+crash", mixed: true, link: true, crash: true},
+		{name: "multi-port/mixed/byzantine", mixed: true, byzantine: true},
+		{name: "single-port/mixed", singlePort: true, mixed: true},
+		{name: "single-port/mixed/link", singlePort: true, mixed: true, link: true},
 	}
 	for _, c := range cases {
 		t.Run(c.name, func(t *testing.T) {
 			for _, seed := range []uint64{1, 2, 3, 5, 8} {
 				const n, horizon = 48, 24
-				refPs, refNodes := buildFuzz(n, horizon, c.singlePort, seed)
+				refPs, refNodes := buildFuzz(n, horizon, c, seed)
 				refRes, err := referenceRun(equivConfig(c, refPs, n, horizon, seed))
 				if err != nil {
 					t.Fatalf("seed %d: reference: %v", seed, err)
 				}
 
-				seqPs, seqNodes := buildFuzz(n, horizon, c.singlePort, seed)
+				seqPs, seqNodes := buildFuzz(n, horizon, c, seed)
 				seqRes, err := Run(equivConfig(c, seqPs, n, horizon, seed))
 				if err != nil {
 					t.Fatalf("seed %d: sequential: %v", seed, err)
@@ -426,7 +475,7 @@ func TestEngineEquivalenceRandomized(t *testing.T) {
 					continue
 				}
 				for _, workers := range []int{1, 3, 7} {
-					poolPs, poolNodes := buildFuzz(n, horizon, c.singlePort, seed)
+					poolPs, poolNodes := buildFuzz(n, horizon, c, seed)
 					poolRes, err := RunParallel(equivConfig(c, poolPs, n, horizon, seed), workers)
 					if err != nil {
 						t.Fatalf("seed %d: pool(%d): %v", seed, workers, err)
@@ -434,6 +483,59 @@ func TestEngineEquivalenceRandomized(t *testing.T) {
 					compareResults(t, fmt.Sprintf("seed %d: pool(%d) vs reference", seed, workers),
 						refRes, poolRes, refNodes, poolNodes)
 				}
+			}
+		})
+	}
+}
+
+// TestRuntimeReuseMatchesReference re-runs the randomized equivalence
+// matrix on ONE shared Runtime — interleaving multi-port, single-port,
+// link-fault and parallel runs at varying sizes — and demands every
+// pooled run match the fresh-state reference exactly. Any state the
+// arena fails to reset between runs (a stale port ring, a leftover
+// delay slot, a dirty metrics array, a mis-recycled escape table)
+// diverges the transcript.
+func TestRuntimeReuseMatchesReference(t *testing.T) {
+	cases := []equivCase{
+		{name: "multi-port", labeler: true},
+		{name: "multi-port/mixed/link+crash", mixed: true, link: true, crash: true},
+		{name: "single-port/mixed", singlePort: true, mixed: true},
+		{name: "multi-port/crash", crash: true},
+		{name: "single-port/link+crash", singlePort: true, link: true, crash: true},
+		{name: "multi-port/mixed/byzantine", mixed: true, byzantine: true, labeler: true},
+	}
+	rt := NewRuntime()
+	defer rt.Close()
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			for _, seed := range []uint64{3, 7, 11} {
+				// Vary n per seed so arena reuse also crosses sizes.
+				n := 32 + int(seed)*4
+				const horizon = 20
+				refPs, refNodes := buildFuzz(n, horizon, c, seed)
+				refRes, err := referenceRun(equivConfig(c, refPs, n, horizon, seed))
+				if err != nil {
+					t.Fatalf("seed %d: reference: %v", seed, err)
+				}
+
+				rtPs, rtNodes := buildFuzz(n, horizon, c, seed)
+				rtRes, err := rt.Run(equivConfig(c, rtPs, n, horizon, seed))
+				if err != nil {
+					t.Fatalf("seed %d: runtime: %v", seed, err)
+				}
+				compareResults(t, fmt.Sprintf("seed %d: pooled run vs reference", seed),
+					refRes, rtRes, refNodes, rtNodes)
+
+				if c.singlePort {
+					continue
+				}
+				parPs, parNodes := buildFuzz(n, horizon, c, seed)
+				parRes, err := rt.RunParallel(equivConfig(c, parPs, n, horizon, seed), 3)
+				if err != nil {
+					t.Fatalf("seed %d: runtime parallel: %v", seed, err)
+				}
+				compareResults(t, fmt.Sprintf("seed %d: pooled parallel run vs reference", seed),
+					refRes, parRes, refNodes, parNodes)
 			}
 		})
 	}

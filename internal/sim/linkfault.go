@@ -88,64 +88,82 @@ func (NoFailures) FilterSend(_ int, _ NodeID, outbox []Envelope) ([]Envelope, bo
 
 var _ LinkFault = NoFailures{}
 
-// delayRing buffers in-flight delayed envelopes: one reusable slot per
-// future round, indexed by arrival round modulo the window size
-// (MaxDelay+1). Slots keep their capacity across rounds, so after the
-// run's peak in-flight volume the ring never touches the allocator —
-// the same recycling discipline as the single-port rings in ports.go.
+// delayRing buffers in-flight delayed messages in packed wire form:
+// one reusable slot per future round, indexed by arrival round modulo
+// the window size (MaxDelay+1). Slots keep their capacity across
+// rounds, so after the run's peak in-flight volume the ring never
+// touches the allocator — the same recycling discipline as the
+// single-port rings in ports.go.
 type delayRing struct {
-	slots [][]Envelope
+	slots [][]wireMsg
 }
 
 func newDelayRing(maxDelay int) *delayRing {
-	return &delayRing{slots: make([][]Envelope, maxDelay+1)}
+	return &delayRing{slots: make([][]wireMsg, maxDelay+1)}
 }
 
-// push parks an envelope for delivery at the given arrival round. The
-// arrival must lie within (round, round+MaxDelay] of the current
+// reset empties every slot for a fresh run on the same arena, keeping
+// slot capacity (a previous run may have completed with messages still
+// in flight).
+func (d *delayRing) reset() {
+	for i := range d.slots {
+		d.slots[i] = d.slots[i][:0]
+	}
+}
+
+// push parks a packed message for delivery at the given arrival round.
+// The arrival must lie within (round, round+MaxDelay] of the current
 // round; the engine validates the verdict before pushing.
-func (d *delayRing) push(arrival int, env Envelope) {
+func (d *delayRing) push(arrival int, wm wireMsg) {
 	i := arrival % len(d.slots)
-	d.slots[i] = append(d.slots[i], env)
+	d.slots[i] = append(d.slots[i], wm)
 }
 
-// take returns the envelopes arriving at the given round and recycles
+// take returns the messages arriving at the given round and recycles
 // the slot. The returned slice is valid until the slot's round comes
 // up again, which is at least MaxDelay rounds away.
-func (d *delayRing) take(round int) []Envelope {
+func (d *delayRing) take(round int) []wireMsg {
 	i := round % len(d.slots)
 	arrivals := d.slots[i]
 	d.slots[i] = arrivals[:0]
 	return arrivals
 }
 
-// injectArrivals stages the delayed envelopes arriving at round r and
+// injectArrivals stages the delayed messages arriving at round r and
 // returns how many there were. Both engines call it first thing after
 // beginRound, so arrivals precede the round's fresh sends in the
 // staged buffer; a positive count obliges the caller to re-sort the
 // buffer by sender before placing inboxes. Messages still in flight
 // when the run completes are lost, like messages to crashed nodes.
+// Escape payloads leaving the ring stop pinning the side table (they
+// are delivered, and their entries consumed, this round).
 func (s *state) injectArrivals(r int, count bool) int {
 	if s.ring == nil {
 		return 0
 	}
 	arrivals := s.ring.take(r)
+	for i := range arrivals {
+		if wireIsEscape(arrivals[i].word) {
+			s.escLive--
+		}
+	}
 	s.scratch.stage(arrivals, count)
 	return len(arrivals)
 }
 
 // stageFiltered routes one sender's fault-surviving envelopes through
-// the link filter: verdicts stage, discard, or park each envelope.
-// Traffic was already counted — a dropped or delayed message still
-// cost its sender the bandwidth.
+// the link filter: verdicts stage, discard, or park each envelope,
+// packing the kept ones into wire form. Traffic was already counted —
+// a dropped or delayed message still cost its sender the bandwidth.
 func (s *state) stageFiltered(r int, deliver []Envelope, count bool) error {
 	for i := range deliver {
 		v := s.filter.FilterLink(r, deliver[i])
 		switch {
 		case v == Deliver:
-			s.scratch.stage(deliver[i:i+1], count)
+			wm, _ := packEnvelope(&deliver[i], &s.esc, 0)
+			s.scratch.stage1(wm, count)
 		case v == Drop:
-			// Lost in the network.
+			// Lost in the network; nothing is packed.
 		case v < Drop:
 			return fmt.Errorf("sim: link fault returned invalid verdict %d", int(v))
 		default:
@@ -156,7 +174,11 @@ func (s *state) stageFiltered(r int, deliver []Envelope, count bool) error {
 			if k > s.maxDelay {
 				return fmt.Errorf("sim: link fault delayed an envelope by %d rounds, beyond its MaxDelay of %d", k, s.maxDelay)
 			}
-			s.ring.push(r+k, deliver[i])
+			wm, _ := packEnvelope(&deliver[i], &s.esc, 0)
+			if wireIsEscape(wm.word) {
+				s.escLive++
+			}
+			s.ring.push(r+k, wm)
 		}
 	}
 	return nil
@@ -164,9 +186,9 @@ func (s *state) stageFiltered(r int, deliver []Envelope, count bool) error {
 
 // sortStagedBySender restores the staged buffer's sender order after
 // delayed arrivals were injected ahead of the round's fresh sends. The
-// sort is stable, so envelopes from the same sender stay in
+// sort is stable, so messages from the same sender stay in
 // chronological (send-round) order — the tie-break the Deliver
 // contract promises. In-place symmerge; no allocation.
-func sortStagedBySender(flat []Envelope) {
-	slices.SortStableFunc(flat, func(a, b Envelope) int { return a.From - b.From })
+func sortStagedBySender(flat []wireMsg) {
+	slices.SortStableFunc(flat, func(a, b wireMsg) int { return int(a.From) - int(b.From) })
 }

@@ -43,10 +43,12 @@ var (
 	_ Payload = Probe{}
 )
 
-// sizeBits is the engines' accounting hook: a devirtualized fast path
-// for the package's own one-bit payloads, which dominate the traffic
-// of the crash-model algorithms, falling back to the interface call
-// for protocol-defined payloads.
+// sizeBits is the accounting hook of the link-filter path, where
+// traffic is counted before verdicts decide what gets packed: a
+// devirtualized fast path for the package's own one-bit payloads,
+// falling back to the interface call for protocol-defined payloads.
+// The filter-free hot path does not use it — packEnvelope (wire.go)
+// folds the size into the packing pass.
 func sizeBits(p Payload) int {
 	switch v := p.(type) {
 	case Bit:

@@ -6,20 +6,28 @@ package sim
 // replacement is index-addressed: each receiving node owns a portSet
 // whose idx table maps a sender directly to a ring buffer, and the
 // rings recycle their storage, so steady-state deposit and poll touch
-// no allocator at all.
+// no allocator at all. The rings carry packed wireMsgs (wire.go);
+// decoding back to an Envelope happens once, at the poll that delivers
+// the message.
+//
+// The idx tables are n-sized and survive arena reuse (see
+// state.reset): a fresh run on a pooled Runtime recycles the previous
+// run's tables instead of lazily re-allocating up to n of them — the
+// O(n²) worst-case table bytes dense-fanout scenarios used to pay per
+// run.
 
 // portRing is one in-port FIFO: a power-of-two ring buffer.
 type portRing struct {
-	buf  []Envelope // len(buf) is always a power of two (or zero)
+	buf  []wireMsg // len(buf) is always a power of two (or zero)
 	head int
 	size int
 }
 
-func (r *portRing) push(env Envelope) {
+func (r *portRing) push(wm wireMsg) {
 	if r.size == len(r.buf) {
 		r.grow()
 	}
-	r.buf[(r.head+r.size)&(len(r.buf)-1)] = env
+	r.buf[(r.head+r.size)&(len(r.buf)-1)] = wm
 	r.size++
 }
 
@@ -28,7 +36,7 @@ func (r *portRing) grow() {
 	if ncap == 0 {
 		ncap = 4
 	}
-	nbuf := make([]Envelope, ncap)
+	nbuf := make([]wireMsg, ncap)
 	for i := 0; i < r.size; i++ {
 		nbuf[i] = r.buf[(r.head+i)&(len(r.buf)-1)]
 	}
@@ -36,14 +44,14 @@ func (r *portRing) grow() {
 	r.head = 0
 }
 
-func (r *portRing) pop() (Envelope, bool) {
+func (r *portRing) pop() (wireMsg, bool) {
 	if r.size == 0 {
-		return Envelope{}, false
+		return wireMsg{}, false
 	}
-	env := r.buf[r.head]
+	wm := r.buf[r.head]
 	r.head = (r.head + 1) & (len(r.buf) - 1)
 	r.size--
-	return env, true
+	return wm, true
 }
 
 // portSet is one node's set of in-ports, addressed by sender index.
@@ -55,26 +63,36 @@ type portSet struct {
 	rings []portRing
 }
 
-func (p *portSet) push(n int, env Envelope) {
+func (p *portSet) push(n int, wm wireMsg) {
 	if p.idx == nil {
 		p.idx = make([]int32, n)
 	}
-	k := p.idx[env.From]
+	k := p.idx[wm.From]
 	if k == 0 {
 		p.rings = append(p.rings, portRing{})
 		k = int32(len(p.rings))
-		p.idx[env.From] = k
+		p.idx[wm.From] = k
 	}
-	p.rings[k-1].push(env)
+	p.rings[k-1].push(wm)
 }
 
-func (p *portSet) pop(from NodeID) (Envelope, bool) {
+func (p *portSet) pop(from NodeID) (wireMsg, bool) {
 	if p.idx == nil {
-		return Envelope{}, false
+		return wireMsg{}, false
 	}
 	k := p.idx[from]
 	if k == 0 {
-		return Envelope{}, false
+		return wireMsg{}, false
 	}
 	return p.rings[k-1].pop()
+}
+
+// recycle empties the rings for a fresh run on the same arena, keeping
+// the idx table and the ring storage (the sender→ring assignments stay
+// valid; re-running the same topology redeposits into warm buffers).
+func (p *portSet) recycle() {
+	for i := range p.rings {
+		p.rings[i].head = 0
+		p.rings[i].size = 0
+	}
 }

@@ -20,12 +20,19 @@
 // The hot path is allocation-free in steady state: inboxes are built in
 // a reusable CSR-style workspace (scratch.go), single-port buffers are
 // index-addressed rings (ports.go), and the metrics arrays are sized up
-// front. See EXPERIMENTS.md for the benchmark harness that tracks this.
+// front. In between Send and Deliver every message travels in packed
+// 16-byte wire form (wire.go) rather than as a 32-byte Envelope, and a
+// Runtime (arena.go) pools the whole engine state across runs, so
+// repeated runs — sweeps, replications, benchmarks — are steady-state
+// allocation-free end to end. See EXPERIMENTS.md for the benchmark
+// harness that tracks this.
 package sim
 
 import (
 	"errors"
 	"fmt"
+	"maps"
+	"slices"
 
 	"lineartime/internal/bitset"
 )
@@ -58,8 +65,8 @@ type Protocol interface {
 	Send(round int) []Envelope
 	// Deliver hands the node all messages it receives in this round,
 	// sorted by sender for determinism. The slice aliases engine
-	// scratch memory that is overwritten next round; implementations
-	// must not retain it.
+	// scratch memory that is overwritten as soon as Deliver returns;
+	// implementations must not retain it.
 	Deliver(round int, inbox []Envelope)
 	// Halted reports whether the node has voluntarily halted. Halting
 	// is irrevocable; halted nodes neither send nor receive.
@@ -135,7 +142,10 @@ type Observer interface {
 	OnHalt(round int, node NodeID)
 }
 
-// Result is the outcome of a run.
+// Result is the outcome of a run. Results returned by Run and
+// RunParallel own their memory; results returned by a Runtime alias
+// arena state and are valid only until the Runtime's next run — Clone
+// detaches a copy.
 type Result struct {
 	Metrics Metrics
 	// Crashed is the set of nodes the fault layer crashed.
@@ -143,6 +153,20 @@ type Result struct {
 	// HaltedAt[i] is the round at which node i halted voluntarily, or
 	// -1 if it crashed or never halted within the round budget.
 	HaltedAt []int
+}
+
+// Clone returns a deep copy of the result that shares no memory with
+// the run that produced it.
+func (r *Result) Clone() *Result {
+	c := &Result{Metrics: r.Metrics, HaltedAt: slices.Clone(r.HaltedAt)}
+	c.Metrics.PerRoundMessages = slices.Clone(r.Metrics.PerRoundMessages)
+	if r.Metrics.PerPart != nil {
+		c.Metrics.PerPart = maps.Clone(r.Metrics.PerPart)
+	}
+	if r.Crashed != nil {
+		c.Crashed = r.Crashed.Clone()
+	}
+	return c
 }
 
 // ErrNoTermination reports that some non-faulty node did not halt
@@ -156,7 +180,14 @@ func Run(cfg Config) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	return st.run()
+	res, err := st.run()
+	if err != nil {
+		return nil, err
+	}
+	// Copy the envelope out of the state so a retained Result pins
+	// only the metrics slices, not the whole engine arena.
+	r := *res
+	return &r, nil
 }
 
 // Stepper drives a run one round at a time, for experiments that
@@ -200,64 +231,18 @@ func (s *Stepper) Step() (done bool, err error) {
 func (s *Stepper) Round() int { return s.round }
 
 // Result returns the run outcome; valid at any point, final once Step
-// reported done.
-func (s *Stepper) Result() *Result { return s.st.result() }
+// reported done. Each call returns a distinct Result, so snapshots
+// taken between steps keep their scalar fields (the slices alias
+// engine state, as they always have).
+func (s *Stepper) Result() *Result {
+	r := *s.st.result()
+	return &r
+}
 
 func newState(cfg Config) (*state, error) {
-	n := len(cfg.Protocols)
-	if n == 0 {
-		return nil, errors.New("sim: no protocols")
-	}
-	if cfg.MaxRounds <= 0 {
-		return nil, errors.New("sim: MaxRounds must be positive")
-	}
-	fault := cfg.Fault
-	if fault == nil {
-		fault = NoFailures{}
-	}
-
-	st := &state{
-		cfg:      cfg,
-		n:        n,
-		fault:    fault,
-		byz:      make([]bool, n),
-		crashed:  bitset.New(n),
-		haltedAt: make([]int, n),
-		scratch:  newScratch(n),
-	}
-	if lf, ok := fault.(LinkFilter); ok {
-		st.filter = lf
-		switch d := lf.MaxDelay(); {
-		case d < 0:
-			return nil, fmt.Errorf("sim: link filter declares negative MaxDelay %d", d)
-		case d > 0:
-			st.maxDelay = d
-			st.ring = newDelayRing(d)
-		}
-	}
-	if cfg.Byzantine != nil {
-		for id := 0; id < n; id++ {
-			st.byz[id] = cfg.Byzantine.Contains(id)
-		}
-	}
-	for i := range st.haltedAt {
-		st.haltedAt[i] = -1
-	}
-	// Pre-size the per-round series to the round budget so the hot
-	// path indexes instead of growing (and the Stepper does not
-	// re-allocate every round); result() trims to the executed prefix.
-	st.metrics.PerRoundMessages = make([]int64, cfg.MaxRounds)
-	if cfg.SinglePort {
-		st.ports = make([]portSet, n)
-		st.spSlot = make([]Envelope, n)
-		st.pollers = make([]Poller, n)
-		for i, p := range cfg.Protocols {
-			poller, ok := p.(Poller)
-			if !ok {
-				return nil, fmt.Errorf("sim: single-port run requires Poller protocols; node %d is %T", i, p)
-			}
-			st.pollers[i] = poller
-		}
+	st := &state{}
+	if err := st.reset(cfg); err != nil {
+		return nil, err
 	}
 	return st, nil
 }
@@ -276,7 +261,7 @@ type state struct {
 	crashed  *bitset.Set
 	haltedAt []int
 	metrics  Metrics
-	scratch  *scratch
+	scratch  scratch
 	// executed counts rounds run so far; PerRoundMessages is trimmed
 	// to this length in result().
 	executed int
@@ -284,6 +269,9 @@ type state struct {
 	// labelSet records whether it has been computed yet.
 	label    string
 	labelSet bool
+	// perPart is the reusable backing map for Metrics.PerPart,
+	// installed lazily by ensureLabel.
+	perPart map[string]int64
 	// crashedNow is the reusable per-round crash list.
 	crashedNow []NodeID
 	// Single-port state: per-node in-port rings, per-node poll slot,
@@ -291,9 +279,112 @@ type state struct {
 	ports   []portSet
 	spSlot  []Envelope
 	pollers []Poller
-	// pool, when non-nil, shards the send and deliver phases across
-	// its workers (multi-port only; see pool.go).
+	// Wire plane (wire.go): the engine's escape table for
+	// protocol-defined payloads, the count of escape entries pinned by
+	// messages parked across rounds (delay ring, single-port rings),
+	// and the reusable delivery decode buffer.
+	esc        escTable
+	escLive    int
+	deliverBuf []Envelope
+	// res is the reusable result envelope; on a pooled Runtime it (and
+	// the state-owned slices it references) is overwritten by the next
+	// run.
+	res Result
+	// pool, when non-nil, shards the round phases across its workers
+	// (multi-port only; see pool.go).
 	pool *pool
+}
+
+// reset (re)initializes the state for a run, recycling every buffer a
+// previous run on the same arena grew: the CSR workspace, the inbox
+// decode buffer, the escape table, the delay ring, the single-port
+// rings and their n-sized idx tables, the metrics arrays. After the
+// first run of a given shape, subsequent resets touch no allocator.
+func (st *state) reset(cfg Config) error {
+	n := len(cfg.Protocols)
+	if n == 0 {
+		return errors.New("sim: no protocols")
+	}
+	if cfg.MaxRounds <= 0 {
+		return errors.New("sim: MaxRounds must be positive")
+	}
+	fault := cfg.Fault
+	if fault == nil {
+		fault = NoFailures{}
+	}
+	st.cfg = cfg
+	st.n = n
+	st.fault = fault
+	st.filter = nil
+	st.maxDelay = 0
+	if lf, ok := fault.(LinkFilter); ok {
+		st.filter = lf
+		switch d := lf.MaxDelay(); {
+		case d < 0:
+			return fmt.Errorf("sim: link filter declares negative MaxDelay %d", d)
+		case d > 0:
+			st.maxDelay = d
+		}
+	}
+	if st.maxDelay > 0 {
+		if st.ring == nil || len(st.ring.slots) != st.maxDelay+1 {
+			st.ring = newDelayRing(st.maxDelay)
+		} else {
+			st.ring.reset()
+		}
+	} else {
+		st.ring = nil
+	}
+	st.byz = growSlice(st.byz, n)
+	clear(st.byz)
+	if cfg.Byzantine != nil {
+		for id := 0; id < n; id++ {
+			st.byz[id] = cfg.Byzantine.Contains(id)
+		}
+	}
+	if st.crashed == nil || st.crashed.Len() != n {
+		st.crashed = bitset.New(n)
+	} else {
+		st.crashed.Clear()
+	}
+	st.haltedAt = growSlice(st.haltedAt, n)
+	for i := range st.haltedAt {
+		st.haltedAt[i] = -1
+	}
+	st.scratch.init(n)
+	// Pre-size the per-round series to the round budget so the hot
+	// path indexes instead of growing (and the Stepper does not
+	// re-allocate every round); result() trims to the executed prefix.
+	st.metrics = Metrics{PerRoundMessages: growSlice(st.metrics.PerRoundMessages[:0], cfg.MaxRounds)}
+	clear(st.metrics.PerRoundMessages)
+	if st.perPart != nil {
+		clear(st.perPart)
+	}
+	st.executed = 0
+	st.label, st.labelSet = "", false
+	st.crashedNow = st.crashedNow[:0]
+	st.esc.reset()
+	st.escLive = 0
+	st.pool = nil
+	if cfg.SinglePort {
+		if len(st.ports) != n {
+			st.ports = make([]portSet, n)
+		} else {
+			for i := range st.ports {
+				st.ports[i].recycle()
+			}
+		}
+		st.spSlot = growSlice(st.spSlot, n)
+		st.pollers = growSlice(st.pollers, n)
+		for i, p := range cfg.Protocols {
+			poller, ok := p.(Poller)
+			if !ok {
+				return fmt.Errorf("sim: single-port run requires Poller protocols; node %d is %T", i, p)
+			}
+			st.pollers[i] = poller
+		}
+	}
+	return nil
 }
 
 func (s *state) alive(id NodeID) bool {
@@ -334,8 +425,13 @@ func (s *state) round(r int) error {
 	if s.pool != nil {
 		return s.roundParallel(r)
 	}
-	sc := s.scratch
+	sc := &s.scratch
 	sc.beginRound()
+	if s.escLive == 0 {
+		// No delayed or port-buffered message references an escape
+		// entry, so the side table recycles for this round's packing.
+		s.esc.reset()
+	}
 	s.label, s.labelSet = "", false
 	single := s.cfg.SinglePort
 	obs := s.cfg.Observer
@@ -346,9 +442,9 @@ func (s *state) round(r int) error {
 	arrivals := s.injectArrivals(r, !single)
 
 	// Send phase. Collect each alive node's outbox, apply the
-	// node-level fault, count traffic, and stage the surviving
-	// envelopes — through the link filter when one is installed — in
-	// sender order.
+	// node-level fault, then pack the surviving envelopes into wire
+	// form — counting traffic in the same pass, or through the link
+	// filter when one is installed — in sender order.
 	crashedNow := s.crashedNow[:0]
 	for id := 0; id < s.n; id++ {
 		if !s.alive(id) {
@@ -365,33 +461,46 @@ func (s *state) round(r int) error {
 				obs.OnCrash(r, id)
 			}
 		}
-		s.count(r, id, deliver)
 		if obs != nil {
 			for _, env := range deliver {
 				obs.OnMessage(r, env)
 			}
 		}
 		if s.filter == nil {
-			sc.stage(deliver, !single)
-		} else if err := s.stageFiltered(r, deliver, !single); err != nil {
-			return err
+			s.stagePack(r, id, deliver, !single)
+		} else {
+			s.countEnvelopes(r, id, deliver)
+			if err := s.stageFiltered(r, deliver, !single); err != nil {
+				return err
+			}
 		}
 	}
 	s.crashedNow = crashedNow
 	for _, id := range crashedNow {
 		s.crashed.Add(id)
+		if single {
+			s.releaseDeadPorts(id)
+		}
 	}
 
 	if single {
-		// Deposit into the port rings; envelopes addressed to nodes
+		// Deposit into the port rings; messages addressed to nodes
 		// that are already dead (including this round's crashes) are
-		// discarded.
+		// discarded (their escape entries recycled — nothing will ever
+		// poll them out). Escapes entering a ring pin the side table
+		// until they are polled out.
 		for i := range sc.flat {
-			to := sc.flat[i].To
+			to := NodeID(sc.flat[i].To)
 			if s.crashed.Contains(to) || s.haltedAt[to] >= 0 {
+				if w := sc.flat[i].word; wireIsEscape(w) {
+					s.esc.release(wireEscIndex(w))
+				}
 				continue
 			}
 			s.ports[to].push(s.n, sc.flat[i])
+			if wireIsEscape(sc.flat[i].word) {
+				s.escLive++
+			}
 		}
 	} else {
 		if arrivals > 0 {
@@ -401,7 +510,8 @@ func (s *state) round(r int) error {
 	}
 
 	// Deliver phase, in node order; inboxes are grouped and sorted by
-	// sender. In the single-port model each alive node first polls at
+	// sender, decoded from wire form into the reusable delivery
+	// buffer. In the single-port model each alive node first polls at
 	// most one in-port (polls only touch the node's own state, so
 	// fusing poll and deliver preserves the all-deposits-first
 	// semantics).
@@ -412,13 +522,23 @@ func (s *state) round(r int) error {
 		var inbox []Envelope
 		if single {
 			if from, wants := s.pollers[id].Poll(r); wants {
-				if env, ok := s.ports[id].pop(from); ok {
-					s.spSlot[id] = env
+				if wm, ok := s.ports[id].pop(from); ok {
+					s.spSlot[id] = Envelope{
+						From:    NodeID(wm.From),
+						To:      NodeID(wm.To),
+						Payload: s.unpackPayload(wm.word),
+					}
 					inbox = s.spSlot[id : id+1 : id+1]
+					if wireIsEscape(wm.word) {
+						// Consumed: unpin and recycle the entry
+						// (single-port always packs to table 0).
+						s.escLive--
+						s.esc.release(wireEscIndex(wm.word))
+					}
 				}
 			}
 		} else {
-			inbox = sc.inboxOf(id)
+			inbox, s.deliverBuf = decodeWireInto(s, sc.inboxOf(id), s.deliverBuf)
 		}
 		s.cfg.Protocols[id].Deliver(r, inbox)
 		if s.cfg.Protocols[id].Halted() {
@@ -426,7 +546,13 @@ func (s *state) round(r int) error {
 			if obs != nil {
 				obs.OnHalt(r, id)
 			}
+			if single {
+				s.releaseDeadPorts(id)
+			}
 		}
+	}
+	if !single && s.ring != nil {
+		s.releaseDelivered()
 	}
 	s.executed++
 	return nil
@@ -453,25 +579,24 @@ func (s *state) validateOutbox(id NodeID, out []Envelope) error {
 	return nil
 }
 
-// count tallies one sender's deliverable traffic. The per-envelope loop
-// is branch-free: the Byzantine split is hoisted per sender and the
-// part label is computed once per round.
-func (s *state) count(r int, from NodeID, deliver []Envelope) {
-	if len(deliver) == 0 {
-		return
-	}
+// ensureLabel computes the per-round part label once, on the round's
+// first non-empty outbox, and installs the reusable PerPart map.
+func (s *state) ensureLabel(r int) {
 	if s.cfg.PartLabeler != nil && !s.labelSet {
 		s.label = s.cfg.PartLabeler(r)
 		s.labelSet = true
 		if s.metrics.PerPart == nil {
-			s.metrics.PerPart = make(map[string]int64)
+			if s.perPart == nil {
+				s.perPart = make(map[string]int64)
+			}
+			s.metrics.PerPart = s.perPart
 		}
 	}
-	var bits int64
-	for i := range deliver {
-		bits += int64(sizeBits(deliver[i].Payload))
-	}
-	msgs := int64(len(deliver))
+}
+
+// tally books one sender's deliverable traffic into the metrics; the
+// Byzantine split is hoisted per sender.
+func (s *state) tally(r int, from NodeID, msgs, bits int64) {
 	if s.byz[from] {
 		s.metrics.ByzMessages += msgs
 		s.metrics.ByzBits += bits
@@ -485,12 +610,79 @@ func (s *state) count(r int, from NodeID, deliver []Envelope) {
 	}
 }
 
+// stagePack is the filter-free hot path: one pass over a sender's
+// deliverable envelopes packs each into wire form, stages it, and
+// accumulates the bit count — there is no separate sizeBits loop and
+// no per-message interface dispatch downstream of here.
+func (s *state) stagePack(r int, from NodeID, deliver []Envelope, count bool) {
+	if len(deliver) == 0 {
+		return
+	}
+	s.ensureLabel(r)
+	var bits int64
+	for i := range deliver {
+		wm, b := packEnvelope(&deliver[i], &s.esc, 0)
+		s.scratch.stage1(wm, count)
+		bits += b
+	}
+	s.tally(r, from, int64(len(deliver)), bits)
+}
+
+// countEnvelopes books a sender's traffic without staging — the
+// link-filter path counts everything at send time (a dropped or
+// delayed message still cost its sender the bandwidth) and lets
+// stageFiltered pack the survivors.
+func (s *state) countEnvelopes(r int, from NodeID, deliver []Envelope) {
+	if len(deliver) == 0 {
+		return
+	}
+	s.ensureLabel(r)
+	var bits int64
+	for i := range deliver {
+		bits += int64(sizeBits(deliver[i].Payload))
+	}
+	s.tally(r, from, int64(len(deliver)), bits)
+}
+
+// detach drops the state's references into caller-owned objects — the
+// config with its n protocols, the poller views, the decoded payload
+// copies — so an idle pooled arena does not pin a whole protocol
+// system in memory. The result envelope and its slices are untouched
+// (callers may still read them until the next run); the next reset
+// repopulates everything cleared here.
+func (s *state) detach() {
+	s.cfg = Config{}
+	s.fault = nil
+	s.filter = nil
+	clear(s.pollers)
+	clear(s.spSlot)
+	s.deliverBuf = s.deliverBuf[:cap(s.deliverBuf)]
+	clear(s.deliverBuf)
+	s.esc.reset()
+	if p := s.pool; p != nil {
+		// Workers are parked between runs, so the coordinator may
+		// scrub their payload-holding scratch too. outbox/deliver are
+		// consumed-and-nilled every completed round but hold protocol
+		// slices after an aborted one.
+		clear(p.outbox)
+		clear(p.deliver)
+		for w := 0; w < p.workers; w++ {
+			p.wesc[w].reset()
+			p.dbuf[w] = p.dbuf[w][:cap(p.dbuf[w])]
+			clear(p.dbuf[w])
+		}
+	}
+}
+
+// result fills the state-owned result envelope. On a pooled Runtime
+// the envelope and the state-owned slices it references are
+// overwritten by the next run; Clone detaches a copy.
 func (s *state) result() *Result {
-	m := s.metrics
-	m.PerRoundMessages = m.PerRoundMessages[:s.executed]
-	return &Result{
-		Metrics:  m,
+	s.res = Result{
+		Metrics:  s.metrics,
 		Crashed:  s.crashed,
 		HaltedAt: s.haltedAt,
 	}
+	s.res.Metrics.PerRoundMessages = s.metrics.PerRoundMessages[:s.executed]
+	return &s.res
 }
