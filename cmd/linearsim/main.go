@@ -26,6 +26,7 @@ import (
 	"sort"
 
 	"lineartime/internal/scenario"
+	"lineartime/internal/serve"
 )
 
 func main() {
@@ -52,6 +53,7 @@ func run(args []string) error {
 		trace    = fs.Bool("trace", false, "print a transcript summary (few-crashes consensus only)")
 		list     = fs.Bool("list", false, "list the registered scenarios and fault models, then exit")
 		faultArg = fs.String("fault", "", "fault model, kind[:key=value,...] (see -list); overrides -crashes")
+		jsonOut  = fs.Bool("json", false, "emit the run as the {key, report} JSON envelope linearsimd serves")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -60,6 +62,9 @@ func run(args []string) error {
 		return listScenarios()
 	}
 	if *trace {
+		if *jsonOut {
+			return fmt.Errorf("-json is not available in -trace mode")
+		}
 		return runTraced(*n, *t, *seed, *crashes, *horizon)
 	}
 
@@ -77,19 +82,32 @@ func run(args []string) error {
 
 	switch *problem {
 	case "consensus":
-		return runConsensus(*algo, *n, *t, *ones, *baseline, *seed, fault)
+		return runConsensus(*algo, *n, *t, *ones, *baseline, *seed, fault, *jsonOut)
 	case "gossip":
-		return runGossip(*n, *t, *baseline, *seed, fault)
+		return runGossip(*n, *t, *baseline, *seed, fault, *jsonOut)
 	case "checkpoint":
-		return runCheckpoint(*n, *t, *baseline, *seed, fault)
+		return runCheckpoint(*n, *t, *baseline, *seed, fault, *jsonOut)
 	case "byzantine":
 		if *faultArg != "" {
 			return fmt.Errorf("the byzantine problem configures its faults with -byz/-byzcount, not -fault")
 		}
-		return runByzantine(*n, *t, *byz, *byzCount, *baseline, *seed)
+		return runByzantine(*n, *t, *byz, *byzCount, *baseline, *seed, *jsonOut)
 	default:
 		return fmt.Errorf("unknown problem %q", *problem)
 	}
+}
+
+// printJSON emits the run in the exact envelope the daemon serves
+// (serve.RunResponse, keyed by the spec's content address), so scripts
+// parse one format whether they ran locally or queried linearsimd.
+func printJSON(sp scenario.Spec, r *scenario.Report) error {
+	body, err := serve.EncodeRunResponse(sp.Key(), r)
+	if err != nil {
+		return err
+	}
+	body = append(body, '\n')
+	_, err = os.Stdout.Write(body)
+	return err
 }
 
 // listScenarios prints the scenario registry and the fault-model
@@ -120,7 +138,7 @@ func scenarioForAlgorithm(name string, baseline bool) (scenario.Definition, erro
 	}
 }
 
-func runConsensus(algoName string, n, t, ones int, baseline bool, seed uint64, fault scenario.FaultModel) error {
+func runConsensus(algoName string, n, t, ones int, baseline bool, seed uint64, fault scenario.FaultModel, jsonOut bool) error {
 	def, err := scenarioForAlgorithm(algoName, baseline)
 	if err != nil {
 		return err
@@ -138,6 +156,9 @@ func runConsensus(algoName string, n, t, ones int, baseline bool, seed uint64, f
 	if err != nil {
 		return err
 	}
+	if jsonOut {
+		return printJSON(sp, r)
+	}
 	fmt.Printf("consensus  algo=%-12s n=%d t=%d\n", r.Algorithm, r.N, r.T)
 	printMetrics(r.Metrics)
 	fmt.Printf("crashed:   %d nodes\n", len(r.Crashed))
@@ -145,7 +166,7 @@ func runConsensus(algoName string, n, t, ones int, baseline bool, seed uint64, f
 	return nil
 }
 
-func runGossip(n, t int, baseline bool, seed uint64, fault scenario.FaultModel) error {
+func runGossip(n, t int, baseline bool, seed uint64, fault scenario.FaultModel, jsonOut bool) error {
 	name, kind := "gossip/expander", "gossip(§5)"
 	if baseline {
 		name, kind = "gossip/all-to-all", "gossip(all-to-all)"
@@ -161,6 +182,9 @@ func runGossip(n, t int, baseline bool, seed uint64, fault scenario.FaultModel) 
 	if err != nil {
 		return err
 	}
+	if jsonOut {
+		return printJSON(sp, r)
+	}
 	fmt.Printf("%-10s n=%d t=%d\n", kind, r.N, r.T)
 	printMetrics(r.Metrics)
 	fmt.Printf("crashed:   %d nodes\n", len(r.Crashed))
@@ -168,7 +192,7 @@ func runGossip(n, t int, baseline bool, seed uint64, fault scenario.FaultModel) 
 	return nil
 }
 
-func runCheckpoint(n, t int, baseline bool, seed uint64, fault scenario.FaultModel) error {
+func runCheckpoint(n, t int, baseline bool, seed uint64, fault scenario.FaultModel, jsonOut bool) error {
 	name, kind := "checkpoint/expander", "checkpoint(§6)"
 	if baseline {
 		name, kind = "checkpoint/direct", "checkpoint(direct)"
@@ -179,6 +203,9 @@ func runCheckpoint(n, t int, baseline bool, seed uint64, fault scenario.FaultMod
 	if err != nil {
 		return err
 	}
+	if jsonOut {
+		return printJSON(sp, r)
+	}
 	fmt.Printf("%-10s n=%d t=%d\n", kind, r.N, r.T)
 	printMetrics(r.Metrics)
 	fmt.Printf("crashed:   %d nodes\n", len(r.Crashed))
@@ -186,7 +213,7 @@ func runCheckpoint(n, t int, baseline bool, seed uint64, fault scenario.FaultMod
 	return nil
 }
 
-func runByzantine(n, t int, strategy string, count int, baseline bool, seed uint64) error {
+func runByzantine(n, t int, strategy string, count int, baseline bool, seed uint64, jsonOut bool) error {
 	var strat scenario.ByzantineStrategy
 	switch strategy {
 	case "silence":
@@ -221,6 +248,9 @@ func runByzantine(n, t int, strategy string, count int, baseline bool, seed uint
 	r, err := scenario.Run(sp)
 	if err != nil {
 		return err
+	}
+	if jsonOut {
+		return printJSON(sp, r)
 	}
 	fmt.Printf("%-10s n=%d t=%d little=%d corrupted=%d (%s)\n", kind, r.N, r.T, r.Byzantine.L, count, strategy)
 	printMetrics(r.Metrics)

@@ -1,8 +1,14 @@
 package main
 
 import (
+	"bytes"
+	"encoding/json"
+	"net/http/httptest"
+	"os"
 	"strings"
 	"testing"
+
+	"lineartime/internal/serve"
 )
 
 func TestRunAllProblems(t *testing.T) {
@@ -77,6 +83,96 @@ func TestScenarioForAlgorithm(t *testing.T) {
 func TestListScenarios(t *testing.T) {
 	if err := run([]string{"-list"}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// captureStdout runs fn with os.Stdout redirected to a pipe and
+// returns what it wrote.
+func captureStdout(t *testing.T, fn func() error) []byte {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	done := make(chan []byte)
+	go func() {
+		var buf bytes.Buffer
+		buf.ReadFrom(r)
+		done <- buf.Bytes()
+	}()
+	fnErr := fn()
+	w.Close()
+	os.Stdout = old
+	out := <-done
+	if fnErr != nil {
+		t.Fatalf("run: %v", fnErr)
+	}
+	return out
+}
+
+// TestJSONOutput checks -json emits the daemon's run envelope for
+// every problem: one decodable {key, report} line, with the key a
+// spec fingerprint and the report section matching the problem.
+func TestJSONOutput(t *testing.T) {
+	cases := []struct {
+		args    []string
+		problem string
+	}{
+		{[]string{"-problem", "consensus", "-n", "60", "-t", "10", "-json"}, "consensus"},
+		{[]string{"-problem", "gossip", "-n", "50", "-t", "10", "-json"}, "gossip"},
+		{[]string{"-problem", "checkpoint", "-n", "50", "-t", "10", "-json"}, "checkpoint"},
+		{[]string{"-problem", "byzantine", "-n", "40", "-t", "4", "-byzcount", "4", "-json"}, "byzantine"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.problem, func(t *testing.T) {
+			out := captureStdout(t, func() error { return run(tc.args) })
+			var env serve.RunResponse
+			if err := json.Unmarshal(out, &env); err != nil {
+				t.Fatalf("output is not one JSON envelope: %v\n%s", err, out)
+			}
+			if !strings.HasPrefix(env.Key, "k1:") {
+				t.Fatalf("key = %q", env.Key)
+			}
+			if env.Report == nil || env.Report.Problem.String() != tc.problem {
+				t.Fatalf("report problem = %+v, want %s", env.Report, tc.problem)
+			}
+		})
+	}
+}
+
+// postToHandler posts body to the serving layer's /v1/run in process
+// and returns the response body.
+func postToHandler(t *testing.T, s *serve.Server, body string) string {
+	t.Helper()
+	req := httptest.NewRequest("POST", "/v1/run", strings.NewReader(body))
+	rec := httptest.NewRecorder()
+	s.Handler().ServeHTTP(rec, req)
+	if rec.Code != 200 {
+		t.Fatalf("daemon run: status %d body %s", rec.Code, rec.Body)
+	}
+	return rec.Body.String()
+}
+
+// TestJSONOutputMatchesDaemonEncoding pins that linearsim -json and
+// the serving layer produce the same bytes for the same spec — one
+// format for scripted consumers.
+func TestJSONOutputMatchesDaemonEncoding(t *testing.T) {
+	out := captureStdout(t, func() error {
+		return run([]string{"-problem", "consensus", "-n", "60", "-t", "10", "-seed", "1", "-json"})
+	})
+	s := serve.New(serve.Config{Workers: 1})
+	defer s.Close()
+	rec := postToHandler(t, s, `{"scenario":"consensus/few-crashes","n":60,"t":10,"seed":1}`)
+	if want := strings.TrimSuffix(string(out), "\n"); rec != want {
+		t.Fatalf("encodings diverged:\n cli    %s\n daemon %s", want, rec)
+	}
+}
+
+func TestJSONTraceConflict(t *testing.T) {
+	if err := run([]string{"-trace", "-json", "-n", "50", "-t", "10"}); err == nil {
+		t.Fatal("-trace -json accepted")
 	}
 }
 

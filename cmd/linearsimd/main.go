@@ -1,0 +1,91 @@
+// Command linearsimd serves the scenario registry over HTTP/JSON: a
+// long-running daemon with a content-addressed result cache, request
+// coalescing, and a bounded engine worker pool (internal/serve).
+// Because every run is a pure function of its Spec, a cache hit
+// replays the byte-identical response of the original run.
+//
+// Endpoints:
+//
+//	POST /v1/run        {"scenario","n","t","seed"[,"fault",...]} → {"key","report"}
+//	POST /v1/sweep      {"scenario","seed","points":[{"n","t"},...]} → per-point envelopes
+//	GET  /v1/scenarios  the registry
+//	GET  /healthz       liveness
+//	GET  /statsz        cache / coalescer / queue counters
+//
+// Example:
+//
+//	linearsimd -addr 127.0.0.1:8372 -workers 4 -cache-bytes 67108864
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"lineartime/internal/serve"
+)
+
+func main() {
+	if err := run(os.Args[1:], nil); err != nil {
+		fmt.Fprintln(os.Stderr, "linearsimd:", err)
+		os.Exit(1)
+	}
+}
+
+// run parses args, binds the listen address, and serves until a
+// termination signal. A non-nil ready channel receives the bound
+// address once the server is listening (used by tests to grab an
+// ephemeral port).
+func run(args []string, ready chan<- string) error {
+	fs := flag.NewFlagSet("linearsimd", flag.ContinueOnError)
+	var (
+		addr       = fs.String("addr", "127.0.0.1:8372", "listen address")
+		workers    = fs.Int("workers", 0, "engine workers (0 = default)")
+		queueDepth = fs.Int("queue", 0, "job queue capacity (0 = 4x workers); a full queue rejects with 429")
+		cacheBytes = fs.Int64("cache-bytes", 0, "result cache budget in bytes (0 = 64 MiB)")
+		shards     = fs.Int("cache-shards", 0, "result cache shard count (0 = 16)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	srv := serve.New(serve.Config{
+		CacheBytes:  *cacheBytes,
+		CacheShards: *shards,
+		Workers:     *workers,
+		QueueDepth:  *queueDepth,
+	})
+	defer srv.Close()
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	hs := &http.Server{Handler: srv.Handler()}
+	log.Printf("linearsimd: serving on http://%s", ln.Addr())
+	if ready != nil {
+		ready <- ln.Addr().String()
+	}
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+
+	select {
+	case err := <-errc:
+		return err
+	case sig := <-stop:
+		log.Printf("linearsimd: %v, shutting down", sig)
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		return hs.Shutdown(ctx)
+	}
+}

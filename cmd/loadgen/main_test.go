@@ -1,0 +1,86 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"lineartime/internal/serve"
+)
+
+// TestLoadgenAgainstInProcessDaemon drives the full loadgen flow —
+// endpoint preflight, cold and repeated workloads, bench-file output —
+// against an in-process serving layer, and checks the repeated
+// workload actually exercised the cache.
+func TestLoadgenAgainstInProcessDaemon(t *testing.T) {
+	s := serve.New(serve.Config{Workers: 2})
+	ts := httptest.NewServer(s.Handler())
+	defer func() {
+		ts.Close()
+		s.Close()
+	}()
+
+	out := filepath.Join(t.TempDir(), "bench_serve.json")
+	args := []string{
+		"-addr", ts.URL,
+		"-quick",
+		"-duration", "300ms",
+		"-concurrency", "4",
+		"-n", "60", "-t", "10",
+		"-o", out,
+	}
+	if err := run(args); err != nil {
+		t.Fatalf("loadgen: %v", err)
+	}
+
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var file BenchFile
+	if err := json.Unmarshal(data, &file); err != nil {
+		t.Fatal(err)
+	}
+	if file.Schema != "lineartime/bench_serve/v1" {
+		t.Fatalf("schema = %q", file.Schema)
+	}
+	if len(file.Workloads) != 2 {
+		t.Fatalf("workloads = %d, want 2 (cold + repeated)", len(file.Workloads))
+	}
+	cold, repeated := file.Workloads[0], file.Workloads[1]
+	if cold.Name != "cold-all-miss" || repeated.Name != "repeated-spec" {
+		t.Fatalf("workload order = %q, %q", cold.Name, repeated.Name)
+	}
+	if cold.Requests == 0 || repeated.Requests == 0 {
+		t.Fatalf("empty workloads: cold=%d repeated=%d", cold.Requests, repeated.Requests)
+	}
+	if cold.HitRate != 0 {
+		t.Fatalf("cold workload hit rate = %v, want 0 (every Spec distinct)", cold.HitRate)
+	}
+	if repeated.HitRate == 0 {
+		t.Fatal("repeated workload saw no cache hits")
+	}
+	if file.SpeedupRepeatedVsCold <= 1 {
+		t.Fatalf("cache leverage = %v, want > 1", file.SpeedupRepeatedVsCold)
+	}
+
+	// The server-side counters corroborate the client-side hit rate.
+	st := s.Stats()
+	if st.Cache.Hits == 0 {
+		t.Fatalf("server saw no cache hits: %+v", st.Cache)
+	}
+}
+
+func TestLoadgenFlagErrors(t *testing.T) {
+	if err := run([]string{"-badflag"}); err == nil {
+		t.Fatal("bad flag accepted")
+	}
+	if err := run([]string{"-mode", "sideways"}); err == nil {
+		t.Fatal("bad mode accepted")
+	}
+	if err := run([]string{"-addr", "http://127.0.0.1:1", "-duration", "50ms"}); err == nil {
+		t.Fatal("unreachable daemon accepted")
+	}
+}

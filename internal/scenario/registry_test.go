@@ -2,40 +2,52 @@ package scenario
 
 import (
 	"reflect"
+	"sort"
 	"testing"
 )
 
-// TestRegistryMatrixGolden pins the full scenario matrix: every
+// goldenMatrix pins the full scenario matrix together with each row's
+// canonical Spec.Key fingerprint at (n=60, t=10, seed=1): every
 // protocol stack of the paper's evaluation tables must stay
-// registered. An accidental drop of a table row fails here before it
-// silently disappears from the experiment sweeps.
+// registered, and its cache identity must stay stable. An accidental
+// drop of a table row fails here before it silently disappears from
+// the experiment sweeps; an accidental change to a row's canonical
+// inputs, bound fault model, or the key encoding itself fails here
+// before it silently invalidates (or worse, aliases) every cached
+// result in a running fleet.
+var goldenMatrix = map[string]string{
+	"aea/expander":                    "k1:d5b983699c04979bece4eb89c8bb82a5df8126176c32645adf2d35070707428d",
+	"byzantine/ab-consensus":          "k1:975bbbcd1ce612e5020a2697a7206cde31dbb6016ee482b24d3b1d401a45e188",
+	"byzantine/dolev-strong-all":      "k1:8c593e0edce8710da2525d9569309062c307ec674bd9f3439fac49afb4bece94",
+	"checkpoint/direct":               "k1:92aad8f95d0030ddd92bd2d1998224b8c8169a2e3b0be522f0231ea065677bc3",
+	"checkpoint/expander":             "k1:61c7eb2ef9de7e6def9c74c0977df0e727e6a7bb3c98fc86bb918a7de65d6af4",
+	"checkpoint/expander/partition":   "k1:51023e8513ae08783e5162e2f54031de34345759f8c5fe7e7155481339524508",
+	"checkpoint/expander/single-port": "k1:4c6a9a81c0c053f4901d38503fab2306048f17bb9338f4ce9485007b273c1ad5",
+	"consensus/early-stopping":        "k1:acc544e085890b98fdf38d89fbdf6fd67c029c9797962d6ac4e8ba9b5715b943",
+	"consensus/few-crashes":           "k1:05e91cae69a0d70d3c8317c9d5006657d9bee130e85de434e0e6efc99549b16a",
+	"consensus/few-crashes/delay":     "k1:31caf46a1bad1947d710a9015fb77fb737c0c934810ca6b0bd8fee9a1a2c0cf0",
+	"consensus/few-crashes/omission":  "k1:49bb262cdedb3526340c259bcac0b645686afc4155fc5710c0c87b0c75df48dd",
+	"consensus/flooding":              "k1:25722ed425c2a758ca0e048458cf561994e3c79d1a5738dffa1d2359a4a50f92",
+	"consensus/flooding/partition":    "k1:555f019f6e300b838b485a7672a4c463b2c585b094dc6c53af178c80250e4ea8",
+	"consensus/many-crashes":          "k1:5c6c0e70f002ff38d3fec5f1c6eaf13d9dfb11962d5f0a51d28903042a1f4758",
+	"consensus/rotating-coordinator":  "k1:c02e4c21ac2cd10fd16030f0b463a9890672749b926e36bfbad7b8040f32cdc8",
+	"consensus/single-port":           "k1:242d9f97734ce70e4750e456a3b4ce22345f99fe8fbcbd73bf82f9881b3c1e0c",
+	"gossip/all-to-all":               "k1:45d3f71cd4c49dd119ef6014213e8e716e8b58c5eaafe85e08acdb78606ebcdd",
+	"gossip/expander":                 "k1:0032546cbf08d47db4e8a55316de4d1e9fd05201c17a04df7f213f6f62b70506",
+	"gossip/expander/delay":           "k1:c700db4571d3b393b7d494d349a749815c0e3d1a7871758d7b2505513743060b",
+	"gossip/expander/omission":        "k1:8da048f735b238ed58de7020506dc57ca02c7b2504814c9d7a7189be0c4a1a95",
+	"gossip/expander/single-port":     "k1:6a3dc37db9702694dd1ac3e9cef2b02143210acdd202b82e65d991874318c314",
+	"majority/expander":               "k1:8b72c0979b2a72eba97e937c9c0a72d8ee049011587ad4f6f900f30a1ac8ba7a",
+	"majority/expander/omission":      "k1:22243fb0f11d42fa72d3479f1c39926db39b457bf6bc5ccd28c1239581bf1d56",
+	"scv/expander":                    "k1:fc8b3e77ca7b2e4f705665c2c49654f60b684e8b0bbd5c8bf7228e83d561ba96",
+}
+
 func TestRegistryMatrixGolden(t *testing.T) {
-	want := []string{
-		"aea/expander",
-		"byzantine/ab-consensus",
-		"byzantine/dolev-strong-all",
-		"checkpoint/direct",
-		"checkpoint/expander",
-		"checkpoint/expander/partition",
-		"checkpoint/expander/single-port",
-		"consensus/early-stopping",
-		"consensus/few-crashes",
-		"consensus/few-crashes/delay",
-		"consensus/few-crashes/omission",
-		"consensus/flooding",
-		"consensus/flooding/partition",
-		"consensus/many-crashes",
-		"consensus/rotating-coordinator",
-		"consensus/single-port",
-		"gossip/all-to-all",
-		"gossip/expander",
-		"gossip/expander/delay",
-		"gossip/expander/omission",
-		"gossip/expander/single-port",
-		"majority/expander",
-		"majority/expander/omission",
-		"scv/expander",
+	want := make([]string, 0, len(goldenMatrix))
+	for name := range goldenMatrix {
+		want = append(want, name)
 	}
+	sort.Strings(want)
 	got := Names()
 	if !reflect.DeepEqual(got, want) {
 		t.Fatalf("registry matrix drifted:\n got  %v\n want %v", got, want)
@@ -48,6 +60,13 @@ func TestRegistryMatrixGolden(t *testing.T) {
 			t.Fatalf("duplicate registry name %q", name)
 		}
 		seen[name] = true
+	}
+	// The fingerprint of every row's canonical spec is the row's cache
+	// identity — the serving layer addresses results by it.
+	for name, wantKey := range goldenMatrix {
+		if gotKey := MustLookup(name).Spec(60, 10, 1).Key(); gotKey != wantKey {
+			t.Errorf("%s fingerprint drifted:\n got  %s\n want %s", name, gotKey, wantKey)
+		}
 	}
 }
 

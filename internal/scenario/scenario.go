@@ -193,33 +193,38 @@ type Spec struct {
 
 // Metrics is the unified performance envelope of a run: the paper's
 // two measures plus the Byzantine split and the per-part breakdown.
+// The JSON form is the wire encoding of the serving layer and of
+// linearsim -json.
 type Metrics struct {
-	Rounds      int
-	Messages    int64
-	Bits        int64
-	ByzMessages int64
-	ByzBits     int64
-	PerPart     map[string]int64
+	Rounds      int              `json:"rounds"`
+	Messages    int64            `json:"messages"`
+	Bits        int64            `json:"bits"`
+	ByzMessages int64            `json:"byz_messages,omitempty"`
+	ByzBits     int64            `json:"byz_bits,omitempty"`
+	PerPart     map[string]int64 `json:"per_part,omitempty"`
 }
 
 // Report is the unified outcome envelope of a run. Exactly one of the
-// problem-specific sections is non-nil, matching Spec.Problem.
+// problem-specific sections is non-nil, matching Spec.Problem. The
+// JSON form is the wire encoding of the serving layer and of
+// linearsim -json.
 type Report struct {
-	Scenario  string
-	Problem   Problem
-	Algorithm Algorithm
-	Port      PortModel
-	N, T      int
-	Metrics   Metrics
+	Scenario  string    `json:"scenario"`
+	Problem   Problem   `json:"problem"`
+	Algorithm Algorithm `json:"algorithm"`
+	Port      PortModel `json:"port"`
+	N         int       `json:"n"`
+	T         int       `json:"t"`
+	Metrics   Metrics   `json:"metrics"`
 	// Crashed lists the nodes the adversary crashed.
-	Crashed []int
+	Crashed []int `json:"crashed,omitempty"`
 
-	Consensus  *ConsensusOutcome
-	Gossip     *GossipOutcome
-	Checkpoint *CheckpointOutcome
-	Byzantine  *ByzantineOutcome
-	Subroutine *SubroutineOutcome
-	Majority   *MajorityOutcome
+	Consensus  *ConsensusOutcome  `json:"consensus,omitempty"`
+	Gossip     *GossipOutcome     `json:"gossip,omitempty"`
+	Checkpoint *CheckpointOutcome `json:"checkpoint,omitempty"`
+	Byzantine  *ByzantineOutcome  `json:"byzantine,omitempty"`
+	Subroutine *SubroutineOutcome `json:"subroutine,omitempty"`
+	Majority   *MajorityOutcome   `json:"majority,omitempty"`
 }
 
 // ConsensusOutcome summarizes a consensus run against the §2
@@ -227,57 +232,57 @@ type Report struct {
 type ConsensusOutcome struct {
 	// Decisions[i] is 0 or 1, or -1 for nodes that crashed or did not
 	// decide.
-	Decisions []int
-	Agreement bool
-	Validity  bool
+	Decisions []int `json:"decisions"`
+	Agreement bool  `json:"agreement"`
+	Validity  bool  `json:"validity"`
 }
 
 // GossipOutcome summarizes a gossip run.
 type GossipOutcome struct {
 	// Extant[i] maps node names to rumors as decided by node i (nil
 	// for crashed nodes).
-	Extant []map[int]uint64
+	Extant []map[int]uint64 `json:"extant"`
 	// Complete reports whether every surviving node's extant set
 	// contains every surviving node's rumor.
-	Complete bool
+	Complete bool `json:"complete"`
 }
 
 // CheckpointOutcome summarizes a checkpointing run.
 type CheckpointOutcome struct {
 	// ExtantSet is the agreed set of node names (nil when agreement
 	// failed).
-	ExtantSet []int
-	Agreement bool
+	ExtantSet []int `json:"extant_set"`
+	Agreement bool  `json:"agreement"`
 }
 
 // ByzantineOutcome summarizes an authenticated-Byzantine consensus
 // run.
 type ByzantineOutcome struct {
 	// L is the little-committee size of the §7 construction.
-	L int
+	L int `json:"l"`
 	// Decisions[i] holds honest node i's decision; corrupted nodes
 	// have Decided[i] = false.
-	Decisions []uint64
-	Decided   []bool
-	Agreement bool
+	Decisions []uint64 `json:"decisions"`
+	Decided   []bool   `json:"decided"`
+	Agreement bool     `json:"agreement"`
 }
 
 // SubroutineOutcome summarizes an AEA or SCV run.
 type SubroutineOutcome struct {
 	// Deciders counts the non-crashed nodes that decided.
-	Deciders int
+	Deciders int `json:"deciders"`
 	// AllDecided reports whether every node (crashed or not) decided.
-	AllDecided bool
+	AllDecided bool `json:"all_decided"`
 }
 
 // MajorityOutcome summarizes a §9 majority-vote run.
 type MajorityOutcome struct {
 	// YesWins is the agreed verdict; YesVotes/Ballots the agreed
 	// tally.
-	YesWins  bool
-	YesVotes int
-	Ballots  int
+	YesWins  bool `json:"yes_wins"`
+	YesVotes int  `json:"yes_votes"`
+	Ballots  int  `json:"ballots"`
 	// Agreement reports whether all surviving nodes reached the same
 	// verdict and tally.
-	Agreement bool
+	Agreement bool `json:"agreement"`
 }

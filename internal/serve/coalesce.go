@@ -1,0 +1,65 @@
+package serve
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// flightGroup is singleflight over response bytes: while a key's
+// leader is computing, followers arriving with the same key park on
+// the leader's WaitGroup and share its result instead of starting
+// their own engine run. Combined with determinism this is loss-free
+// deduplication — every follower receives exactly the bytes it would
+// have computed.
+type flightGroup struct {
+	mu    sync.Mutex
+	calls map[string]*flightCall
+
+	coalesced atomic.Int64
+}
+
+type flightCall struct {
+	wg  sync.WaitGroup
+	val []byte
+	err error
+}
+
+func newFlightGroup() *flightGroup {
+	return &flightGroup{calls: make(map[string]*flightCall)}
+}
+
+// Do invokes fn once per key across concurrent callers. The bool
+// reports whether this caller was a follower (shared a leader's
+// result). The leader's entry is removed before its result is
+// published, so a caller arriving after completion starts a fresh
+// flight — the cache in front of the group, not the group itself, is
+// what makes repeats cheap.
+func (g *flightGroup) Do(key string, fn func() ([]byte, error)) ([]byte, bool, error) {
+	g.mu.Lock()
+	if c, ok := g.calls[key]; ok {
+		g.mu.Unlock()
+		g.coalesced.Add(1)
+		c.wg.Wait()
+		return c.val, true, c.err
+	}
+	c := &flightCall{}
+	c.wg.Add(1)
+	g.calls[key] = c
+	g.mu.Unlock()
+
+	// Clean up under defer: if fn panics (net/http recovers the
+	// goroutine), the flight must still be removed and its followers
+	// released, or the key is unservable forever.
+	defer func() {
+		g.mu.Lock()
+		delete(g.calls, key)
+		g.mu.Unlock()
+		c.wg.Done()
+	}()
+	c.val, c.err = fn()
+	return c.val, false, c.err
+}
+
+// Coalesced returns the number of requests that shared another
+// request's run.
+func (g *flightGroup) Coalesced() int64 { return g.coalesced.Load() }
