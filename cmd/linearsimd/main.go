@@ -1,20 +1,31 @@
 // Command linearsimd serves the scenario registry over HTTP/JSON: a
 // long-running daemon with a content-addressed result cache, request
-// coalescing, and a bounded engine worker pool (internal/serve).
-// Because every run is a pure function of its Spec, a cache hit
-// replays the byte-identical response of the original run.
+// coalescing, a bounded engine worker pool, and a chaos-campaign job
+// store (internal/serve, internal/campaign). Because every run is a
+// pure function of its Spec, a cache hit replays the byte-identical
+// response of the original run — and a campaign, built from such runs,
+// is itself deterministic and resumable.
 //
 // Endpoints:
 //
-//	POST /v1/run        {"scenario","n","t","seed"[,"fault",...]} → {"key","report"}
-//	POST /v1/sweep      {"scenario","seed","points":[{"n","t"},...]} → per-point envelopes
-//	GET  /v1/scenarios  the registry
-//	GET  /healthz       liveness
-//	GET  /statsz        cache / coalescer / queue counters
+//	POST   /v1/run             {"scenario","n","t","seed"[,"fault",...]} → {"key","report"}
+//	POST   /v1/sweep           {"scenario","seed","points":[{"n","t"},...]} → per-point envelopes
+//	GET    /v1/scenarios       the registry
+//	POST   /v1/campaigns       campaign spec → async job (202), idempotent by content address
+//	GET    /v1/campaigns       job listing
+//	GET    /v1/campaigns/{id}  job progress; frontier artifact once done
+//	DELETE /v1/campaigns/{id}  cancel a running campaign (checkpointed, resumable)
+//	GET    /healthz            liveness: the process serves HTTP
+//	GET    /readyz             readiness: 503 during startup and shutdown drain
+//	GET    /statsz             cache / coalescer / queue / campaign counters
+//
+// On SIGTERM the daemon flips not-ready, stops the listener, drains
+// running campaigns to checkpoints, and writes them to the -state file;
+// the next start restores the file and resumes interrupted campaigns.
 //
 // Example:
 //
-//	linearsimd -addr 127.0.0.1:8372 -workers 4 -cache-bytes 67108864
+//	linearsimd -addr 127.0.0.1:8372 -workers 4 -state /var/lib/linearsimd/jobs.json
 package main
 
 import (
@@ -51,6 +62,8 @@ func run(args []string, ready chan<- string) error {
 		queueDepth = fs.Int("queue", 0, "job queue capacity (0 = 4x workers); a full queue rejects with 429")
 		cacheBytes = fs.Int64("cache-bytes", 0, "result cache budget in bytes (0 = 64 MiB)")
 		shards     = fs.Int("cache-shards", 0, "result cache shard count (0 = 16)")
+		maxJobs    = fs.Int("max-jobs", 0, "campaign job store capacity (0 = 8)")
+		statePath  = fs.String("state", "", "campaign state file: restored on start, written on graceful shutdown")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -61,8 +74,17 @@ func run(args []string, ready chan<- string) error {
 		CacheShards: *shards,
 		Workers:     *workers,
 		QueueDepth:  *queueDepth,
+		MaxJobs:     *maxJobs,
 	})
 	defer srv.Close()
+
+	// Restore before listening so resumed campaigns are already
+	// running (and queryable) when the first request lands.
+	if *statePath != "" {
+		if err := srv.RestoreJobs(*statePath); err != nil {
+			return fmt.Errorf("restore campaign state: %w", err)
+		}
+	}
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
@@ -70,6 +92,7 @@ func run(args []string, ready chan<- string) error {
 	}
 	hs := &http.Server{Handler: srv.Handler()}
 	log.Printf("linearsimd: serving on http://%s", ln.Addr())
+	srv.SetReady(true)
 	if ready != nil {
 		ready <- ln.Addr().String()
 	}
@@ -84,8 +107,23 @@ func run(args []string, ready chan<- string) error {
 		return err
 	case sig := <-stop:
 		log.Printf("linearsimd: %v, shutting down", sig)
+		// Drain order: stop advertising readiness, stop accepting
+		// connections, interrupt running campaigns to checkpoints, then
+		// persist them. srv.Close (deferred) waits the drain again —
+		// idempotently — before closing the worker pool.
+		srv.SetReady(false)
 		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 		defer cancel()
-		return hs.Shutdown(ctx)
+		if err := hs.Shutdown(ctx); err != nil {
+			return err
+		}
+		srv.DrainJobs()
+		if *statePath != "" {
+			if err := srv.SaveJobs(*statePath); err != nil {
+				return fmt.Errorf("save campaign state: %w", err)
+			}
+			log.Printf("linearsimd: campaign state saved to %s", *statePath)
+		}
+		return nil
 	}
 }

@@ -1,13 +1,53 @@
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"net/http"
+	"os"
+	"path/filepath"
 	"strings"
 	"syscall"
 	"testing"
 	"time"
+
+	"lineartime/internal/serve"
 )
+
+// startDaemon boots the daemon with extra args on an ephemeral port
+// and returns its base URL and exit channel.
+func startDaemon(t *testing.T, extra ...string) (string, chan error) {
+	t.Helper()
+	ready := make(chan string, 1)
+	errc := make(chan error, 1)
+	args := append([]string{"-addr", "127.0.0.1:0", "-workers", "1"}, extra...)
+	go func() { errc <- run(args, ready) }()
+	select {
+	case addr := <-ready:
+		return "http://" + addr, errc
+	case err := <-errc:
+		t.Fatalf("daemon exited before ready: %v", err)
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon never became ready")
+	}
+	return "", nil
+}
+
+// sigterm signals the daemon (in-process) and waits for a clean exit.
+func sigterm(t *testing.T, errc chan error) {
+	t.Helper()
+	if err := syscall.Kill(syscall.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-errc:
+		if err != nil {
+			t.Fatalf("shutdown: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon did not shut down on SIGTERM")
+	}
+}
 
 // TestServeAndShutdown boots the daemon on an ephemeral port, checks
 // the endpoints answer, and shuts it down with the signal path.
@@ -63,6 +103,94 @@ func TestServeAndShutdown(t *testing.T) {
 	case <-time.After(10 * time.Second):
 		t.Fatal("daemon did not shut down on SIGTERM")
 	}
+}
+
+// TestReadyzSplit pins the liveness/readiness split on the live
+// daemon: both answer while serving, and /readyz carries the
+// not_ready error shape when the gate is down (exercised in the serve
+// package; here we pin the wiring).
+func TestReadyzSplit(t *testing.T) {
+	base, errc := startDaemon(t)
+	for _, ep := range []string{"/healthz", "/readyz"} {
+		resp, err := http.Get(base + ep)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s status = %d, want 200", ep, resp.StatusCode)
+		}
+	}
+	sigterm(t, errc)
+}
+
+// TestCampaignSurvivesRestart is the daemon-level resume path: a
+// campaign interrupted by SIGTERM checkpoints into the -state file,
+// and the next daemon boot restores and finishes it.
+func TestCampaignSurvivesRestart(t *testing.T) {
+	state := filepath.Join(t.TempDir(), "jobs.json")
+	spec := `{"scenario":"consensus/few-crashes","n":12,"t":2,"seed":1,` +
+		`"kinds":["omission","delay"],"budget":{"max_sims":16,"max_waves":2,"top_k":3}}`
+
+	base, errc := startDaemon(t, "-state", state)
+	resp, err := http.Post(base+"/v1/campaigns", "application/json", strings.NewReader(spec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st struct {
+		ID     string `json:"id"`
+		Status string `json:"status"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted || st.ID == "" {
+		t.Fatalf("POST campaign: status=%d %+v", resp.StatusCode, st)
+	}
+
+	// Kill the daemon mid-campaign; the graceful path must drain the
+	// job to a checkpoint and persist the state file.
+	sigterm(t, errc)
+	if _, err := os.Stat(state); err != nil {
+		t.Fatalf("state file not written: %v", err)
+	}
+
+	base2, errc2 := startDaemon(t, "-state", state)
+	deadline := time.Now().Add(30 * time.Second)
+	var final struct {
+		Status   string          `json:"status"`
+		Error    string          `json:"error"`
+		Frontier json.RawMessage `json:"frontier"`
+	}
+	for {
+		resp, err := http.Get(base2 + "/v1/campaigns/" + st.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			resp.Body.Close()
+			t.Fatalf("restored campaign lookup = %d, want 200", resp.StatusCode)
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&final); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if final.Status != serve.JobRunning {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("restored campaign never finished")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if final.Status != serve.JobDone {
+		t.Fatalf("restored campaign ended %s (%s), want done", final.Status, final.Error)
+	}
+	if !bytes.Contains(final.Frontier, []byte("lineartime/frontier/v1")) {
+		t.Fatalf("restored campaign has no frontier artifact: %s", final.Frontier)
+	}
+	sigterm(t, errc2)
 }
 
 func TestRunFlagErrors(t *testing.T) {

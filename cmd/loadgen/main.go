@@ -11,8 +11,11 @@
 // and records req/s, p50/p99 latency and cache hit rate per workload
 // into a bench file (BENCH_serve.json when committed), plus the
 // repeated-vs-cold throughput ratio — the serving layer's cache
-// leverage. Before measuring, it probes every daemon endpoint and
-// fails on any non-200.
+// leverage. A 429 (queue backpressure) is transient by design, so
+// workers retry it with capped exponential backoff and jitter; only a
+// request that exhausts its retries counts as rejected. Before
+// measuring, it probes every daemon endpoint and fails on any
+// non-200.
 //
 // -quick shortens the phases for CI and exits nonzero if the repeated
 // workload saw no cache hits.
@@ -24,6 +27,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
 	"os"
 	"runtime"
@@ -42,12 +46,25 @@ func main() {
 	}
 }
 
+// The 429 retry policy: queue backpressure is transient, so each
+// request retries up to maxRetryAttempts times with exponential
+// backoff from retryBase, capped at retryCap, jittered to half-to-full
+// of the backoff so synchronized workers do not re-collide.
+const (
+	maxRetryAttempts = 6
+	retryBase        = 5 * time.Millisecond
+	retryCap         = 200 * time.Millisecond
+)
+
 // WorkloadResult is one measured workload of the bench file.
 type WorkloadResult struct {
-	Name        string  `json:"name"`
-	Requests    int64   `json:"requests"`
-	Errors      int64   `json:"errors"`
+	Name     string `json:"name"`
+	Requests int64  `json:"requests"`
+	Errors   int64  `json:"errors"`
+	// Rejected counts requests that exhausted their 429 retries;
+	// Retries counts the individual backoff-retried attempts.
 	Rejected    int64   `json:"rejected_429"`
+	Retries     int64   `json:"retries_429"`
 	ReqPerSec   float64 `json:"req_per_sec"`
 	P50Ms       float64 `json:"p50_ms"`
 	P99Ms       float64 `json:"p99_ms"`
@@ -111,7 +128,7 @@ func run(args []string) error {
 	}
 
 	file := BenchFile{
-		Schema:      "lineartime/bench_serve/v1",
+		Schema:      "lineartime/bench_serve/v2",
 		Go:          runtime.Version(),
 		GoMaxProcs:  runtime.GOMAXPROCS(0),
 		NumCPU:      runtime.NumCPU(),
@@ -172,7 +189,7 @@ func run(args []string) error {
 // preflight exercises every endpoint once and fails on any non-200:
 // the smoke assertion of the CI serve job.
 func preflight(client *http.Client, addr, scen string, n, t int, seed uint64) error {
-	for _, path := range []string{"/healthz", "/v1/scenarios", "/statsz"} {
+	for _, path := range []string{"/healthz", "/readyz", "/v1/scenarios", "/statsz"} {
 		resp, err := client.Get(addr + path)
 		if err != nil {
 			return fmt.Errorf("GET %s: %w", path, err)
@@ -215,6 +232,7 @@ func measure(client *http.Client, addr string, base serve.RunRequest, concurrenc
 		hits     atomic.Int64
 		errs     atomic.Int64
 		rejected atomic.Int64
+		retries  atomic.Int64
 		mu       sync.Mutex
 		lats     []float64
 	)
@@ -238,24 +256,50 @@ func measure(client *http.Client, addr string, base serve.RunRequest, concurrenc
 					continue
 				}
 				start := time.Now()
-				resp, err := client.Post(addr+"/v1/run", "application/json", bytes.NewReader(body))
-				if err != nil {
-					errs.Add(1)
-					continue
+				var status int
+				var cacheHdr string
+				gaveUp := false
+				for attempt := 0; ; attempt++ {
+					resp, err := client.Post(addr+"/v1/run", "application/json", bytes.NewReader(body))
+					if err != nil {
+						status = 0
+						break
+					}
+					io.Copy(io.Discard, resp.Body)
+					resp.Body.Close()
+					status = resp.StatusCode
+					cacheHdr = resp.Header.Get("X-Cache")
+					if status != http.StatusTooManyRequests {
+						break
+					}
+					// Backpressure is transient: back off and retry the same
+					// request instead of failing it, up to the attempt cap
+					// (and never past the measurement window).
+					if attempt >= maxRetryAttempts || !time.Now().Before(deadline) {
+						gaveUp = true
+						break
+					}
+					retries.Add(1)
+					backoff := retryBase << attempt
+					if backoff > retryCap {
+						backoff = retryCap
+					}
+					time.Sleep(backoff/2 + time.Duration(rand.Int63n(int64(backoff/2)+1)))
 				}
-				io.Copy(io.Discard, resp.Body)
-				resp.Body.Close()
 				elapsed := time.Since(start)
 				switch {
-				case resp.StatusCode == http.StatusTooManyRequests:
+				case gaveUp:
 					rejected.Add(1)
 					continue
-				case resp.StatusCode != http.StatusOK:
+				case status == 0:
+					errs.Add(1)
+					continue
+				case status != http.StatusOK:
 					errs.Add(1)
 					continue
 				}
 				requests.Add(1)
-				if resp.Header.Get("X-Cache") == "hit" {
+				if cacheHdr == "hit" {
 					hits.Add(1)
 				}
 				local = append(local, float64(elapsed.Nanoseconds())/1e6)
@@ -279,6 +323,7 @@ func measure(client *http.Client, addr string, base serve.RunRequest, concurrenc
 		Requests:    requests.Load(),
 		Errors:      errs.Load(),
 		Rejected:    rejected.Load(),
+		Retries:     retries.Load(),
 		DurationSec: elapsed.Seconds(),
 	}
 	if res.Requests > 0 {

@@ -2,9 +2,11 @@ package main
 
 import (
 	"encoding/json"
+	"net/http"
 	"net/http/httptest"
 	"os"
 	"path/filepath"
+	"sync/atomic"
 	"testing"
 
 	"lineartime/internal/serve"
@@ -16,6 +18,7 @@ import (
 // workload actually exercised the cache.
 func TestLoadgenAgainstInProcessDaemon(t *testing.T) {
 	s := serve.New(serve.Config{Workers: 2})
+	s.SetReady(true)
 	ts := httptest.NewServer(s.Handler())
 	defer func() {
 		ts.Close()
@@ -43,7 +46,7 @@ func TestLoadgenAgainstInProcessDaemon(t *testing.T) {
 	if err := json.Unmarshal(data, &file); err != nil {
 		t.Fatal(err)
 	}
-	if file.Schema != "lineartime/bench_serve/v1" {
+	if file.Schema != "lineartime/bench_serve/v2" {
 		t.Fatalf("schema = %q", file.Schema)
 	}
 	if len(file.Workloads) != 2 {
@@ -70,6 +73,61 @@ func TestLoadgenAgainstInProcessDaemon(t *testing.T) {
 	st := s.Stats()
 	if st.Cache.Hits == 0 {
 		t.Fatalf("server saw no cache hits: %+v", st.Cache)
+	}
+}
+
+// TestLoadgenRetries429 puts a flaky 429-shedding proxy in front of
+// the daemon: workers must absorb the backpressure with retries — no
+// errored requests, no gave-up rejections, a nonzero retry count.
+func TestLoadgenRetries429(t *testing.T) {
+	s := serve.New(serve.Config{Workers: 2})
+	s.SetReady(true)
+	h := s.Handler()
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		// Shed every third run request; retries land on the daemon.
+		if r.URL.Path == "/v1/run" && calls.Add(1)%3 == 1 {
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(http.StatusTooManyRequests)
+			w.Write([]byte(`{"error":{"code":"busy","message":"serve: job queue full"}}`))
+			return
+		}
+		h.ServeHTTP(w, r)
+	}))
+	defer func() {
+		ts.Close()
+		s.Close()
+	}()
+
+	out := filepath.Join(t.TempDir(), "bench_serve.json")
+	args := []string{
+		"-addr", ts.URL,
+		"-mode", "repeated",
+		"-duration", "300ms",
+		"-concurrency", "2",
+		"-n", "60", "-t", "10",
+		"-o", out,
+	}
+	if err := run(args); err != nil {
+		t.Fatalf("loadgen: %v", err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var file BenchFile
+	if err := json.Unmarshal(data, &file); err != nil {
+		t.Fatal(err)
+	}
+	if len(file.Workloads) != 1 {
+		t.Fatalf("workloads = %d, want 1", len(file.Workloads))
+	}
+	w := file.Workloads[0]
+	if w.Retries == 0 {
+		t.Fatal("shedding proxy produced no retries")
+	}
+	if w.Errors != 0 || w.Rejected != 0 {
+		t.Fatalf("retries did not absorb the backpressure: errors=%d rejected=%d retries=%d", w.Errors, w.Rejected, w.Retries)
 	}
 }
 

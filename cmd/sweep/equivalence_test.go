@@ -35,13 +35,22 @@ func TestSweepOutputMatchesPreRefactorGolden(t *testing.T) {
 	if err != nil {
 		t.Fatalf("reading E12 golden: %v", err)
 	}
+	// E13 (the chaos-campaign rows) appends after E12 and is pinned the
+	// same way. Regenerate with:
+	//
+	//	go run ./cmd/sweep -quick -parallel 1 -exp E13 > testdata/sweep_quick_e13_golden.txt
+	e13, err := os.ReadFile("../../testdata/sweep_quick_e13_golden.txt")
+	if err != nil {
+		t.Fatalf("reading E13 golden: %v", err)
+	}
 	var buf bytes.Buffer
 	if err := run([]string{"-quick"}, &buf); err != nil {
 		t.Fatal(err)
 	}
 	want := append(append([]byte(nil), golden...), e12...)
+	want = append(want, e13...)
 	if !bytes.Equal(buf.Bytes(), want) {
-		t.Fatalf("sweep -quick output diverged from golden (pre-refactor E2–E11 + E12)\n--- got ---\n%s\n--- want ---\n%s",
+		t.Fatalf("sweep -quick output diverged from golden (pre-refactor E2–E11 + E12 + E13)\n--- got ---\n%s\n--- want ---\n%s",
 			firstDiff(buf.Bytes(), want), firstDiff(want, buf.Bytes()))
 	}
 	if !bytes.HasPrefix(buf.Bytes(), golden) {

@@ -1,0 +1,309 @@
+package campaign
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+
+	"lineartime/internal/scenario"
+	"lineartime/internal/sim"
+)
+
+// localRun evaluates candidates in-process, the way cmd/campaign does
+// without a daemon.
+func localRun(_ context.Context, sp scenario.Spec) (*scenario.Report, error) {
+	return scenario.Run(sp)
+}
+
+func testSpec() Spec {
+	return Spec{
+		Scenario: "consensus/few-crashes",
+		N:        16,
+		T:        3,
+		Seed:     1,
+		Budget:   Budget{MaxSims: 24, MaxWaves: 2, TopK: 3},
+	}
+}
+
+func runToBytes(t *testing.T, spec Spec, conc int) []byte {
+	t.Helper()
+	c, err := New(spec, localRun, conc)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	fr, err := c.Run(context.Background())
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	data, err := fr.Encode()
+	if err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	return data
+}
+
+// TestCampaignDeterministic pins the core guarantee: a campaign is a
+// pure function of its Spec. Re-running produces byte-identical
+// artifacts, and the worker concurrency never leaks into the result.
+func TestCampaignDeterministic(t *testing.T) {
+	a := runToBytes(t, testSpec(), 4)
+	b := runToBytes(t, testSpec(), 4)
+	if string(a) != string(b) {
+		t.Fatalf("same campaign, different artifacts:\n%s\nvs\n%s", a, b)
+	}
+	serial := runToBytes(t, testSpec(), 1)
+	if string(a) != string(serial) {
+		t.Fatalf("concurrency changed the artifact:\n%s\nvs\n%s", a, serial)
+	}
+	if err := ValidateFrontier(a); err != nil {
+		t.Fatalf("artifact does not validate: %v", err)
+	}
+}
+
+// TestCampaignResume interrupts a campaign mid-flight, round-trips the
+// checkpoint through JSON (as the daemon's state file and the CLI's
+// -state file do), resumes, and requires the exact artifact an
+// uninterrupted run produces.
+func TestCampaignResume(t *testing.T) {
+	want := runToBytes(t, testSpec(), 3)
+
+	c, err := New(testSpec(), localRun, 3)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	batches := 0
+	c.SetBatchHook(func(*Checkpoint) {
+		batches++
+		if batches == 2 {
+			cancel()
+		}
+	})
+	if _, err := c.Run(ctx); !errors.Is(err, ErrInterrupted) {
+		t.Fatalf("Run after cancel: got %v, want ErrInterrupted", err)
+	}
+	blob, err := json.Marshal(c.Checkpoint())
+	if err != nil {
+		t.Fatalf("marshal checkpoint: %v", err)
+	}
+	var cp Checkpoint
+	if err := json.Unmarshal(blob, &cp); err != nil {
+		t.Fatalf("unmarshal checkpoint: %v", err)
+	}
+	if cp.Sims >= testSpec().Budget.MaxSims {
+		t.Fatalf("checkpoint already used the whole budget (%d sims); interrupt earlier", cp.Sims)
+	}
+
+	r, err := Resume(&cp, localRun, 3)
+	if err != nil {
+		t.Fatalf("Resume: %v", err)
+	}
+	fr, err := r.Run(context.Background())
+	if err != nil {
+		t.Fatalf("resumed Run: %v", err)
+	}
+	got, err := fr.Encode()
+	if err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	if string(got) != string(want) {
+		t.Fatalf("resumed artifact diverged:\n%s\nvs uninterrupted\n%s", got, want)
+	}
+}
+
+// TestCampaignBudget pins that the sim budget is a hard cap and every
+// charged sim lands as a result.
+func TestCampaignBudget(t *testing.T) {
+	spec := testSpec()
+	spec.Budget.MaxSims = 7
+	c, err := New(spec, localRun, 4)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	fr, err := c.Run(context.Background())
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if fr.Sims != 7 {
+		t.Fatalf("Sims = %d, want the full budget of 7 (queue was larger)", fr.Sims)
+	}
+	if fr.Evaluated != fr.Sims {
+		t.Fatalf("Evaluated = %d, Sims = %d; every charged sim must land", fr.Evaluated, fr.Sims)
+	}
+	if len(fr.Frontier) > spec.Budget.TopK {
+		t.Fatalf("frontier holds %d entries, want <= %d", len(fr.Frontier), spec.Budget.TopK)
+	}
+}
+
+// TestCampaignProgress exercises concurrent Snapshot against Run (the
+// serving layer polls while the campaign executes).
+func TestCampaignProgress(t *testing.T) {
+	c, err := New(testSpec(), localRun, 2)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-done:
+				return
+			default:
+				_ = c.Snapshot()
+			}
+		}
+	}()
+	if _, err := c.Run(context.Background()); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	close(done)
+	wg.Wait()
+	p := c.Snapshot()
+	if p.Sims != testSpec().Budget.MaxSims || p.Evaluated != p.Sims {
+		t.Fatalf("final snapshot %+v inconsistent with budget %d", p, testSpec().Budget.MaxSims)
+	}
+	if p.Worst == nil {
+		t.Fatal("final snapshot has no worst offender")
+	}
+}
+
+func TestSpecNormalizeAndID(t *testing.T) {
+	spec := testSpec()
+	norm, err := spec.Normalize()
+	if err != nil {
+		t.Fatalf("Normalize: %v", err)
+	}
+	if got, want := norm.Kinds, allKinds; len(got) != len(want) {
+		t.Fatalf("default kinds = %v, want all of %v", got, want)
+	}
+	if norm.Budget.TopK == spec.Budget.TopK && spec.Budget.TopK == 0 {
+		t.Fatal("Normalize did not default TopK")
+	}
+	// Axis order must not matter for identity.
+	a, b := testSpec(), testSpec()
+	a.Kinds = []string{KindDelay, KindOmission}
+	b.Kinds = []string{KindOmission, KindDelay}
+	if a.ID() != b.ID() {
+		t.Fatalf("axis order changed the campaign ID: %s vs %s", a.ID(), b.ID())
+	}
+	if !strings.HasPrefix(a.ID(), "cmp-") {
+		t.Fatalf("ID %q lacks the cmp- prefix", a.ID())
+	}
+
+	for _, bad := range []Spec{
+		{Scenario: "", N: 8, Budget: Budget{MaxSims: 1}},
+		{Scenario: "no/such/scenario", N: 8, Budget: Budget{MaxSims: 1}},
+		{Scenario: "consensus/few-crashes", N: 0, Budget: Budget{MaxSims: 1}},
+		{Scenario: "consensus/few-crashes", N: 8, T: -1, Budget: Budget{MaxSims: 1}},
+		{Scenario: "consensus/few-crashes", N: 8, Budget: Budget{MaxSims: 0}},
+		{Scenario: "consensus/few-crashes", N: 8, Kinds: []string{"cosmic-rays"}, Budget: Budget{MaxSims: 1}},
+	} {
+		if _, err := bad.Normalize(); err == nil {
+			t.Errorf("Normalize(%+v) accepted an invalid spec", bad)
+		}
+	}
+}
+
+func TestValidateFrontierRejects(t *testing.T) {
+	good := runToBytes(t, testSpec(), 2)
+	var f Frontier
+	if err := json.Unmarshal(good, &f); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	encode := func(f Frontier) []byte {
+		data, err := f.Encode()
+		if err != nil {
+			t.Fatalf("Encode: %v", err)
+		}
+		return data
+	}
+
+	bad := f
+	bad.Schema = "lineartime/frontier/v0"
+	if err := ValidateFrontier(encode(bad)); err == nil {
+		t.Error("wrong schema accepted")
+	}
+
+	bad = f
+	bad.Sims = bad.Campaign.Budget.MaxSims + 1
+	if err := ValidateFrontier(encode(bad)); err == nil {
+		t.Error("over-budget sims accepted")
+	}
+
+	if len(f.Frontier) >= 2 {
+		bad = f
+		bad.Frontier = append([]Result(nil), f.Frontier...)
+		bad.Frontier[0], bad.Frontier[1] = bad.Frontier[1], bad.Frontier[0]
+		if err := ValidateFrontier(encode(bad)); err == nil {
+			t.Error("out-of-order frontier accepted")
+		}
+	}
+
+	if len(f.Frontier) >= 1 {
+		bad = f
+		bad.Frontier = append([]Result(nil), f.Frontier...)
+		bad.Frontier[0].Fault = "not a fault"
+		if err := ValidateFrontier(encode(bad)); err == nil {
+			t.Error("unparseable fault accepted")
+		}
+
+		bad.Frontier[0] = f.Frontier[0]
+		bad.Frontier[0].Key = "bogus"
+		if err := ValidateFrontier(encode(bad)); err == nil {
+			t.Error("non-content-address key accepted")
+		}
+	}
+
+	if err := ValidateFrontier([]byte("{")); err == nil {
+		t.Error("truncated JSON accepted")
+	}
+}
+
+// TestGridAndNeighbors pins the space generator's invariants: every
+// generated candidate is runnable against its shape (a campaign never
+// wastes budget on models the runner rejects), neighbors move on the
+// lattice, and a t=0 shape yields no crash candidates.
+func TestGridAndNeighbors(t *testing.T) {
+	sh := shape{n: 16, t: 3}
+	d, _ := scenario.Lookup("consensus/few-crashes")
+	runnable := func(fm scenario.FaultModel) error {
+		sp := d.Spec(sh.n, sh.t, 1)
+		sp.Fault = fm
+		_, err := scenario.Run(sp)
+		if errors.Is(err, sim.ErrNoTermination) {
+			// The adversary won; that is a scored outcome, not a
+			// rejected candidate.
+			return nil
+		}
+		return err
+	}
+	for _, kind := range allKinds {
+		models := grid(kind, sh)
+		if len(models) == 0 {
+			t.Fatalf("grid(%s) empty for %+v", kind, sh)
+		}
+		for _, fm := range models {
+			if err := runnable(fm); err != nil {
+				t.Errorf("grid(%s) produced rejected model %s: %v", kind, fm.CLI(), err)
+			}
+			for _, nb := range neighbors(fm, 1, sh) {
+				if err := runnable(nb); err != nil {
+					t.Errorf("neighbor %s of %s rejected: %v", nb.CLI(), fm.CLI(), err)
+				}
+				if nb.CLI() == fm.CLI() {
+					t.Errorf("neighbor of %s did not move", fm.CLI())
+				}
+			}
+		}
+	}
+	if got := grid(KindCrash, shape{n: 8, t: 0}); got != nil {
+		t.Errorf("crash grid at t=0 = %v, want none", got)
+	}
+}

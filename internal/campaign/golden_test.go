@@ -1,0 +1,70 @@
+package campaign
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"lineartime/internal/scenario"
+)
+
+// TestFrontierGolden re-runs the committed chaos campaigns from
+// scratch and requires the frontier artifacts to match the checked-in
+// bytes exactly. A diff here means the search, the simulator, or the
+// artifact encoding changed behavior — regenerate with cmd/campaign
+// (same flags as below) only if the change is intentional, and update
+// the registry's chaos rows if the worst schedules moved.
+func TestFrontierGolden(t *testing.T) {
+	cases := []struct {
+		scenario string
+		file     string
+	}{
+		{"consensus/few-crashes", "frontier_consensus_few-crashes.json"},
+		{"gossip/expander", "frontier_gossip_expander.json"},
+	}
+	run := func(_ context.Context, sp scenario.Spec) (*scenario.Report, error) {
+		return scenario.Run(sp)
+	}
+	for _, tc := range cases {
+		t.Run(tc.scenario, func(t *testing.T) {
+			path := filepath.Join("..", "..", "testdata", tc.file)
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := ValidateFrontier(want); err != nil {
+				t.Fatalf("committed artifact invalid: %v", err)
+			}
+			spec := Spec{
+				Scenario: tc.scenario,
+				N:        96,
+				T:        16,
+				Seed:     1,
+				Budget:   Budget{MaxSims: 48, MaxWaves: 3, TopK: 4},
+			}
+			ctrl, err := New(spec, run, 4)
+			if err != nil {
+				t.Fatal(err)
+			}
+			fr, err := ctrl.Run(context.Background())
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := fr.Encode()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(got, want) {
+				t.Fatalf("frontier diverged from %s;\nregenerate with: go run ./cmd/campaign %s\ngot:\n%s",
+					path, regenFlags(tc.scenario, tc.file), got)
+			}
+		})
+	}
+}
+
+func regenFlags(scen, file string) string {
+	return fmt.Sprintf("-scenario %s -n 96 -t 16 -seed 1 -sims 48 -waves 3 -topk 4 -o testdata/%s", scen, file)
+}

@@ -1,0 +1,172 @@
+package campaign
+
+import (
+	"math"
+
+	"lineartime/internal/scenario"
+)
+
+// The fault space: initial coarse grids per axis, and greedy neighbor
+// generation around the worst offenders. Everything here is integer
+// arithmetic over the campaign shape (n, t) and the refinement level,
+// so candidate generation is exactly reproducible. Omission rates are
+// quantized to basis points (1/10000) to keep the float dimension on a
+// deterministic lattice.
+
+// shape is the scenario size the space is built against.
+type shape struct{ n, t int }
+
+// grid returns the initial (level-0) candidates of one axis.
+func grid(kind string, sh shape) []scenario.FaultModel {
+	var out []scenario.FaultModel
+	switch kind {
+	case KindOmission:
+		for _, bp := range []int{200, 500, 1000, 2000, 3500, 5000} {
+			out = append(out, scenario.FaultModel{Kind: scenario.OmissionFaults, Rate: rateOf(bp)})
+		}
+	case KindPartition:
+		windows := [][2]int{{1, 4}, {1, 8}, {2, 6}}
+		for _, w := range windows {
+			for _, cut := range []int{sh.n / 4, sh.n / 2} {
+				if cut < 1 || cut >= sh.n {
+					continue
+				}
+				out = append(out, scenario.FaultModel{
+					Kind: scenario.PartitionWindow, WindowStart: w[0], WindowEnd: w[1], Cut: cut,
+				})
+			}
+		}
+	case KindDelay:
+		for _, d := range []int{1, 2, 3, 4} {
+			out = append(out, scenario.FaultModel{Kind: scenario.DelayedLinks, Delay: d})
+		}
+	case KindCrash:
+		if sh.t < 1 {
+			return nil
+		}
+		counts := []int{sh.t}
+		if half := sh.t / 2; half >= 1 && half != sh.t {
+			counts = append([]int{half}, counts...)
+		}
+		for _, c := range counts {
+			for _, h := range []int{2, 8} {
+				out = append(out, scenario.FaultModel{Kind: scenario.RandomCrashes, Count: c, Horizon: h})
+			}
+		}
+		out = append(out,
+			scenario.FaultModel{Kind: scenario.CascadeCrashes, Count: sh.t},
+			scenario.FaultModel{Kind: scenario.TargetLittleCrashes, Count: sh.t},
+		)
+	}
+	return out
+}
+
+// rateOf maps basis points onto the omission-rate lattice.
+func rateOf(bp int) float64 { return float64(bp) / 10000 }
+
+// bpOf quantizes a rate back onto the lattice.
+func bpOf(rate float64) int { return int(math.Round(rate * 10000)) }
+
+// step halves a base step per refinement level, never below floor.
+func step(base, level, floor int) int {
+	s := base >> (level - 1)
+	if s < floor {
+		s = floor
+	}
+	return s
+}
+
+// clamp bounds v to [lo, hi].
+func clamp(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// neighbors returns the greedy refinements of a worst offender at the
+// given level: the adjacent lattice points on each of the model's
+// parameters, with the step size halving per level. Generated models
+// are valid by construction (clamped into the ranges the scenario
+// validation accepts), so a refinement never wastes budget on a
+// rejected candidate. Duplicates of already-visited points are culled
+// by the controller's visited set, not here.
+func neighbors(f scenario.FaultModel, level int, sh shape) []scenario.FaultModel {
+	var out []scenario.FaultModel
+	add := func(g scenario.FaultModel) { out = append(out, g) }
+	switch f.Kind {
+	case scenario.OmissionFaults:
+		bp := bpOf(f.Rate)
+		d := step(400, level, 25)
+		for _, nb := range []int{bp - d, bp + d} {
+			nb = clamp(nb, 25, 9900)
+			if nb != bp {
+				g := f
+				g.Rate = rateOf(nb)
+				add(g)
+			}
+		}
+	case scenario.PartitionWindow:
+		d := step(4, level, 1)
+		for _, end := range []int{f.WindowEnd - d, f.WindowEnd + d} {
+			if end > f.WindowStart && end != f.WindowEnd {
+				g := f
+				g.WindowEnd = end
+				add(g)
+			}
+		}
+		cd := step(sh.n/8, level, 1)
+		for _, cut := range []int{f.Cut - cd, f.Cut + cd} {
+			cut = clamp(cut, 1, sh.n-1)
+			if cut != f.Cut {
+				g := f
+				g.Cut = cut
+				add(g)
+			}
+		}
+	case scenario.DelayedLinks:
+		for _, d := range []int{f.Delay - 1, f.Delay + 1} {
+			d = clamp(d, 1, 12)
+			if d != f.Delay {
+				g := f
+				g.Delay = d
+				add(g)
+			}
+		}
+	case scenario.RandomCrashes:
+		if sh.t >= 1 {
+			cd := step(max(1, sh.t/4), level, 1)
+			for _, c := range []int{f.Count - cd, f.Count + cd} {
+				c = clamp(c, 1, sh.t)
+				if c != f.Count {
+					g := f
+					g.Count = c
+					add(g)
+				}
+			}
+		}
+		hd := step(4, level, 1)
+		for _, h := range []int{f.Horizon - hd, f.Horizon + hd} {
+			h = clamp(h, 1, 4*sh.n)
+			if h != f.Horizon {
+				g := f
+				g.Horizon = h
+				add(g)
+			}
+		}
+	case scenario.CascadeCrashes, scenario.TargetLittleCrashes:
+		cd := step(max(1, sh.t/4), level, 1)
+		for _, c := range []int{f.Count - cd, f.Count + cd} {
+			c = clamp(c, 1, sh.n)
+			if c != f.Count {
+				g := f
+				g.Count = c
+				add(g)
+			}
+		}
+	}
+	return out
+}

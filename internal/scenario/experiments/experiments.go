@@ -8,11 +8,13 @@
 package experiments
 
 import (
+	"errors"
 	"fmt"
 	"math"
 
 	"lineartime/internal/lowerbound"
 	"lineartime/internal/scenario"
+	"lineartime/internal/sim"
 )
 
 // Point is one sweep point: an independent unit of work producing one
@@ -44,7 +46,7 @@ type Experiment struct {
 
 // All returns the experiments in EXPERIMENTS.md order.
 func All() []Experiment {
-	return []Experiment{e2(), e3(), e4(), e5(), e6(), e7(), e8(), e9(), e10(), e11(), e12()}
+	return []Experiment{e2(), e3(), e4(), e5(), e6(), e7(), e8(), e9(), e10(), e11(), e12(), e13()}
 }
 
 // sizes returns all sizes, or the first two in quick mode.
@@ -498,6 +500,50 @@ func e12() Experiment {
 				"consensus/few-crashes/delay", "gossip/expander/delay")
 			delay.Footer = "Observation: the crash-tolerant stacks are not delay- or partition-tolerant by design; the verdict column records which guarantees survive which link faults."
 			return []Section{omission, partition, delay}
+		},
+	}
+}
+
+// e13 sweeps the chaos rows: the worst adversary schedules found by
+// the internal/campaign frontier search (committed as
+// testdata/frontier_*.json), promoted into the registry. Unlike the
+// hand-picked E12 rows, these schedules are chosen because they break
+// a guarantee, so a run that exhausts its round budget is itself a
+// result — the hunted liveness failure — not an error.
+func e13() Experiment {
+	names := []string{"consensus/few-crashes/chaos", "gossip/expander/chaos"}
+	return Experiment{
+		ID:    "E13",
+		Title: "Chaos campaigns — campaign-found worst schedules",
+		Sections: func(quick bool) []Section {
+			ns := sizes(quick, 96, 192, 384)
+			var pts []Point
+			for _, name := range names {
+				for _, n := range ns {
+					pts = append(pts, Point{Run: func() (string, error) {
+						t := n / 6
+						d := scenario.MustLookup(name)
+						rep, err := scenario.Run(d.Spec(n, t, 1))
+						if errors.Is(err, sim.ErrNoTermination) {
+							return fmt.Sprintf("| %s | %d | %d | %s | - | - | no-termination (round budget exhausted) |",
+								name, n, t, faultLabel(d.Fault)), nil
+						}
+						if err != nil {
+							return "", err
+						}
+						return fmt.Sprintf("| %s | %d | %d | %s | %d | %d | %s |",
+							name, n, t, faultLabel(d.Fault),
+							rep.Metrics.Rounds, rep.Metrics.Messages, faultVerdict(rep)), nil
+					}})
+				}
+			}
+			return []Section{{
+				Preamble: "Worst schedules from the committed frontier campaigns (n=96, t=16, seed 1; see testdata/frontier_*.json), re-run across sizes",
+				Header:   "| scenario | n | t | fault | rounds | messages | verdict |",
+				Sep:      "|----------|---|---|-------|--------|----------|---------|",
+				Footer:   "Observation: the campaign search finds delay schedules that break agreement/completeness where the E12 grid's hand-picked points do not; the gossip completeness break persists at every size, while the consensus agreement break is size-sensitive (present at n=96 and n=384, absent at n=192) — exactly why the searched point is pinned by the frontier artifacts.",
+				Points:   pts,
+			}}
 		},
 	}
 }

@@ -9,7 +9,7 @@ import (
 // and titles of EXPERIMENTS.md, in order. cmd/sweep renders exactly
 // this list, so a dropped experiment fails here.
 func TestExperimentIndexGolden(t *testing.T) {
-	want := []string{"E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12"}
+	want := []string{"E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13"}
 	all := All()
 	if len(all) != len(want) {
 		t.Fatalf("All() has %d experiments, want %d", len(all), len(want))
@@ -83,7 +83,7 @@ func TestOnePointPerProblemRuns(t *testing.T) {
 	if testing.Short() {
 		t.Skip("experiment points skipped in -short mode")
 	}
-	for _, id := range []string{"E3", "E5", "E12"} {
+	for _, id := range []string{"E3", "E5", "E12", "E13"} {
 		for _, e := range All() {
 			if e.ID != id {
 				continue

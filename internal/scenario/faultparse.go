@@ -2,6 +2,7 @@ package scenario
 
 import (
 	"fmt"
+	"math"
 	"strconv"
 	"strings"
 )
@@ -85,7 +86,7 @@ func (f *FaultModel) setParam(key, value string) error {
 		f.Schedule, err = parseCrashEvents(value)
 	case key == "rate" && f.Kind == OmissionFaults:
 		r, perr := strconv.ParseFloat(value, 64)
-		if perr != nil {
+		if perr != nil || math.IsNaN(r) {
 			return fmt.Errorf("lineartime: fault parameter rate=%q is not a number", value)
 		}
 		f.Rate = r
@@ -129,6 +130,74 @@ func parseCrashEvents(s string) ([]CrashEvent, error) {
 		events = append(events, e)
 	}
 	return events, nil
+}
+
+// CLI renders the fault model in the canonical CLI spelling of
+// ParseFault: ParseFault(f.CLI()) reconstructs f exactly for every
+// model ParseFault can produce (pinned by FuzzParseFault). Zero-valued
+// parameters are omitted, so the spelling is canonical — equal models
+// render equal strings, which is what lets campaign checkpoints and
+// frontier artifacts carry fault models as their CLI form.
+// ByzantineFaults has no link-fault spelling and renders as its kind
+// name only.
+func (f FaultModel) CLI() string {
+	var b strings.Builder
+	b.WriteString(f.Kind.String())
+	params := make([]string, 0, 4)
+	addInt := func(key string, v int) {
+		if v != 0 {
+			params = append(params, key+"="+strconv.Itoa(v))
+		}
+	}
+	addSeed := func() {
+		if f.Seed != 0 {
+			params = append(params, "seed="+strconv.FormatUint(f.Seed, 10))
+		}
+	}
+	switch f.Kind {
+	case CrashSchedule:
+		if len(f.Schedule) > 0 {
+			items := make([]string, len(f.Schedule))
+			for i, e := range f.Schedule {
+				item := strconv.Itoa(e.Node) + "@" + strconv.Itoa(e.Round)
+				if e.Keep != -1 {
+					item += "/" + strconv.Itoa(e.Keep)
+				}
+				items[i] = item
+			}
+			params = append(params, "events="+strings.Join(items, ";"))
+		}
+	case RandomCrashes:
+		addInt("count", f.Count)
+		addInt("horizon", f.Horizon)
+		addSeed()
+	case CascadeCrashes:
+		addInt("count", f.Count)
+		addInt("keep", f.Keep)
+		addInt("pool", f.Pool)
+		addSeed()
+	case TargetLittleCrashes:
+		addInt("count", f.Count)
+		addInt("pool", f.Pool)
+		addSeed()
+	case OmissionFaults:
+		if f.Rate != 0 {
+			params = append(params, "rate="+strconv.FormatFloat(f.Rate, 'g', -1, 64))
+		}
+		addSeed()
+	case PartitionWindow:
+		addInt("from", f.WindowStart)
+		addInt("to", f.WindowEnd)
+		addInt("cut", f.Cut)
+	case DelayedLinks:
+		addInt("d", f.Delay)
+		addSeed()
+	}
+	if len(params) > 0 {
+		b.WriteByte(':')
+		b.WriteString(strings.Join(params, ","))
+	}
+	return b.String()
 }
 
 // FaultUsage is one row of the CLI fault-model listing.

@@ -1,0 +1,75 @@
+package scenario
+
+import (
+	"reflect"
+	"testing"
+)
+
+// FuzzParseFault pins the fault grammar's safety and canonicalization
+// properties: ParseFault must never panic, every accepted model must
+// survive FaultModel validation without panicking (errors are fine —
+// validation exists to reject shapes), and every accepted model must
+// round-trip through its canonical CLI spelling back to an equal
+// model. The round-trip is what lets campaign checkpoints and frontier
+// artifacts carry fault models as CLI strings.
+func FuzzParseFault(f *testing.F) {
+	for _, u := range FaultUsages() {
+		f.Add(u.Spec)
+	}
+	seeds := []string{
+		"",
+		"none",
+		"omission:rate=0.05",
+		"omission:rate=0.05,seed=7",
+		"omission:rate=1e-3",
+		"omission:rate=-1",
+		"omission:rate=NaN",
+		"omission:rate=+Inf",
+		"partition:from=1,to=4",
+		"partition:from=1,to=4,cut=32",
+		"delay:d=2",
+		"delay:d=2,seed=9",
+		"crash-schedule:events=1@2;3@4/0;5@6/-2",
+		"random-crashes:count=5,horizon=20,seed=11",
+		"cascade:count=4,keep=1,pool=8",
+		"target-little:count=3,pool=6",
+		"byzantine",
+		"omission:rate",
+		"omission:bogus=1",
+		"delay:d=x",
+		"crash-schedule:events=1@",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	shapes := []Spec{
+		{Problem: Consensus, N: 8, T: 2},
+		{Problem: Gossip, N: 1, T: 0},
+		{Problem: ByzantineConsensus, N: 16, T: 3},
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		fm, err := ParseFault(s)
+		if err != nil {
+			return
+		}
+		// Validation must hold up against arbitrary accepted inputs for
+		// every scenario shape: errors are expected, panics are not.
+		for _, sp := range shapes {
+			sp.Fault = fm
+			_ = fm.validate(sp)
+		}
+		cli := fm.CLI()
+		fm2, err := ParseFault(cli)
+		if err != nil {
+			t.Fatalf("canonical spelling %q of accepted input %q does not re-parse: %v", cli, s, err)
+		}
+		if !reflect.DeepEqual(fm, fm2) {
+			t.Fatalf("round-trip through %q changed the model:\n in  %+v\n out %+v", cli, fm, fm2)
+		}
+		// The canonical spelling must be a fixed point: rendering the
+		// re-parsed model again yields the same string.
+		if cli2 := fm2.CLI(); cli2 != cli {
+			t.Fatalf("canonical spelling is not a fixed point: %q -> %q", cli, cli2)
+		}
+	})
+}

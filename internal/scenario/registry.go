@@ -281,6 +281,23 @@ func init() {
 			Experiments: []string{"E12"},
 			About:       "§9 majority tally over lossy links: 3% per-message omission",
 		},
+		// The chaos rows: the worst adversary schedules found by the
+		// frontier campaigns of internal/campaign, committed as
+		// testdata/frontier_*.json and pinned by a golden test. E13
+		// sweeps these; unlike the hand-picked E12 rows above, these
+		// schedules are expected to break their safety property.
+		{
+			Name: "consensus/few-crashes/chaos", Problem: Consensus, Algorithm: FewCrashes, Port: MultiPort,
+			Fault:       FaultModel{Kind: DelayedLinks, Delay: 4},
+			Experiments: []string{"E13"},
+			About:       "campaign-found worst schedule: delivery up to 4 rounds late breaks agreement (frontier_consensus_few-crashes.json)",
+		},
+		{
+			Name: "gossip/expander/chaos", Problem: Gossip, Algorithm: GossipExpander, Port: MultiPort,
+			Fault:       FaultModel{Kind: DelayedLinks, Delay: 3},
+			Experiments: []string{"E13"},
+			About:       "campaign-found worst unswept schedule: delivery up to 3 rounds late leaves gossip incomplete (frontier_gossip_expander.json)",
+		},
 	} {
 		Register(d)
 	}

@@ -25,6 +25,7 @@ var goldenMatrix = map[string]string{
 	"checkpoint/expander/single-port": "k1:4c6a9a81c0c053f4901d38503fab2306048f17bb9338f4ce9485007b273c1ad5",
 	"consensus/early-stopping":        "k1:acc544e085890b98fdf38d89fbdf6fd67c029c9797962d6ac4e8ba9b5715b943",
 	"consensus/few-crashes":           "k1:05e91cae69a0d70d3c8317c9d5006657d9bee130e85de434e0e6efc99549b16a",
+	"consensus/few-crashes/chaos":     "k1:e39210d054f8a9f1e4bc650494255a8b8428b59da1e06b17812612a4e1e0de0c",
 	"consensus/few-crashes/delay":     "k1:31caf46a1bad1947d710a9015fb77fb737c0c934810ca6b0bd8fee9a1a2c0cf0",
 	"consensus/few-crashes/omission":  "k1:49bb262cdedb3526340c259bcac0b645686afc4155fc5710c0c87b0c75df48dd",
 	"consensus/flooding":              "k1:25722ed425c2a758ca0e048458cf561994e3c79d1a5738dffa1d2359a4a50f92",
@@ -34,6 +35,7 @@ var goldenMatrix = map[string]string{
 	"consensus/single-port":           "k1:242d9f97734ce70e4750e456a3b4ce22345f99fe8fbcbd73bf82f9881b3c1e0c",
 	"gossip/all-to-all":               "k1:45d3f71cd4c49dd119ef6014213e8e716e8b58c5eaafe85e08acdb78606ebcdd",
 	"gossip/expander":                 "k1:0032546cbf08d47db4e8a55316de4d1e9fd05201c17a04df7f213f6f62b70506",
+	"gossip/expander/chaos":           "k1:eb715378b3f2d7616b566584fc2f1e8b53b7a8218445911548c5f417374c1633",
 	"gossip/expander/delay":           "k1:c700db4571d3b393b7d494d349a749815c0e3d1a7871758d7b2505513743060b",
 	"gossip/expander/omission":        "k1:8da048f735b238ed58de7020506dc57ca02c7b2504814c9d7a7189be0c4a1a95",
 	"gossip/expander/single-port":     "k1:6a3dc37db9702694dd1ac3e9cef2b02143210acdd202b82e65d991874318c314",
@@ -74,8 +76,8 @@ func TestRegistryMatrixGolden(t *testing.T) {
 // matrix.
 func TestRegistryCountsPerProblem(t *testing.T) {
 	wantCounts := map[Problem]int{
-		Consensus:          9,
-		Gossip:             5,
+		Consensus:          10,
+		Gossip:             6,
 		Checkpointing:      4,
 		ByzantineConsensus: 2,
 		AlmostEverywhere:   1,
@@ -106,7 +108,7 @@ func TestEveryExperimentIdIsCovered(t *testing.T) {
 			covered[id] = true
 		}
 	}
-	for _, id := range []string{"E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E11", "E12", "T1"} {
+	for _, id := range []string{"E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E11", "E12", "E13", "T1"} {
 		if !covered[id] {
 			t.Errorf("experiment %s has no registry scenario", id)
 		}
@@ -194,6 +196,8 @@ func TestFaultBoundDefinitionsRun(t *testing.T) {
 		"gossip/expander/delay":          DelayedLinks,
 		"checkpoint/expander/partition":  PartitionWindow,
 		"majority/expander/omission":     OmissionFaults,
+		"consensus/few-crashes/chaos":    DelayedLinks,
+		"gossip/expander/chaos":          DelayedLinks,
 	}
 	faultBound := 0
 	for _, d := range All() {
@@ -218,7 +222,7 @@ func TestFaultBoundDefinitionsRun(t *testing.T) {
 			t.Errorf("%s: %v", d.Name, err)
 		}
 	}
-	if faultBound < 6 {
-		t.Errorf("%d fault-bound rows registered, want at least 6", faultBound)
+	if faultBound < 8 {
+		t.Errorf("%d fault-bound rows registered, want at least 8", faultBound)
 	}
 }

@@ -1,0 +1,365 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"lineartime/internal/campaign"
+	"lineartime/internal/scenario"
+)
+
+// localCampaignRun is the in-process evaluation path, the reference
+// the served campaigns must agree with byte for byte.
+func localCampaignRun(_ context.Context, sp scenario.Spec) (*scenario.Report, error) {
+	return scenario.Run(sp)
+}
+
+func testCampaignSpec(maxSims int) campaign.Spec {
+	return campaign.Spec{
+		Scenario: "consensus/few-crashes",
+		N:        12,
+		T:        2,
+		Seed:     1,
+		Kinds:    []string{campaign.KindOmission, campaign.KindDelay},
+		Budget:   campaign.Budget{MaxSims: maxSims, MaxWaves: 2, TopK: 3},
+	}
+}
+
+func postCampaign(t *testing.T, url string, spec campaign.Spec) (*http.Response, CampaignStatus) {
+	t.Helper()
+	body, err := json.Marshal(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url+"/v1/campaigns", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw := readAll(t, resp)
+	var st CampaignStatus
+	if resp.StatusCode < http.StatusMultipleChoices {
+		if err := json.Unmarshal(raw, &st); err != nil {
+			t.Fatalf("campaign response %q: %v", raw, err)
+		}
+	}
+	return resp, st
+}
+
+func getCampaign(t *testing.T, url, id string) (*http.Response, CampaignStatus) {
+	t.Helper()
+	resp, err := http.Get(url + "/v1/campaigns/" + id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw := readAll(t, resp)
+	var st CampaignStatus
+	if resp.StatusCode < http.StatusMultipleChoices {
+		if err := json.Unmarshal(raw, &st); err != nil {
+			t.Fatalf("campaign response %q: %v", raw, err)
+		}
+	}
+	return resp, st
+}
+
+// indented re-renders a served frontier (compacted by the JSON
+// envelope) in the committed artifact encoding for byte comparisons.
+func indented(t *testing.T, raw json.RawMessage) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := json.Indent(&buf, raw, "", "  "); err != nil {
+		t.Fatal(err)
+	}
+	buf.WriteByte('\n')
+	return buf.Bytes()
+}
+
+// waitDone polls the campaign until it leaves the running state.
+func waitDone(t *testing.T, url, id string) CampaignStatus {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		_, st := getCampaign(t, url, id)
+		if st.Status != JobRunning {
+			return st
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatal("campaign did not finish in time")
+	return CampaignStatus{}
+}
+
+// TestCampaignJobLifecycle drives a campaign end to end through the
+// HTTP surface: accepted async, polled to completion, frontier
+// attached and valid, POST idempotent by content address.
+func TestCampaignJobLifecycle(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 2})
+	spec := testCampaignSpec(12)
+
+	resp, st := postCampaign(t, ts.URL, spec)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("POST campaign = %d, want 202", resp.StatusCode)
+	}
+	if st.ID == "" || st.Status != JobRunning && st.Status != JobDone {
+		t.Fatalf("POST campaign status = %+v", st)
+	}
+	if st.ID != spec.ID() {
+		t.Fatalf("job id %s, want content address %s", st.ID, spec.ID())
+	}
+
+	final := waitDone(t, ts.URL, st.ID)
+	if final.Status != JobDone {
+		t.Fatalf("campaign ended %s (%s), want done", final.Status, final.Error)
+	}
+	if err := campaign.ValidateFrontier(final.Frontier); err != nil {
+		t.Fatalf("served frontier invalid: %v", err)
+	}
+	if final.Progress.Sims != 12 {
+		t.Fatalf("campaign used %d sims, want its whole budget of 12", final.Progress.Sims)
+	}
+
+	// Re-POST of the same campaign dedups onto the finished job.
+	resp2, st2 := postCampaign(t, ts.URL, spec)
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("re-POST = %d, want 200", resp2.StatusCode)
+	}
+	if st2.ID != st.ID || st2.Status != JobDone {
+		t.Fatalf("re-POST landed on %+v, want the finished job", st2)
+	}
+
+	// The job shows up in the listing.
+	resp3, err := http.Get(ts.URL + "/v1/campaigns")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var list CampaignList
+	if err := json.Unmarshal(readAll(t, resp3), &list); err != nil {
+		t.Fatal(err)
+	}
+	if len(list.Campaigns) != 1 || list.Campaigns[0].ID != st.ID {
+		t.Fatalf("campaign list = %+v", list)
+	}
+}
+
+// TestCampaignJobMatchesLocalRun pins that the served path — cached
+// pool runs, retries, coalescing — produces the byte-identical
+// artifact of a direct in-process campaign.
+func TestCampaignJobMatchesLocalRun(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 2})
+	spec := testCampaignSpec(12)
+
+	_, st := postCampaign(t, ts.URL, spec)
+	final := waitDone(t, ts.URL, st.ID)
+	if final.Status != JobDone {
+		t.Fatalf("campaign ended %s (%s)", final.Status, final.Error)
+	}
+
+	ctrl, err := campaign.New(spec, localCampaignRun, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fr, err := ctrl.Run(t.Context())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := fr.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := indented(t, final.Frontier); !bytes.Equal(got, want) {
+		t.Fatalf("served artifact diverged from local run:\n%s\nvs\n%s", got, want)
+	}
+}
+
+// TestCampaignValidation pins the error surface of the campaign
+// endpoints.
+func TestCampaignValidation(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+
+	resp, err := http.Post(ts.URL+"/v1/campaigns", "application/json", bytes.NewReader([]byte("{")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if readAll(t, resp); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad JSON = %d, want 400", resp.StatusCode)
+	}
+
+	bad := testCampaignSpec(4)
+	bad.Scenario = "no/such/scenario"
+	resp, st := postCampaign(t, ts.URL, bad)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("unknown scenario = %d (%+v), want 400", resp.StatusCode, st)
+	}
+
+	resp, _ = getCampaign(t, ts.URL, "cmp-doesnotexist0000")
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown campaign = %d, want 404", resp.StatusCode)
+	}
+}
+
+// TestCampaignDrainCheckpointAndResume is the graceful-shutdown path:
+// drain interrupts a running campaign, SaveJobs persists its
+// checkpoint, a fresh server restores the file, resumes, and finishes
+// with the artifact an uninterrupted campaign produces.
+func TestCampaignDrainCheckpointAndResume(t *testing.T) {
+	state := filepath.Join(t.TempDir(), "jobs.json")
+	spec := testCampaignSpec(16)
+
+	s1 := New(Config{Workers: 1})
+	ts1 := httptest.NewServer(s1.Handler())
+	_, st := postCampaign(t, ts1.URL, spec)
+	if st.Status != JobRunning && st.Status != JobDone {
+		t.Fatalf("POST status = %+v", st)
+	}
+	// Drain immediately: with one worker the campaign is still mid-run,
+	// so it checkpoints as interrupted (if it already finished, the
+	// test still exercises save/restore of a terminal job).
+	s1.DrainJobs()
+	if err := s1.SaveJobs(state); err != nil {
+		t.Fatalf("SaveJobs: %v", err)
+	}
+	ts1.Close()
+	s1.Close()
+
+	blob, err := os.ReadFile(state)
+	if err != nil {
+		t.Fatalf("state file: %v", err)
+	}
+	var file jobsStateFile
+	if err := json.Unmarshal(blob, &file); err != nil {
+		t.Fatalf("state file JSON: %v", err)
+	}
+	if file.Schema != JobsStateSchema || len(file.Jobs) != 1 {
+		t.Fatalf("state file = %+v", file)
+	}
+
+	s2 := New(Config{Workers: 2})
+	ts2 := httptest.NewServer(s2.Handler())
+	defer func() {
+		ts2.Close()
+		s2.Close()
+	}()
+	if err := s2.RestoreJobs(state); err != nil {
+		t.Fatalf("RestoreJobs: %v", err)
+	}
+	final := waitDone(t, ts2.URL, spec.ID())
+	if final.Status != JobDone {
+		t.Fatalf("restored campaign ended %s (%s), want done", final.Status, final.Error)
+	}
+
+	ctrl, err := campaign.New(spec, localCampaignRun, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fr, err := ctrl.Run(t.Context())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := fr.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := indented(t, final.Frontier); !bytes.Equal(got, want) {
+		t.Fatalf("resumed artifact diverged:\n%s\nvs\n%s", got, want)
+	}
+}
+
+// TestCampaignCancel pins DELETE: a running campaign stops, keeps its
+// checkpoint, and reports cancelled.
+func TestCampaignCancel(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+	spec := testCampaignSpec(64)
+
+	_, st := postCampaign(t, ts.URL, spec)
+	req, err := http.NewRequest(http.MethodDelete, ts.URL+"/v1/campaigns/"+st.ID, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	readAll(t, resp)
+	final := waitDone(t, ts.URL, st.ID)
+	if final.Status != JobCancelled && final.Status != JobDone {
+		t.Fatalf("cancelled campaign ended %s, want cancelled (or done if it beat the cancel)", final.Status)
+	}
+	if final.Status == JobCancelled && !final.Resumable {
+		t.Fatal("cancelled campaign lost its checkpoint")
+	}
+}
+
+// TestReadyz pins the readiness gate.
+func TestReadyz(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+	resp, err := http.Get(ts.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if readAll(t, resp); resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("readyz before SetReady = %d, want 503", resp.StatusCode)
+	}
+	s.SetReady(true)
+	resp, err = http.Get(ts.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if body := readAll(t, resp); resp.StatusCode != http.StatusOK || string(body) != `{"status":"ready"}` {
+		t.Fatalf("readyz after SetReady = %d %q", resp.StatusCode, body)
+	}
+	s.SetReady(false)
+	resp, err = http.Get(ts.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if readAll(t, resp); resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("readyz during drain = %d, want 503", resp.StatusCode)
+	}
+	// Liveness stays up throughout.
+	resp, err = http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if readAll(t, resp); resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz during drain = %d, want 200", resp.StatusCode)
+	}
+}
+
+// TestCampaignStoreBounded pins the job-store cap: running jobs are
+// never evicted, and a full store of running jobs sheds new POSTs
+// with 429.
+func TestCampaignStoreBounded(t *testing.T) {
+	block := make(chan struct{})
+	_, ts := newTestServer(t, Config{
+		Workers: 1,
+		MaxJobs: 2,
+		run: func(sp scenario.Spec) (*scenario.Report, error) {
+			<-block
+			return scenario.Run(sp)
+		},
+	})
+	defer close(block)
+
+	a := testCampaignSpec(4)
+	b := testCampaignSpec(4)
+	b.Seed = 2
+	c := testCampaignSpec(4)
+	c.Seed = 3
+
+	if resp, _ := postCampaign(t, ts.URL, a); resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("first POST = %d", resp.StatusCode)
+	}
+	if resp, _ := postCampaign(t, ts.URL, b); resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("second POST = %d", resp.StatusCode)
+	}
+	resp, _ := postCampaign(t, ts.URL, c)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("POST over capacity = %d, want 429", resp.StatusCode)
+	}
+}

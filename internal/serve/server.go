@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"net/http"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"lineartime/internal/scenario"
@@ -33,6 +34,11 @@ type Config struct {
 	// QueueDepth is the bounded job-queue capacity (default 4×Workers);
 	// a full queue rejects with HTTP 429.
 	QueueDepth int
+	// MaxJobs bounds the campaign job store (default 8). When every
+	// slot holds a running campaign, POST /v1/campaigns rejects with
+	// HTTP 429; terminal jobs are evicted oldest-first to admit new
+	// ones.
+	MaxJobs int
 
 	// run substitutes the engine entry point in tests; nil means
 	// scenario.Run.
@@ -46,8 +52,13 @@ type Server struct {
 	cache   *Cache
 	flight  *flightGroup
 	pool    *workPool
+	jobs    *jobStore
 	mux     *http.ServeMux
 	started time.Time
+	// ready gates /readyz: false during startup (until the owner calls
+	// SetReady) and again during shutdown drain, so orchestrators stop
+	// routing new traffic while in-flight work finishes.
+	ready atomic.Bool
 }
 
 // RunRequest is the body of POST /v1/run: a registry scenario
@@ -118,6 +129,7 @@ type Stats struct {
 	Cache         CacheStats `json:"cache"`
 	Coalesced     int64      `json:"coalesced"`
 	Queue         QueueStats `json:"queue"`
+	Campaigns     JobsStats  `json:"campaigns"`
 }
 
 // ErrorBody is the structured error envelope of every non-2xx
@@ -141,10 +153,16 @@ func New(cfg Config) *Server {
 		mux:     http.NewServeMux(),
 		started: time.Now(),
 	}
+	s.jobs = newJobStore(cfg.MaxJobs, s.pool.workers, s.campaignRun)
 	s.mux.HandleFunc("POST /v1/run", s.handleRun)
 	s.mux.HandleFunc("POST /v1/sweep", s.handleSweep)
 	s.mux.HandleFunc("GET /v1/scenarios", s.handleScenarios)
+	s.mux.HandleFunc("POST /v1/campaigns", s.handleCampaignPost)
+	s.mux.HandleFunc("GET /v1/campaigns", s.handleCampaignList)
+	s.mux.HandleFunc("GET /v1/campaigns/{id}", s.handleCampaignGet)
+	s.mux.HandleFunc("DELETE /v1/campaigns/{id}", s.handleCampaignCancel)
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	s.mux.HandleFunc("GET /readyz", s.handleReady)
 	s.mux.HandleFunc("GET /statsz", s.handleStats)
 	return s
 }
@@ -152,8 +170,19 @@ func New(cfg Config) *Server {
 // Handler returns the HTTP surface of the server.
 func (s *Server) Handler() http.Handler { return s.mux }
 
-// Close stops the worker pool. In-flight requests finish first.
-func (s *Server) Close() { s.pool.Close() }
+// SetReady flips the /readyz gate. The daemon sets it true once the
+// listener is up (and restored campaigns are launched), and false at
+// the start of a graceful shutdown.
+func (s *Server) SetReady(ready bool) { s.ready.Store(ready) }
+
+// Close stops the server's workers. Campaign jobs drain first —
+// running campaigns checkpoint as interrupted — because their
+// controllers submit to the worker pool until their in-flight batch
+// lands; only then is the pool closed. In-flight requests finish.
+func (s *Server) Close() {
+	s.jobs.drain()
+	s.pool.Close()
+}
 
 // Stats snapshots the server counters.
 func (s *Server) Stats() Stats {
@@ -162,6 +191,7 @@ func (s *Server) Stats() Stats {
 		Cache:         s.cache.Stats(),
 		Coalesced:     s.flight.Coalesced(),
 		Queue:         s.pool.Stats(),
+		Campaigns:     s.jobsStats(),
 	}
 }
 
@@ -378,10 +408,31 @@ func (s *Server) handleScenarios(w http.ResponseWriter, _ *http.Request) {
 	}{infos})
 }
 
+// handleHealth is liveness: the process is up and serving HTTP. It
+// stays 200 through startup and drain; orchestrators restart on
+// liveness failure, so flapping it during a graceful shutdown would
+// turn every deploy into a kill.
 func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, struct {
 		Status string `json:"status"`
 	}{"ok"})
+}
+
+// handleReady is readiness: whether new traffic should be routed
+// here. Not-ready (503) during startup until the daemon flips
+// SetReady, and again once a graceful shutdown begins draining.
+func (s *Server) handleReady(w http.ResponseWriter, _ *http.Request) {
+	if !s.ready.Load() {
+		writeError(w, &apiError{
+			status:  http.StatusServiceUnavailable,
+			code:    "not_ready",
+			message: "lineartime: daemon is starting up or draining",
+		})
+		return
+	}
+	writeJSON(w, struct {
+		Status string `json:"status"`
+	}{"ready"})
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
