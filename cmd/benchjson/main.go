@@ -70,7 +70,7 @@ func buildSystem(n, fanout, horizon int) (sim.Config, []*broadcaster) {
 // benchPoint is one measured engine configuration.
 type benchPoint struct {
 	Name         string  `json:"name"`
-	Engine       string  `json:"engine"` // "sequential" | "parallel" | "reuse" | "reuse-parallel"
+	Engine       string  `json:"engine"` // "sequential" | "parallel" | "reuse" | "reuse-parallel" | "scalar-per-seed" | "sliced"
 	N            int     `json:"n"`
 	Fanout       int     `json:"fanout"`
 	Rounds       int     `json:"rounds"`
@@ -84,6 +84,97 @@ type benchPoint struct {
 	// below 1.0 mean the worker pool bought nothing — expected when
 	// GOMAXPROCS or the CPU count is 1.
 	SpeedupVsSequential float64 `json:"speedup_vs_sequential,omitempty"`
+	// SeedsPerOp is set on the multi-seed rows (the scalar-per-seed /
+	// sliced family): the number of independent seeds one op evaluates.
+	// On those rows ns_per_round and msgs_per_round are per seed.
+	SeedsPerOp int `json:"seeds_per_op,omitempty"`
+	// SimsPerSec is the multi-seed rows' throughput: seeds_per_op
+	// simulations divided by the op's wall time.
+	SimsPerSec float64 `json:"sims_per_sec,omitempty"`
+	// SpeedupVsScalarPerSeed is set on sliced rows: the matching
+	// scalar-per-seed row's sims_per_sec divided into this row's — the
+	// honest bit-slicing gain at the same shape and seed count.
+	SpeedupVsScalarPerSeed float64 `json:"speedup_vs_scalar_per_seed,omitempty"`
+}
+
+// slicedSpec is the multi-seed benchmark workload: the flooding
+// comparator under per-seed random crashes, so the 64 lanes genuinely
+// diverge (different crash sets, rounds and message counts) instead of
+// measuring a degenerate all-lanes-identical batch.
+func slicedSpec(n, t int) scenario.Spec {
+	sp := scenario.MustLookup("consensus/flooding").Spec(n, t, 1)
+	sp.Fault = scenario.FaultModel{Kind: scenario.RandomCrashes, Count: t, Horizon: t + 2}
+	return sp
+}
+
+// measureSliced measures the multi-seed batch path at one shape:
+// "scalar-per-seed" runs the seeds as sequential scenario.Run calls
+// (one op = seeds full scalar simulations, the pre-slicing cost of a
+// multi-seed sweep point); "sliced" evaluates the same seeds as one
+// scenario.RunSeeds batch riding the bit-sliced engine.
+func measureSliced(engine string, n, t, seeds int) (benchPoint, error) {
+	sp := slicedSpec(n, t)
+	series := make([]uint64, seeds)
+	for i := range series {
+		series[i] = uint64(i + 1)
+	}
+	var runErr error
+	var body func(b *testing.B)
+	switch engine {
+	case "scalar-per-seed":
+		body = func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				for _, seed := range series {
+					one := sp
+					one.Seed = seed
+					if _, err := scenario.Run(one); err != nil {
+						runErr = err
+						b.FailNow()
+					}
+				}
+			}
+		}
+	case "sliced":
+		body = func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				_, errs := scenario.RunSeeds(sp, series)
+				for _, err := range errs {
+					if err != nil {
+						runErr = err
+						b.FailNow()
+					}
+				}
+			}
+		}
+	default:
+		return benchPoint{}, fmt.Errorf("unknown engine %q", engine)
+	}
+	// One reference run supplies the row's round and message
+	// bookkeeping (seed 1; per-seed numbers vary with the crash draw).
+	ref, err := scenario.Run(sp)
+	if err != nil {
+		return benchPoint{}, err
+	}
+	res := testing.Benchmark(body)
+	if runErr != nil {
+		return benchPoint{}, runErr
+	}
+	nsPerOp := float64(res.NsPerOp())
+	return benchPoint{
+		Name:         fmt.Sprintf("engine/%s/n=%d/seeds=%d", engine, n, seeds),
+		Engine:       engine,
+		N:            n,
+		Rounds:       ref.Metrics.Rounds,
+		NsPerOp:      nsPerOp,
+		NsPerRound:   nsPerOp / float64(seeds) / float64(ref.Metrics.Rounds),
+		AllocsPerOp:  res.AllocsPerOp(),
+		BytesPerOp:   res.AllocedBytesPerOp(),
+		MsgsPerRound: ref.Metrics.Messages / int64(ref.Metrics.Rounds),
+		SeedsPerOp:   seeds,
+		SimsPerSec:   float64(seeds) * 1e9 / nsPerOp,
+	}, nil
 }
 
 func measure(engine string, n, fanout, horizon, workers int) (benchPoint, error) {
@@ -175,6 +266,14 @@ func fillSpeedups(points []benchPoint) {
 			seq = base("sequential", p.N, p.Fanout)
 		case "reuse-parallel":
 			seq = base("reuse", p.N, p.Fanout)
+		case "sliced":
+			for j := range points {
+				q := &points[j]
+				if q.Engine == "scalar-per-seed" && q.N == p.N && q.SeedsPerOp == p.SeedsPerOp && q.SimsPerSec > 0 {
+					p.SpeedupVsScalarPerSeed = p.SimsPerSec / q.SimsPerSec
+				}
+			}
+			continue
 		default:
 			continue
 		}
@@ -279,12 +378,35 @@ func run(args []string, stdout *os.File) error {
 	}
 
 	var rep report
-	rep.Schema = "lineartime/bench_sim/v2"
+	rep.Schema = "lineartime/bench_sim/v3"
 	rep.Go = runtime.Version()
 	rep.GOMAXPROCS = runtime.GOMAXPROCS(0)
 	rep.NumCPU = runtime.NumCPU()
 	for _, p := range points {
 		bp, err := measure(p.engine, p.n, p.fanout, p.rounds, 0)
+		if err != nil {
+			return fmt.Errorf("%s n=%d: %w", p.engine, p.n, err)
+		}
+		rep.Benchmarks = append(rep.Benchmarks, bp)
+	}
+	type slicedPt struct {
+		engine         string
+		n, t, seedsPer int
+	}
+	slicedPoints := []slicedPt{
+		// The headline multi-seed shape: 64 seeds at n=1000 — the
+		// acceptance comparison of the bit-sliced engine.
+		{"scalar-per-seed", 1000, 16, 64},
+		{"sliced", 1000, 16, 64},
+	}
+	if *quick {
+		slicedPoints = []slicedPt{
+			{"scalar-per-seed", 64, 8, 16},
+			{"sliced", 64, 8, 16},
+		}
+	}
+	for _, p := range slicedPoints {
+		bp, err := measureSliced(p.engine, p.n, p.t, p.seedsPer)
 		if err != nil {
 			return fmt.Errorf("%s n=%d: %w", p.engine, p.n, err)
 		}

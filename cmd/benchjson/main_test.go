@@ -23,13 +23,13 @@ func TestBenchJSONQuick(t *testing.T) {
 	if err := json.Unmarshal(data, &rep); err != nil {
 		t.Fatalf("invalid JSON: %v", err)
 	}
-	if rep.Schema != "lineartime/bench_sim/v2" {
+	if rep.Schema != "lineartime/bench_sim/v3" {
 		t.Fatalf("schema = %q", rep.Schema)
 	}
-	if len(rep.Benchmarks) != 3 {
-		t.Fatalf("benchmarks = %d, want 3", len(rep.Benchmarks))
+	if len(rep.Benchmarks) != 5 {
+		t.Fatalf("benchmarks = %d, want 5 (3 broadcaster + scalar-per-seed + sliced)", len(rep.Benchmarks))
 	}
-	var sawParallel, sawReuse bool
+	var sawParallel, sawReuse, sawScalarPerSeed, sawSliced bool
 	for _, bp := range rep.Benchmarks {
 		if bp.NsPerRound <= 0 || bp.MsgsPerRound <= 0 {
 			t.Fatalf("degenerate point %+v", bp)
@@ -42,10 +42,26 @@ func TestBenchJSONQuick(t *testing.T) {
 			}
 		case "reuse":
 			sawReuse = true
+		case "scalar-per-seed":
+			sawScalarPerSeed = true
+			if bp.SeedsPerOp <= 0 || bp.SimsPerSec <= 0 {
+				t.Fatalf("scalar-per-seed row missing seed accounting: %+v", bp)
+			}
+		case "sliced":
+			sawSliced = true
+			if bp.SeedsPerOp <= 0 || bp.SimsPerSec <= 0 {
+				t.Fatalf("sliced row missing seed accounting: %+v", bp)
+			}
+			if bp.SpeedupVsScalarPerSeed <= 0 {
+				t.Fatalf("sliced row missing speedup_vs_scalar_per_seed: %+v", bp)
+			}
 		}
 	}
 	if !sawParallel || !sawReuse {
 		t.Fatalf("missing parallel or reuse rows: %+v", rep.Benchmarks)
+	}
+	if !sawScalarPerSeed || !sawSliced {
+		t.Fatalf("missing multi-seed rows: %+v", rep.Benchmarks)
 	}
 	if rep.GOMAXPROCS <= 0 || rep.NumCPU <= 0 {
 		t.Fatalf("gomaxprocs=%d num_cpu=%d; want both positive", rep.GOMAXPROCS, rep.NumCPU)

@@ -152,6 +152,13 @@ func runLocal(stdout io.Writer, spec campaign.Spec, out, state string, conc int)
 			return err
 		}
 	}
+	// Whole batches go through the scenario batch path: sliceable
+	// candidate sets (e.g. flooding under the searched fault axes) ride
+	// the bit-sliced engine up to 64 candidates per machine word, the
+	// rest take its scalar fallback pool.
+	ctrl.SetBatchRun(func(_ context.Context, sps []scenario.Spec) ([]*scenario.Report, []error) {
+		return scenario.ExecuteBatch(sps)
+	})
 	if state != "" {
 		ctrl.SetBatchHook(func(cp *campaign.Checkpoint) {
 			if err := writeCheckpoint(state, cp); err != nil {

@@ -17,6 +17,8 @@
 //	sweep -exp E4     # one experiment
 //	sweep -quick      # smaller sizes (CI-friendly)
 //	sweep -parallel 4 # cap the sweep-point workers
+//	sweep -seeds 64   # aggregate multi-seed points over 64 seeds
+//	                  # (batched through the bit-sliced engine)
 package main
 
 import (
@@ -40,17 +42,29 @@ func main() {
 // parallelism is the sweep-point worker count, set by -parallel.
 var parallelism = runtime.GOMAXPROCS(0)
 
+// seeds is the per-point seed count, set by -seeds. At 1 every point
+// runs its committed single-seed path, so the golden output is
+// byte-identical to a run without the flag; above 1, points with a
+// multi-seed path (Point.RunN) aggregate over seeds 1..N, batched
+// through the bit-sliced engine where the scenario allows.
+var seeds = 1
+
 func run(args []string, w io.Writer) error {
 	fs := flag.NewFlagSet("sweep", flag.ContinueOnError)
 	exp := fs.String("exp", "", "experiment id (E2..E11); empty = all")
 	quick := fs.Bool("quick", false, "smaller sizes")
 	par := fs.Int("parallel", runtime.GOMAXPROCS(0), "sweep-point workers")
+	sd := fs.Int("seeds", 1, "seeds per point (points without a multi-seed path keep their committed seed)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *par > 0 {
 		parallelism = *par
 	}
+	if *sd < 1 {
+		return fmt.Errorf("-seeds %d must be at least 1", *sd)
+	}
+	seeds = *sd
 	for _, e := range experiments.All() {
 		if *exp != "" && e.ID != *exp {
 			continue
@@ -112,7 +126,11 @@ func tableRows(points []experiments.Point) ([]string, error) {
 		go func() {
 			defer wg.Done()
 			for i := range next {
-				rows[i], errs[i] = points[i].Run()
+				if seeds > 1 && points[i].RunN != nil {
+					rows[i], errs[i] = points[i].RunN(seeds)
+				} else {
+					rows[i], errs[i] = points[i].Run()
+				}
 			}
 		}()
 	}

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"bytes"
 	"io"
 	"testing"
 )
@@ -27,5 +28,45 @@ func TestSweepUnknownExperimentIsNoop(t *testing.T) {
 func TestSweepBadFlags(t *testing.T) {
 	if err := run([]string{"-bogus"}, io.Discard); err == nil {
 		t.Fatal("bad flag accepted")
+	}
+	if err := run([]string{"-seeds", "0"}, io.Discard); err == nil {
+		t.Fatal("-seeds 0 accepted")
+	}
+}
+
+// TestSweepSingleSeedIsDefault pins -seeds 1 byte-identical to a run
+// without the flag: the multi-seed path must not perturb the committed
+// single-seed tables.
+func TestSweepSingleSeedIsDefault(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweeps skipped in -short mode")
+	}
+	var plain, seeded bytes.Buffer
+	if err := run([]string{"-quick", "-exp", "E11"}, &plain); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-quick", "-exp", "E11", "-seeds", "1"}, &seeded); err != nil {
+		t.Fatal(err)
+	}
+	if plain.String() != seeded.String() {
+		t.Fatalf("-seeds 1 output diverged from default:\n%s\nvs\n%s", plain.String(), seeded.String())
+	}
+}
+
+// TestSweepMultiSeed runs the E11 comparison aggregated over 64 seeds —
+// the bit-sliced batch path end to end.
+func TestSweepMultiSeed(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweeps skipped in -short mode")
+	}
+	var plain, seeded bytes.Buffer
+	if err := run([]string{"-quick", "-exp", "E11"}, &plain); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-quick", "-exp", "E11", "-seeds", "64"}, &seeded); err != nil {
+		t.Fatal(err)
+	}
+	if seeded.Len() == 0 || seeded.String() == plain.String() {
+		t.Fatalf("-seeds 64 did not aggregate: output identical to single seed")
 	}
 }

@@ -1,0 +1,89 @@
+package bitset
+
+import "math/bits"
+
+// Word-level helpers for the bit-sliced engine (internal/sim/sliced.go):
+// a uint64 is a vector of 64 lanes, one independent simulation replica
+// per bit. These are the primitive ops the sliced hot path is written
+// in, kept here so the engine, protocols and tests share one vocabulary
+// (and one micro-benchmark).
+
+// OnesCount returns the number of set lanes in w.
+func OnesCount(w uint64) int { return bits.OnesCount64(w) }
+
+// ForEachSet calls fn for every set lane of w, in ascending lane order.
+func ForEachSet(w uint64, fn func(lane int)) {
+	for w != 0 {
+		fn(bits.TrailingZeros64(w))
+		w &= w - 1
+	}
+}
+
+// LaneMask returns a word with the low k lanes set. k must be in
+// [0, 64]; LaneMask(64) is all ones.
+func LaneMask(k int) uint64 {
+	if k <= 0 {
+		return 0
+	}
+	if k >= 64 {
+		return ^uint64(0)
+	}
+	return (uint64(1) << k) - 1
+}
+
+// Lane returns the single-lane mask 1 << i. i must be in [0, 64); out
+// of range lanes return 0 so callers can mask unconditionally.
+func Lane(i int) uint64 {
+	if i < 0 || i >= 64 {
+		return 0
+	}
+	return uint64(1) << i
+}
+
+// laneCounterPlanes bounds a LaneCounter at 2^32-1 adds between
+// flushes — far beyond any per-round message count a simulation can
+// stage in memory.
+const laneCounterPlanes = 32
+
+// LaneCounter is a vertical (bit-plane) per-lane event counter: Add
+// increments the count of every set lane of the mask at a cost of
+// O(carry chain) word ops, not 64 scalar increments. Plane p holds bit
+// p of each lane's count, so the counter is a 64-wide carry-save adder;
+// Flush materializes the per-lane totals into an accumulator and resets
+// the planes. The zero value is ready to use.
+type LaneCounter struct {
+	planes [laneCounterPlanes]uint64
+}
+
+// Add increments the count of every lane set in mask by one.
+func (c *LaneCounter) Add(mask uint64) {
+	for p := 0; mask != 0 && p < laneCounterPlanes; p++ {
+		carry := c.planes[p] & mask
+		c.planes[p] ^= mask
+		mask = carry
+	}
+}
+
+// Flush adds the per-lane counts accumulated since the last Flush (or
+// Reset) into out and resets the counter.
+func (c *LaneCounter) Flush(out *[64]int64) {
+	for p := 0; p < laneCounterPlanes; p++ {
+		w := c.planes[p]
+		if w == 0 {
+			continue
+		}
+		c.planes[p] = 0
+		inc := int64(1) << p
+		for w != 0 {
+			out[bits.TrailingZeros64(w)] += inc
+			w &= w - 1
+		}
+	}
+}
+
+// Reset clears the counter without flushing.
+func (c *LaneCounter) Reset() {
+	for p := range c.planes {
+		c.planes[p] = 0
+	}
+}

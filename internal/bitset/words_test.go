@@ -1,0 +1,155 @@
+package bitset
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestOnesCount(t *testing.T) {
+	cases := []struct {
+		w    uint64
+		want int
+	}{
+		{0, 0},
+		{1, 1},
+		{^uint64(0), 64},
+		{0xF0F0, 8},
+		{1 << 63, 1},
+	}
+	for _, c := range cases {
+		if got := OnesCount(c.w); got != c.want {
+			t.Errorf("OnesCount(%#x) = %d, want %d", c.w, got, c.want)
+		}
+	}
+}
+
+func TestForEachSet(t *testing.T) {
+	w := uint64(1)<<0 | 1<<5 | 1<<31 | 1<<63
+	var lanes []int
+	ForEachSet(w, func(lane int) { lanes = append(lanes, lane) })
+	want := []int{0, 5, 31, 63}
+	if len(lanes) != len(want) {
+		t.Fatalf("lanes = %v, want %v", lanes, want)
+	}
+	for i := range want {
+		if lanes[i] != want[i] {
+			t.Fatalf("lanes = %v, want %v", lanes, want)
+		}
+	}
+	ForEachSet(0, func(int) { t.Fatal("ForEachSet(0) called fn") })
+}
+
+func TestLaneMask(t *testing.T) {
+	cases := []struct {
+		k    int
+		want uint64
+	}{
+		{-3, 0},
+		{0, 0},
+		{1, 1},
+		{4, 0xF},
+		{63, ^uint64(0) >> 1},
+		{64, ^uint64(0)},
+		{99, ^uint64(0)},
+	}
+	for _, c := range cases {
+		if got := LaneMask(c.k); got != c.want {
+			t.Errorf("LaneMask(%d) = %#x, want %#x", c.k, got, c.want)
+		}
+	}
+}
+
+func TestLane(t *testing.T) {
+	for i := 0; i < 64; i++ {
+		if got := Lane(i); got != uint64(1)<<i {
+			t.Fatalf("Lane(%d) = %#x", i, got)
+		}
+	}
+	if Lane(-1) != 0 || Lane(64) != 0 {
+		t.Fatal("out-of-range Lane must be 0")
+	}
+}
+
+// TestLaneCounterMatchesScalar drives the vertical counter with random
+// masks and checks every lane's total against a scalar recount.
+func TestLaneCounterMatchesScalar(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var ctr LaneCounter
+	var got, want [64]int64
+	for round := 0; round < 5; round++ {
+		adds := 1000 + rng.Intn(3000)
+		for i := 0; i < adds; i++ {
+			mask := rng.Uint64() & rng.Uint64() // sparse-ish
+			ctr.Add(mask)
+			for lane := 0; lane < 64; lane++ {
+				if mask&(1<<lane) != 0 {
+					want[lane]++
+				}
+			}
+		}
+		ctr.Flush(&got)
+		if got != want {
+			t.Fatalf("round %d: counter diverged from scalar recount", round)
+		}
+	}
+	// Flush after flush must be a no-op.
+	prev := got
+	ctr.Flush(&got)
+	if got != prev {
+		t.Fatal("second Flush changed totals")
+	}
+}
+
+func TestLaneCounterReset(t *testing.T) {
+	var ctr LaneCounter
+	ctr.Add(^uint64(0))
+	ctr.Add(1)
+	ctr.Reset()
+	var out [64]int64
+	ctr.Flush(&out)
+	for lane, v := range out {
+		if v != 0 {
+			t.Fatalf("lane %d = %d after Reset", lane, v)
+		}
+	}
+}
+
+// TestLaneCounterCarryChain exercises long carry ripples: repeated adds
+// of a full mask count up through every plane boundary.
+func TestLaneCounterCarryChain(t *testing.T) {
+	var ctr LaneCounter
+	const adds = 1 << 12
+	for i := 0; i < adds; i++ {
+		ctr.Add(^uint64(0))
+	}
+	var out [64]int64
+	ctr.Flush(&out)
+	for lane, v := range out {
+		if v != adds {
+			t.Fatalf("lane %d = %d, want %d", lane, v, adds)
+		}
+	}
+}
+
+func BenchmarkLaneCounterAdd(b *testing.B) {
+	var ctr LaneCounter
+	var out [64]int64
+	mask := uint64(0x9E3779B97F4A7C15)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		ctr.Add(mask)
+		mask = mask<<1 | mask>>63
+		if i&0xFFFF == 0xFFFF {
+			ctr.Flush(&out)
+		}
+	}
+}
+
+func BenchmarkForEachSet(b *testing.B) {
+	var sink int
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		ForEachSet(uint64(i)*0x9E3779B97F4A7C15, func(lane int) { sink += lane })
+	}
+	_ = sink
+}

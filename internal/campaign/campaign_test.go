@@ -115,6 +115,39 @@ func TestCampaignResume(t *testing.T) {
 	}
 }
 
+// TestCampaignBatchEvaluatorMatchesPerCandidate pins that routing whole
+// batches through scenario.ExecuteBatch — the bit-sliced path the CLI
+// installs — produces the byte-identical artifact of per-candidate
+// evaluation, for both a scalar-only scenario and the natively
+// sliceable flooding comparator.
+func TestCampaignBatchEvaluatorMatchesPerCandidate(t *testing.T) {
+	batchRun := func(_ context.Context, sps []scenario.Spec) ([]*scenario.Report, []error) {
+		return scenario.ExecuteBatch(sps)
+	}
+	for _, name := range []string{"consensus/few-crashes", "consensus/flooding"} {
+		spec := testSpec()
+		spec.Scenario = name
+		want := runToBytes(t, spec, 4)
+
+		c, err := New(spec, localRun, 4)
+		if err != nil {
+			t.Fatalf("%s: New: %v", name, err)
+		}
+		c.SetBatchRun(batchRun)
+		fr, err := c.Run(context.Background())
+		if err != nil {
+			t.Fatalf("%s: Run: %v", name, err)
+		}
+		got, err := fr.Encode()
+		if err != nil {
+			t.Fatalf("%s: Encode: %v", name, err)
+		}
+		if string(got) != string(want) {
+			t.Fatalf("%s: batch evaluation changed the artifact:\n%s\nvs\n%s", name, got, want)
+		}
+	}
+}
+
 // TestCampaignBudget pins that the sim budget is a hard cap and every
 // charged sim lands as a result.
 func TestCampaignBudget(t *testing.T) {

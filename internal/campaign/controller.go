@@ -26,6 +26,13 @@ var ErrInterrupted = errors.New("campaign: interrupted")
 // way the evaluation lands on scenario.Execute's pooled arenas.
 type RunFunc func(ctx context.Context, sp scenario.Spec) (*scenario.Report, error)
 
+// BatchRunFunc evaluates a whole batch of materialized Specs in one
+// call: reports[i]/errs[i] belong to sps[i], exactly as if each had
+// gone through a RunFunc. The CLI wires scenario.ExecuteBatch here, so
+// a batch whose candidates share a sliceable scenario shape rides the
+// bit-sliced engine up to 64 candidates per machine word.
+type BatchRunFunc func(ctx context.Context, sps []scenario.Spec) ([]*scenario.Report, []error)
+
 // Progress is a point-in-time snapshot of a running campaign, the
 // body of the serving layer's polling endpoint.
 type Progress struct {
@@ -58,8 +65,11 @@ type Checkpoint struct {
 // into results, refined wave by wave. Snapshot and Checkpoint are safe
 // to call concurrently with Run.
 type Controller struct {
-	run  RunFunc
-	conc int
+	run RunFunc
+	// batchRun, when set, evaluates whole batches in one call instead
+	// of fanning candidates across goroutines (SetBatchRun).
+	batchRun BatchRunFunc
+	conc     int
 
 	mu        sync.Mutex
 	spec      Spec
@@ -137,6 +147,11 @@ func newController(norm Spec, run RunFunc, conc int) *Controller {
 // SetBatchHook installs an observer called with a fresh checkpoint
 // after every completed batch. Install before Run.
 func (c *Controller) SetBatchHook(fn func(*Checkpoint)) { c.batchHook = fn }
+
+// SetBatchRun installs a batch evaluator used in place of per-candidate
+// RunFunc calls. Install before Run. Results are scored identically
+// either way, so the search is unaffected — only throughput changes.
+func (c *Controller) SetBatchRun(fn BatchRunFunc) { c.batchRun = fn }
 
 // Spec returns the normalized campaign spec.
 func (c *Controller) Spec() Spec { return c.spec }
@@ -240,11 +255,24 @@ func (c *Controller) Run(ctx context.Context) (*Frontier, error) {
 	return c.Frontier(), nil
 }
 
-// evaluate reconciles one batch, all candidates in flight at once
-// (the batch is already capped at conc). Results land in batch order,
-// so completion timing never reaches the search state.
+// evaluate reconciles one batch. With a batch evaluator installed the
+// whole batch goes out in one call (the sliced path); otherwise all
+// candidates are in flight at once (the batch is already capped at
+// conc). Results land in batch order either way, so completion timing
+// never reaches the search state.
 func (c *Controller) evaluate(ctx context.Context, batch []Candidate) []Result {
 	out := make([]Result, len(batch))
+	if c.batchRun != nil {
+		sps := make([]scenario.Spec, len(batch))
+		for i := range batch {
+			sps[i] = c.specFor(batch[i].fm)
+		}
+		reps, errs := c.batchRun(ctx, sps)
+		for i := range batch {
+			out[i] = score(batch[i], reps[i], errs[i])
+		}
+		return out
+	}
 	var wg sync.WaitGroup
 	for i := range batch {
 		wg.Add(1)
@@ -257,12 +285,17 @@ func (c *Controller) evaluate(ctx context.Context, batch []Candidate) []Result {
 	return out
 }
 
-// evalOne runs one candidate and scores the outcome. A run that
+// evalOne runs one candidate and scores the outcome.
+func (c *Controller) evalOne(ctx context.Context, cand Candidate) Result {
+	rep, err := c.run(ctx, c.specFor(cand.fm))
+	return score(cand, rep, err)
+}
+
+// score turns one candidate's run outcome into a Result. A run that
 // exceeds its round budget is the liveness violation the campaign is
 // hunting, not an error.
-func (c *Controller) evalOne(ctx context.Context, cand Candidate) Result {
+func score(cand Candidate, rep *scenario.Report, err error) Result {
 	res := Result{Fault: cand.Fault, Key: cand.Key, Level: cand.Level}
-	rep, err := c.run(ctx, c.specFor(cand.fm))
 	switch {
 	case err == nil:
 		res.Rounds = rep.Metrics.Rounds

@@ -67,7 +67,25 @@ func (s *Schedule) FilterSend(round int, from sim.NodeID, outbox []sim.Envelope)
 	return outbox, false
 }
 
+// CrashEvents implements sim.CrashPlan: the schedule is its own
+// declarative form. Events are returned sorted by (round, node).
+func (s *Schedule) CrashEvents() []sim.CrashEvent {
+	rounds := make([]int, 0, len(s.byRound))
+	for r := range s.byRound {
+		rounds = append(rounds, r)
+	}
+	sort.Ints(rounds)
+	events := make([]sim.CrashEvent, 0, s.total)
+	for _, r := range rounds {
+		for _, e := range s.byRound[r] {
+			events = append(events, sim.CrashEvent{Node: e.Node, Round: e.Round, Keep: e.Keep})
+		}
+	}
+	return events
+}
+
 var _ sim.LinkFault = (*Schedule)(nil)
+var _ sim.CrashPlan = (*Schedule)(nil)
 
 // Random crashes up to t distinct nodes at pseudo-random rounds within
 // [0, horizon), each keeping a pseudo-random prefix of its final
@@ -104,7 +122,11 @@ func (a *Random) FilterSend(round int, from sim.NodeID, outbox []sim.Envelope) (
 	return a.schedule.FilterSend(round, from, outbox)
 }
 
+// CrashEvents implements sim.CrashPlan.
+func (a *Random) CrashEvents() []sim.CrashEvent { return a.schedule.CrashEvents() }
+
 var _ sim.LinkFault = (*Random)(nil)
+var _ sim.CrashPlan = (*Random)(nil)
 
 // Cascade crashes one chosen node per round starting at round 0, the
 // classic worst case that forces early-stopping consensus to run for
@@ -141,7 +163,18 @@ func (a *Cascade) FilterSend(round int, from sim.NodeID, outbox []sim.Envelope) 
 	return outbox, false
 }
 
+// CrashEvents implements sim.CrashPlan: victim i crashes at round i
+// with the cascade's keep prefix.
+func (a *Cascade) CrashEvents() []sim.CrashEvent {
+	events := make([]sim.CrashEvent, 0, len(a.victims))
+	for round, v := range a.victims {
+		events = append(events, sim.CrashEvent{Node: v, Round: round, Keep: a.keep})
+	}
+	return events
+}
+
 var _ sim.LinkFault = (*Cascade)(nil)
+var _ sim.CrashPlan = (*Cascade)(nil)
 
 // TargetLittle crashes t of the 5t little nodes at round 0 before they
 // send anything, the direct attack on the survival-set machinery of
@@ -173,7 +206,23 @@ func (a *TargetLittle) FilterSend(round int, from sim.NodeID, outbox []sim.Envel
 	return outbox, false
 }
 
+// CrashEvents implements sim.CrashPlan: every victim crashes at round 0
+// before sending anything (Keep 0).
+func (a *TargetLittle) CrashEvents() []sim.CrashEvent {
+	nodes := make([]sim.NodeID, 0, len(a.victims))
+	for v := range a.victims {
+		nodes = append(nodes, v)
+	}
+	sort.Ints(nodes)
+	events := make([]sim.CrashEvent, 0, len(nodes))
+	for _, v := range nodes {
+		events = append(events, sim.CrashEvent{Node: v, Round: 0, Keep: 0})
+	}
+	return events
+}
+
 var _ sim.LinkFault = (*TargetLittle)(nil)
+var _ sim.CrashPlan = (*TargetLittle)(nil)
 
 // Isolate cuts one chosen node off from the world: starting at round 0
 // it crashes, round by round, every node that the victim sends to or

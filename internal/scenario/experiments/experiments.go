@@ -24,6 +24,44 @@ import (
 // rebuilding engine state per run.
 type Point struct {
 	Run func() (string, error)
+	// RunN, when set, renders the point aggregated over the given
+	// number of seeds (seeds 1..N) instead of the single committed
+	// seed — the multi-seed sweep path (cmd/sweep -seeds). Points
+	// whose multi-seed batch contains a sliceable scenario ride the
+	// bit-sliced engine 64 seeds per machine word via
+	// scenario.RunSeeds. Nil means the point is single-seed only and
+	// -seeds falls back to Run.
+	RunN func(seeds int) (string, error)
+}
+
+// seedRange returns the multi-seed sweep's seed series 1..n.
+func seedRange(n int) []uint64 {
+	s := make([]uint64, n)
+	for i := range s {
+		s[i] = uint64(i + 1)
+	}
+	return s
+}
+
+// runSeedsMean runs the spec across the seed series and returns the
+// reports, failing on the first per-seed error.
+func runSeedsMean(sp scenario.Spec, seeds []uint64) ([]*scenario.Report, error) {
+	reports, errs := scenario.RunSeeds(sp, seeds)
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("seed %d: %w", seeds[i], err)
+		}
+	}
+	return reports, nil
+}
+
+// meanMetric averages one metric over a seed batch.
+func meanMetric(reports []*scenario.Report, metric func(*scenario.Report) float64) float64 {
+	var sum float64
+	for _, rep := range reports {
+		sum += metric(rep)
+	}
+	return sum / float64(len(reports))
 }
 
 // Section is one markdown table of an experiment, with an optional
@@ -155,6 +193,23 @@ func e4() Experiment {
 						n, t, rep.Metrics.Rounds, float64(rep.Metrics.Rounds)/float64(t),
 						rep.Metrics.Bits, float64(rep.Metrics.Bits)/float64(n)), nil
 				}}
+				pts[i].RunN = func(seeds int) (string, error) {
+					sp := scenario.MustLookup("consensus/few-crashes").Spec(n, t, 1)
+					sp.Fault = scenario.FaultModel{Kind: scenario.RandomCrashes, Count: t, Horizon: 5 * t}
+					reports, err := runSeedsMean(sp, seedRange(seeds))
+					if err != nil {
+						return "", err
+					}
+					for s, rep := range reports {
+						if !rep.Consensus.Agreement || !rep.Consensus.Validity {
+							return "", fmt.Errorf("correctness violated at n=%d seed=%d", n, s+1)
+						}
+					}
+					rounds := meanMetric(reports, func(r *scenario.Report) float64 { return float64(r.Metrics.Rounds) })
+					bits := meanMetric(reports, func(r *scenario.Report) float64 { return float64(r.Metrics.Bits) })
+					return fmt.Sprintf("| %d | %d | %.1f | %.2f | %.1f | %.1f |",
+						n, t, rounds, rounds/float64(t), bits, bits/float64(n)), nil
+				}
 			}
 			return []Section{{
 				Header: "| n | t | rounds | rounds/t | bits | bits/n |",
@@ -578,6 +633,33 @@ func e11() Experiment {
 						float64(flood.Metrics.Bits)/float64(algo.Metrics.Bits),
 						float64(coord.Metrics.Bits)/float64(algo.Metrics.Bits)), nil
 				}}
+				pts[i].RunN = func(seeds int) (string, error) {
+					series := seedRange(seeds)
+					runN := func(name string) (float64, error) {
+						// The flooding comparator rides the bit-sliced
+						// engine, 64 seeds per machine word; the other
+						// stacks take RunSeeds' scalar fallback.
+						reports, err := runSeedsMean(scenario.MustLookup(name).Spec(n, t, 1), series)
+						if err != nil {
+							return 0, err
+						}
+						return meanMetric(reports, func(r *scenario.Report) float64 { return float64(r.Metrics.Bits) }), nil
+					}
+					algo, err := runN("consensus/few-crashes")
+					if err != nil {
+						return "", err
+					}
+					flood, err := runN("consensus/flooding")
+					if err != nil {
+						return "", err
+					}
+					coord, err := runN("consensus/rotating-coordinator")
+					if err != nil {
+						return "", err
+					}
+					return fmt.Sprintf("| %d | %d | %.1f | %.1f | %.1f | %.2f | %.2f |",
+						n, t, algo, flood, coord, flood/algo, coord/algo), nil
+				}
 			}
 			return []Section{{
 				Header: "| n | t | few-crashes bits | flooding bits | coordinator bits | flood/algo | coord/algo |",

@@ -1,0 +1,122 @@
+package scenario
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+)
+
+// sameOutcome pins a batch result against its scalar counterpart:
+// identical report (DeepEqual) and identical error text.
+func sameOutcome(t *testing.T, tag string, wantRep *Report, wantErr error, gotRep *Report, gotErr error) {
+	t.Helper()
+	if (wantErr == nil) != (gotErr == nil) ||
+		(wantErr != nil && wantErr.Error() != gotErr.Error()) {
+		t.Fatalf("%s: error diverged:\nscalar %v\nbatch  %v", tag, wantErr, gotErr)
+	}
+	if !reflect.DeepEqual(wantRep, gotRep) {
+		t.Fatalf("%s: report diverged:\nscalar %+v\nbatch  %+v", tag, wantRep, gotRep)
+	}
+}
+
+// TestExecuteBatchMatchesScalarAcrossRegistry runs every registry row —
+// protocol stacks, the E12 fault rows, the E13 chaos rows — under
+// several seeds through one mixed ExecuteBatch call and pins every
+// report byte-identical to the scalar Runner. The flooding rows ride
+// the sliced engine; everything else takes the scalar fallback inside
+// the same batch.
+func TestExecuteBatchMatchesScalarAcrossRegistry(t *testing.T) {
+	var specs []Spec
+	var tags []string
+	for _, d := range All() {
+		n, tt := 50, 8
+		if d.Problem == ByzantineConsensus {
+			tt = 4
+		}
+		for seed := uint64(1); seed <= 3; seed++ {
+			specs = append(specs, d.Spec(n, tt, seed))
+			tags = append(tags, fmt.Sprintf("%s seed=%d", d.Name, seed))
+		}
+	}
+	reports, errs := ExecuteBatch(specs)
+	if len(reports) != len(specs) || len(errs) != len(specs) {
+		t.Fatalf("batch returned %d reports / %d errors for %d specs", len(reports), len(errs), len(specs))
+	}
+	for i, sp := range specs {
+		wantRep, wantErr := Run(sp)
+		sameOutcome(t, tags[i], wantRep, wantErr, reports[i], errs[i])
+	}
+}
+
+// TestRunSeedsMatchesScalarPerLane pins the genuinely sliced path at
+// full width: the flooding comparator under every sliceable fault
+// model, 64 seeds per model, each lane byte-identical to its scalar
+// run. The per-seed adversaries genuinely differ (random crashes,
+// omission patterns, delays), so the lanes diverge in crash sets,
+// message counts and rounds while staying pinned.
+func TestRunSeedsMatchesScalarPerLane(t *testing.T) {
+	const n, tt = 48, 8
+	faults := []FaultModel{
+		{Kind: NoFailures},
+		{Kind: CrashSchedule, Schedule: []CrashEvent{
+			{Node: 0, Round: 0, Keep: 0},
+			{Node: 5, Round: 1, Keep: 2},
+			{Node: 9, Round: 3, Keep: -1},
+		}},
+		{Kind: RandomCrashes, Count: tt, Horizon: tt + 2},
+		{Kind: CascadeCrashes, Count: tt, Keep: 1},
+		{Kind: TargetLittleCrashes, Count: tt},
+		{Kind: OmissionFaults, Rate: 0.15},
+		{Kind: PartitionWindow, WindowStart: 1, WindowEnd: 3},
+		{Kind: DelayedLinks, Delay: 2},
+	}
+	base := MustLookup("consensus/flooding").Spec(n, tt, 1)
+	for _, f := range faults {
+		f := f
+		t.Run(f.Kind.String(), func(t *testing.T) {
+			sp := base
+			sp.Fault = f
+			if !sliceable(sp) {
+				t.Fatalf("flooding under %v must be sliceable", f.Kind)
+			}
+			seeds := make([]uint64, 64)
+			for i := range seeds {
+				seeds[i] = uint64(i + 1)
+			}
+			reports, errs := RunSeeds(sp, seeds)
+			for i, seed := range seeds {
+				lane := sp
+				lane.Seed = seed
+				wantRep, wantErr := Run(lane)
+				sameOutcome(t, fmt.Sprintf("seed %d", seed), wantRep, wantErr, reports[i], errs[i])
+			}
+		})
+	}
+}
+
+// TestRunSeedsSingleSeed pins the degenerate batch: one seed through
+// RunSeeds is exactly Run.
+func TestRunSeedsSingleSeed(t *testing.T) {
+	sp := MustLookup("consensus/flooding").Spec(30, 5, 7)
+	sp.Fault = FaultModel{Kind: RandomCrashes, Count: 5, Horizon: 7}
+	reports, errs := RunSeeds(sp, []uint64{7})
+	wantRep, wantErr := Run(sp)
+	sameOutcome(t, "seeds=1", wantRep, wantErr, reports[0], errs[0])
+}
+
+// TestExecuteBatchInvalidSpec: a spec that fails Run's preconditions
+// must surface Run's exact error from the batch, not a batch-specific
+// one.
+func TestExecuteBatchInvalidSpec(t *testing.T) {
+	good := MustLookup("consensus/flooding").Spec(24, 4, 1)
+	bad := good
+	bad.Fault = FaultModel{Kind: DelayedLinks, Delay: -1}
+	reports, errs := ExecuteBatch([]Spec{good, bad})
+	if errs[0] != nil || reports[0] == nil {
+		t.Fatalf("good spec failed: %v", errs[0])
+	}
+	_, wantErr := Run(bad)
+	if wantErr == nil || errs[1] == nil || wantErr.Error() != errs[1].Error() {
+		t.Fatalf("bad spec error diverged: scalar %v, batch %v", wantErr, errs[1])
+	}
+}

@@ -17,6 +17,9 @@ import "runtime"
 // Runtime; use Result.Clone to keep one.
 type Runtime struct {
 	st *state
+	// sl holds the bit-sliced engine's arena (sliced.go), created on
+	// the first RunSliced and recycled across sliced runs.
+	sl *slicedState
 	// slot holds the persistent worker pool, created on the first
 	// RunParallel and kept across runs (workers stay parked on their
 	// job channels between runs). The indirection exists for the

@@ -363,6 +363,316 @@ func referenceRun(cfg Config) (*Result, error) {
 	return nil, ErrNoTermination
 }
 
+// --- Bit-sliced engine equivalence -----------------------------------
+//
+// The sliced engine must reproduce, per lane, exactly the Result the
+// scalar engine produces for that lane's fault layer. The protocol
+// under test is a self-contained flooding machine (a mirror of
+// consensus.Flooding, re-stated here because package sim cannot import
+// internal/consensus): scalar consFlood per node, lane-parallel
+// wordFlood for the sliced engine.
+
+type consFlood struct {
+	id, n, t  int
+	candidate bool
+	pending   bool
+	flooded   bool
+	decided   bool
+	decision  bool
+	halted    bool
+	out       []Envelope
+}
+
+func (f *consFlood) Send(round int) []Envelope {
+	if round >= f.t+2 || !f.pending || f.flooded {
+		return nil
+	}
+	f.pending = false
+	f.flooded = true
+	f.out = f.out[:0]
+	for to := 0; to < f.n; to++ {
+		if to != f.id {
+			f.out = append(f.out, Envelope{From: f.id, To: to, Payload: Bit(true)})
+		}
+	}
+	return f.out
+}
+
+func (f *consFlood) Deliver(round int, inbox []Envelope) {
+	if !f.candidate {
+		for _, env := range inbox {
+			if b, ok := env.Payload.(Bit); ok && bool(b) {
+				f.candidate = true
+				f.pending = true
+				break
+			}
+		}
+	}
+	if round == f.t+1 {
+		f.decided = true
+		f.decision = f.candidate
+		f.halted = true
+	}
+}
+
+func (f *consFlood) Halted() bool { return f.halted }
+
+// wordFlood is the lane-parallel mirror of consFlood.
+type wordFlood struct {
+	n, t int
+	all  uint64
+
+	candidate []uint64
+	pending   []uint64
+	flooded   []uint64
+	decided   []uint64
+	decision  []uint64
+	halted    []uint64
+}
+
+func newWordFlood(n, t, lanes int, inputs []bool) *wordFlood {
+	w := &wordFlood{
+		n: n, t: t, all: bitset.LaneMask(lanes),
+		candidate: make([]uint64, n),
+		pending:   make([]uint64, n),
+		flooded:   make([]uint64, n),
+		decided:   make([]uint64, n),
+		decision:  make([]uint64, n),
+		halted:    make([]uint64, n),
+	}
+	for i, in := range inputs {
+		if in {
+			w.candidate[i] = w.all
+			w.pending[i] = w.all
+		}
+	}
+	return w
+}
+
+func (w *wordFlood) N() int { return w.n }
+
+func (w *wordFlood) SlicedSend(round, node int, active uint64, out []SlicedMsg) ([]SlicedMsg, uint64) {
+	if round >= w.t+2 {
+		return out, 0
+	}
+	m := w.pending[node] &^ w.flooded[node] & active
+	if m == 0 {
+		return out, 0
+	}
+	w.pending[node] &^= m
+	w.flooded[node] |= m
+	for to := 0; to < w.n; to++ {
+		if to != node {
+			out = append(out, SlicedMsg{From: int32(node), To: int32(to), Lanes: m, Bits: m})
+		}
+	}
+	return out, 0
+}
+
+func (w *wordFlood) SlicedDeliver(round, node int, active uint64, inbox []SlicedMsg) uint64 {
+	var got uint64
+	for i := range inbox {
+		got |= inbox[i].Lanes & inbox[i].Bits
+	}
+	if x := got &^ w.candidate[node] & active; x != 0 {
+		w.candidate[node] |= x
+		w.pending[node] |= x
+	}
+	if round == w.t+1 {
+		w.decided[node] |= active
+		w.decision[node] = w.decision[node]&^active | w.candidate[node]&active
+		w.halted[node] |= active
+	}
+	return 0
+}
+
+func (w *wordFlood) HaltedLanes(node int) uint64 { return w.halted[node] }
+
+// planCrash is a declarative crash schedule implementing both sides of
+// the sliced contract: FilterSend for the scalar engine, CrashEvents
+// for the sliced one. At most one event per node.
+type planCrash struct{ events []CrashEvent }
+
+func (p planCrash) FilterSend(round int, from NodeID, out []Envelope) ([]Envelope, bool) {
+	for _, e := range p.events {
+		if e.Node == from && e.Round == round {
+			if e.Keep < 0 || e.Keep >= len(out) {
+				return out, true
+			}
+			return out[:e.Keep], true
+		}
+	}
+	return out, false
+}
+
+func (p planCrash) CrashEvents() []CrashEvent { return p.events }
+
+// hashLink is a stateless drop/delay filter (the fuzzLink hash) that
+// embeds NoFailures, inheriting the empty CrashEvents declaration the
+// way internal/link's models do.
+type hashLink struct {
+	NoFailures
+	d    int
+	seed uint64
+}
+
+func (h hashLink) FilterLink(round int, env Envelope) Verdict {
+	x := h.seed
+	x ^= uint64(round) * 0x9e3779b97f4a7c15
+	x ^= uint64(env.From) * 0xbf58476d1ce4e5b9
+	x ^= uint64(env.To) * 0x94d049bb133111eb
+	x ^= uint64(env.Payload.SizeBits()) * 0xd6e8feb86659fd93
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	switch p := x % 100; {
+	case p < 12:
+		return Drop
+	case p < 35:
+		return DelayBy(1 + int((x>>32)%uint64(h.d)))
+	default:
+		return Deliver
+	}
+}
+
+func (h hashLink) MaxDelay() int { return h.d }
+
+// planCrashLink combines the declarative crash schedule with the
+// stateless link filter — the full sliceable fault surface at once.
+type planCrashLink struct {
+	planCrash
+	link hashLink
+}
+
+func (p planCrashLink) FilterLink(round int, env Envelope) Verdict {
+	return p.link.FilterLink(round, env)
+}
+
+func (p planCrashLink) MaxDelay() int { return p.link.d }
+
+// laneCrashEvents builds a per-lane crash schedule: f distinct nodes,
+// random rounds within the horizon, keeps in {-1, 0, 1, 2}.
+func laneCrashEvents(n, f, horizon int, seed uint64) []CrashEvent {
+	r := rng.New(seed)
+	seen := make(map[NodeID]bool, f)
+	events := make([]CrashEvent, 0, f)
+	for len(events) < f {
+		node := r.Intn(n)
+		if seen[node] {
+			continue
+		}
+		seen[node] = true
+		events = append(events, CrashEvent{Node: node, Round: r.Intn(horizon), Keep: r.Intn(4) - 1})
+	}
+	return events
+}
+
+// compareLane pins one sliced lane against the scalar engine's Result
+// for the same fault layer.
+func compareLane(t *testing.T, tag string, want *Result, lane *LaneResult, nodes []*consFlood, w *wordFlood, laneBit uint64) {
+	t.Helper()
+	if lane.Escaped {
+		t.Fatalf("%s: lane unexpectedly escaped", tag)
+	}
+	if lane.Err != nil {
+		t.Fatalf("%s: lane error: %v", tag, lane.Err)
+	}
+	if !reflect.DeepEqual(want.Metrics, lane.Metrics) {
+		t.Fatalf("%s: metrics diverged:\nscalar %+v\nsliced %+v", tag, want.Metrics, lane.Metrics)
+	}
+	if !want.Crashed.Equal(lane.Crashed) {
+		t.Fatalf("%s: crash sets diverged: %v vs %v", tag, want.Crashed.Elements(), lane.Crashed.Elements())
+	}
+	if !reflect.DeepEqual(want.HaltedAt, lane.HaltedAt) {
+		t.Fatalf("%s: HaltedAt diverged:\nscalar %v\nsliced %v", tag, want.HaltedAt, lane.HaltedAt)
+	}
+	for i, fn := range nodes {
+		if fn.decided != (w.decided[i]&laneBit != 0) {
+			t.Fatalf("%s: node %d decided diverged", tag, i)
+		}
+		if fn.decided && fn.decision != (w.decision[i]&laneBit != 0) {
+			t.Fatalf("%s: node %d decision diverged", tag, i)
+		}
+	}
+}
+
+// TestSlicedEngineMatchesScalarPerLane pins the sliced engine against
+// the scalar engine lane by lane at full width (64 lanes), across the
+// sliceable fault surface: fault-free lanes, per-lane crash schedules
+// (including an all-nodes-crash lane, so lanes settle in different
+// rounds), per-lane stateless link filters, and both combined.
+func TestSlicedEngineMatchesScalarPerLane(t *testing.T) {
+	const n, tBound, lanes = 48, 8, 64
+	horizon := tBound + 2
+	maxRounds := horizon + 8
+	inputs := make([]bool, n)
+	for i := range inputs {
+		inputs[i] = i%3 == 0
+	}
+
+	// laneFault builds lane's fault layer: a rotating mix of no fault,
+	// crash schedule, link filter, and crash+link. Lane 7 crashes every
+	// node at round 2 — the divergence lane that settles early.
+	laneFault := func(lane int) LinkFault {
+		seed := uint64(1000 + lane*37)
+		if lane == 7 {
+			events := make([]CrashEvent, n)
+			for i := range events {
+				events[i] = CrashEvent{Node: i, Round: 2, Keep: -1}
+			}
+			return planCrash{events: events}
+		}
+		switch lane % 4 {
+		case 0:
+			return nil
+		case 1:
+			return planCrash{events: laneCrashEvents(n, n/6, horizon, seed)}
+		case 2:
+			return hashLink{d: 3, seed: seed}
+		default:
+			return planCrashLink{
+				planCrash: planCrash{events: laneCrashEvents(n, n/6, horizon, seed)},
+				link:      hashLink{d: 2, seed: seed + 5},
+			}
+		}
+	}
+
+	faults := make([]LinkFault, lanes)
+	for lane := range faults {
+		faults[lane] = laneFault(lane)
+	}
+	w := newWordFlood(n, tBound, lanes, inputs)
+	sliced, err := RunSliced(SlicedConfig{System: w, Lanes: lanes, MaxRounds: maxRounds, Faults: faults})
+	if err != nil {
+		t.Fatalf("sliced run: %v", err)
+	}
+
+	var settleRounds []int
+	for lane := 0; lane < lanes; lane++ {
+		nodes := make([]*consFlood, n)
+		ps := make([]Protocol, n)
+		for i := range ps {
+			nodes[i] = &consFlood{id: i, n: n, t: tBound, candidate: inputs[i], pending: inputs[i]}
+			ps[i] = nodes[i]
+		}
+		want, err := Run(Config{Protocols: ps, Fault: laneFault(lane), MaxRounds: maxRounds})
+		if err != nil {
+			t.Fatalf("lane %d: scalar run: %v", lane, err)
+		}
+		compareLane(t, fmt.Sprintf("lane %d", lane), want, &sliced.Lanes[lane], nodes, w, uint64(1)<<lane)
+		settleRounds = append(settleRounds, sliced.Lanes[lane].Metrics.Rounds)
+	}
+
+	// The divergence lane must have settled strictly earlier than the
+	// fault-free lanes (all nodes crashed at round 2 → 3 rounds).
+	if settleRounds[7] != 3 {
+		t.Fatalf("divergence lane settled at %d rounds, want 3", settleRounds[7])
+	}
+	if settleRounds[0] != horizon {
+		t.Fatalf("fault-free lane settled at %d rounds, want %d", settleRounds[0], horizon)
+	}
+}
+
 type equivCase struct {
 	name       string
 	singlePort bool
