@@ -54,6 +54,7 @@ func run(args []string) error {
 		list     = fs.Bool("list", false, "list the registered scenarios and fault models, then exit")
 		faultArg = fs.String("fault", "", "fault model, kind[:key=value,...] (see -list); overrides -crashes")
 		jsonOut  = fs.Bool("json", false, "emit the run as the {key, report} JSON envelope linearsimd serves")
+		implicit = fs.Bool("implicit", false, "generate the overlay topology on the fly from a seeded shift construction instead of materializing it (implicit-capable scenarios only, see -list)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -82,19 +83,33 @@ func run(args []string) error {
 
 	switch *problem {
 	case "consensus":
-		return runConsensus(*algo, *n, *t, *ones, *baseline, *seed, fault, *jsonOut)
+		return runConsensus(*algo, *n, *t, *ones, *baseline, *seed, fault, *jsonOut, *implicit)
 	case "gossip":
-		return runGossip(*n, *t, *baseline, *seed, fault, *jsonOut)
+		return runGossip(*n, *t, *baseline, *seed, fault, *jsonOut, *implicit)
 	case "checkpoint":
-		return runCheckpoint(*n, *t, *baseline, *seed, fault, *jsonOut)
+		return runCheckpoint(*n, *t, *baseline, *seed, fault, *jsonOut, *implicit)
 	case "byzantine":
 		if *faultArg != "" {
 			return fmt.Errorf("the byzantine problem configures its faults with -byz/-byzcount, not -fault")
 		}
-		return runByzantine(*n, *t, *byz, *byzCount, *baseline, *seed, *jsonOut)
+		return runByzantine(*n, *t, *byz, *byzCount, *baseline, *seed, *jsonOut, *implicit)
 	default:
 		return fmt.Errorf("unknown problem %q", *problem)
 	}
+}
+
+// applyImplicit switches a spec to the implicit shift topology, or
+// explains why the scenario cannot run implicitly.
+func applyImplicit(def scenario.Definition, sp *scenario.Spec, implicit bool) error {
+	if !implicit {
+		return nil
+	}
+	if !def.SupportsImplicit() {
+		return fmt.Errorf("scenario %s does not support implicit topologies (see -list)", def.Name)
+	}
+	sp.Topology = scenario.TopologyShift
+	sp.Implicit = true
+	return nil
 }
 
 // printJSON emits the run in the exact envelope the daemon serves
@@ -113,10 +128,14 @@ func printJSON(sp scenario.Spec, r *scenario.Report) error {
 // listScenarios prints the scenario registry and the fault-model
 // kinds with their -fault spellings.
 func listScenarios() error {
-	fmt.Println("scenarios:")
+	fmt.Println("scenarios ([implicit] = supports -implicit on-the-fly topologies):")
 	for _, name := range scenario.Names() {
 		d := scenario.MustLookup(name)
-		fmt.Printf("  %-34s %s\n", d.Name, d.About)
+		tag := ""
+		if d.SupportsImplicit() {
+			tag = "  [implicit]"
+		}
+		fmt.Printf("  %-34s %s%s\n", d.Name, d.About, tag)
 	}
 	fmt.Println("\nfault models (-fault kind[:key=value,...]):")
 	for _, u := range scenario.FaultUsages() {
@@ -138,13 +157,16 @@ func scenarioForAlgorithm(name string, baseline bool) (scenario.Definition, erro
 	}
 }
 
-func runConsensus(algoName string, n, t, ones int, baseline bool, seed uint64, fault scenario.FaultModel, jsonOut bool) error {
+func runConsensus(algoName string, n, t, ones int, baseline bool, seed uint64, fault scenario.FaultModel, jsonOut, implicit bool) error {
 	def, err := scenarioForAlgorithm(algoName, baseline)
 	if err != nil {
 		return err
 	}
 	sp := def.Spec(n, t, seed)
 	sp.Fault = fault
+	if err := applyImplicit(def, &sp, implicit); err != nil {
+		return err
+	}
 	if ones >= 0 {
 		inputs := make([]bool, n)
 		for i := range inputs {
@@ -166,13 +188,17 @@ func runConsensus(algoName string, n, t, ones int, baseline bool, seed uint64, f
 	return nil
 }
 
-func runGossip(n, t int, baseline bool, seed uint64, fault scenario.FaultModel, jsonOut bool) error {
+func runGossip(n, t int, baseline bool, seed uint64, fault scenario.FaultModel, jsonOut, implicit bool) error {
 	name, kind := "gossip/expander", "gossip(§5)"
 	if baseline {
 		name, kind = "gossip/all-to-all", "gossip(all-to-all)"
 	}
-	sp := scenario.MustLookup(name).Spec(n, t, seed)
+	def := scenario.MustLookup(name)
+	sp := def.Spec(n, t, seed)
 	sp.Fault = fault
+	if err := applyImplicit(def, &sp, implicit); err != nil {
+		return err
+	}
 	rumors := make([]uint64, n)
 	for i := range rumors {
 		rumors[i] = uint64(1000 + i)
@@ -192,13 +218,17 @@ func runGossip(n, t int, baseline bool, seed uint64, fault scenario.FaultModel, 
 	return nil
 }
 
-func runCheckpoint(n, t int, baseline bool, seed uint64, fault scenario.FaultModel, jsonOut bool) error {
+func runCheckpoint(n, t int, baseline bool, seed uint64, fault scenario.FaultModel, jsonOut, implicit bool) error {
 	name, kind := "checkpoint/expander", "checkpoint(§6)"
 	if baseline {
 		name, kind = "checkpoint/direct", "checkpoint(direct)"
 	}
-	sp := scenario.MustLookup(name).Spec(n, t, seed)
+	def := scenario.MustLookup(name)
+	sp := def.Spec(n, t, seed)
 	sp.Fault = fault
+	if err := applyImplicit(def, &sp, implicit); err != nil {
+		return err
+	}
 	r, err := scenario.Run(sp)
 	if err != nil {
 		return err
@@ -213,7 +243,7 @@ func runCheckpoint(n, t int, baseline bool, seed uint64, fault scenario.FaultMod
 	return nil
 }
 
-func runByzantine(n, t int, strategy string, count int, baseline bool, seed uint64, jsonOut bool) error {
+func runByzantine(n, t int, strategy string, count int, baseline bool, seed uint64, jsonOut, implicit bool) error {
 	var strat scenario.ByzantineStrategy
 	switch strategy {
 	case "silence":
@@ -236,7 +266,11 @@ func runByzantine(n, t int, strategy string, count int, baseline bool, seed uint
 	if baseline {
 		name, kind = "byzantine/dolev-strong-all", "dolev-strong-all"
 	}
-	sp := scenario.MustLookup(name).Spec(n, t, seed)
+	def := scenario.MustLookup(name)
+	sp := def.Spec(n, t, seed)
+	if err := applyImplicit(def, &sp, implicit); err != nil {
+		return err
+	}
 	inputs := make([]uint64, n)
 	for i := range inputs {
 		inputs[i] = uint64(100 + i)

@@ -126,7 +126,7 @@ func (a *ABConsensus) Send(round int) []sim.Envelope {
 			return nil
 		}
 		a.forward = false
-		return a.toAll(c.Broadcast.G.Neighbors(a.id), a.set)
+		return a.toAll(c.Broadcast.Neighbors(a.id), a.set)
 
 	case round < c.part4End: // Part 4: inquiry then response
 		if round == c.part3End { // inquiry round

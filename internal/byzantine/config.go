@@ -42,6 +42,13 @@ type Config struct {
 // NewConfig builds the system configuration for n nodes, at most t
 // authenticated-Byzantine faults, t < n/2.
 func NewConfig(n, t int, seed uint64) (*Config, error) {
+	return NewConfigMode(n, t, seed, expander.Mode{})
+}
+
+// NewConfigMode is NewConfig with an explicit overlay construction
+// mode (family and implicit/materialized choice) for the broadcast
+// expander H.
+func NewConfigMode(n, t int, seed uint64, mode expander.Mode) (*Config, error) {
 	if n < 2 {
 		return nil, fmt.Errorf("byzantine: need n ≥ 2, got %d", n)
 	}
@@ -59,7 +66,7 @@ func NewConfig(n, t int, seed uint64) (*Config, error) {
 	if endorse < 1 {
 		endorse = 1
 	}
-	h, err := expander.NewBroadcastGraph(n, seed+21)
+	h, err := expander.NewBroadcastGraphMode(n, seed+21, mode)
 	if err != nil {
 		return nil, err
 	}

@@ -61,7 +61,7 @@ func NewAEA(id int, top *Topology, input bool, base int, standalone bool) *AEA {
 	a.p2End = a.p1End + top.Little.P.Gamma
 	a.p3End = a.p2End + 1
 	if top.IsLittle(id) {
-		a.probing = probe.New(top.Little.G.Neighbors(id), top.Little.P.Gamma, top.Little.P.Delta)
+		a.probing = probe.New(top.Little.Neighbors(id), top.Little.P.Gamma, top.Little.P.Delta)
 	}
 	return a
 }
@@ -99,7 +99,7 @@ func (a *AEA) sendPart1(round int) []sim.Envelope {
 	if (first && a.candidate && !a.flooded) || a.pending {
 		a.flooded = true
 		a.pending = false
-		nbrs := a.top.Little.G.Neighbors(a.id)
+		nbrs := a.top.Little.Neighbors(a.id)
 		out := make([]sim.Envelope, 0, len(nbrs))
 		for _, to := range nbrs {
 			out = append(out, sim.Envelope{From: a.id, To: to, Payload: sim.Bit(true)})

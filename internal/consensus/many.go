@@ -38,7 +38,7 @@ func NewManyTopology(n, t int, opts TopologyOptions) (*ManyTopology, error) {
 			d = n - 1
 		}
 	}
-	overlay, err := expander.New(n, expander.Options{Degree: d, Seed: opts.Seed + 11})
+	overlay, err := expander.New(n, expander.Options{Degree: d, Seed: opts.Seed + 11, Family: opts.Mode.Family, Implicit: opts.Mode.Implicit})
 	if err != nil {
 		return nil, fmt.Errorf("many-crashes overlay: %w", err)
 	}
@@ -47,7 +47,7 @@ func NewManyTopology(n, t int, opts TopologyOptions) (*ManyTopology, error) {
 		T:       t,
 		Alpha:   alpha,
 		Overlay: overlay,
-		Inquiry: expander.NewInquiryFamily(n, 8, opts.Seed+13),
+		Inquiry: expander.NewInquiryFamily(n, 8, opts.Seed+13).WithMode(opts.Mode),
 	}, nil
 }
 
@@ -118,7 +118,7 @@ func NewManyCrashes(id int, top *ManyTopology, input bool) *ManyCrashes {
 	gamma := top.Overlay.P.Gamma // 2 + ⌈lg n⌉
 	m.p2End = m.p1End + gamma
 	m.p3End = m.p2End + 2*top.inquiryPhases()
-	m.probing = probe.New(top.Overlay.G.Neighbors(id), gamma, top.Overlay.P.Delta)
+	m.probing = probe.New(top.Overlay.Neighbors(id), gamma, top.Overlay.P.Delta)
 	return m
 }
 
@@ -139,7 +139,7 @@ func (m *ManyCrashes) Send(round int) []sim.Envelope {
 		if (first && m.candidate && !m.flooded) || m.pending {
 			m.flooded = true
 			m.pending = false
-			nbrs := m.top.Overlay.G.Neighbors(m.id)
+			nbrs := m.top.Overlay.Neighbors(m.id)
 			out := make([]sim.Envelope, 0, len(nbrs))
 			for _, to := range nbrs {
 				out = append(out, sim.Envelope{From: m.id, To: to, Payload: sim.Bit(true)})
@@ -165,7 +165,7 @@ func (m *ManyCrashes) Send(round int) []sim.Envelope {
 			if err != nil {
 				panic("consensus: inquiry overlay unavailable: " + err.Error())
 			}
-			nbrs := overlay.G.Neighbors(m.id)
+			nbrs := overlay.Neighbors(m.id)
 			out := make([]sim.Envelope, 0, len(nbrs))
 			for _, to := range nbrs {
 				out = append(out, sim.Envelope{From: m.id, To: to, Payload: sim.Inquiry{}})

@@ -86,7 +86,7 @@ func (s *SCV) inquiryTargets(phase int) []int {
 		// failure here means the topology itself is unusable.
 		panic("consensus: inquiry overlay unavailable: " + err.Error())
 	}
-	return overlay.G.Neighbors(s.id)
+	return overlay.Neighbors(s.id)
 }
 
 // Send implements sim.Protocol.
@@ -99,7 +99,7 @@ func (s *SCV) Send(round int) []sim.Envelope {
 			return nil
 		}
 		s.adopted = false
-		nbrs := s.top.Broadcast.G.Neighbors(s.id)
+		nbrs := s.top.Broadcast.Neighbors(s.id)
 		out := make([]sim.Envelope, 0, len(nbrs))
 		for _, to := range nbrs {
 			out = append(out, sim.Envelope{From: s.id, To: to, Payload: sim.Bit(s.value)})

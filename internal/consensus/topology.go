@@ -36,10 +36,15 @@ type Topology struct {
 // TopologyOptions tunes topology construction.
 type TopologyOptions struct {
 	// Seed derives every overlay deterministically. Two topologies
-	// with equal (N, T, Seed, Degree) are identical.
+	// with equal (N, T, Seed, Degree, Mode) are identical.
 	Seed uint64
 	// Degree overrides the little-overlay degree (0 = default).
 	Degree int
+	// Mode selects the overlay construction family and whether the
+	// overlays stay implicit (neighborhoods recomputed on demand
+	// instead of materialized); it applies to every overlay of the
+	// topology.
+	Mode expander.Mode
 }
 
 // NewTopology constructs the shared overlays for n nodes and crash
@@ -58,11 +63,11 @@ func NewTopology(n, t int, opts TopologyOptions) (*Topology, error) {
 	if l > n {
 		l = n
 	}
-	little, err := expander.New(l, expander.Options{Degree: opts.Degree, Seed: opts.Seed + 1})
+	little, err := expander.New(l, expander.Options{Degree: opts.Degree, Seed: opts.Seed + 1, Family: opts.Mode.Family, Implicit: opts.Mode.Implicit})
 	if err != nil {
 		return nil, fmt.Errorf("little overlay: %w", err)
 	}
-	h, err := expander.NewBroadcastGraph(n, opts.Seed+2)
+	h, err := expander.NewBroadcastGraphMode(n, opts.Seed+2, opts.Mode)
 	if err != nil {
 		return nil, err
 	}
@@ -72,7 +77,7 @@ func NewTopology(n, t int, opts TopologyOptions) (*Topology, error) {
 		L:         l,
 		Little:    little,
 		Broadcast: h,
-		Inquiry:   expander.NewInquiryFamily(n, 8, opts.Seed+3),
+		Inquiry:   expander.NewInquiryFamily(n, 8, opts.Seed+3).WithMode(opts.Mode),
 	}, nil
 }
 

@@ -82,7 +82,7 @@ func NewVectorFewCrashes(id int, top *Topology, initial *bitset.Set) *VectorFewC
 	v.phases = top.scvInquiryPhases()
 	v.endRound = v.scvP1End + 2*(v.phases+1)
 	if top.IsLittle(id) {
-		v.probing = probe.New(top.Little.G.Neighbors(id), top.Little.P.Gamma, top.Little.P.Delta)
+		v.probing = probe.New(top.Little.Neighbors(id), top.Little.P.Gamma, top.Little.P.Delta)
 	}
 	return v
 }
@@ -104,7 +104,7 @@ func (v *VectorFewCrashes) Send(round int) []sim.Envelope {
 			return nil
 		}
 		v.pending = false
-		nbrs := v.top.Little.G.Neighbors(v.id)
+		nbrs := v.top.Little.Neighbors(v.id)
 		payload := VectorPayload{Set: v.snapshot()}
 		out := make([]sim.Envelope, 0, len(nbrs))
 		for _, to := range nbrs {
@@ -141,7 +141,7 @@ func (v *VectorFewCrashes) Send(round int) []sim.Envelope {
 			return nil
 		}
 		v.pending = false
-		nbrs := v.top.Broadcast.G.Neighbors(v.id)
+		nbrs := v.top.Broadcast.Neighbors(v.id)
 		payload := VectorPayload{Set: v.decision}
 		out := make([]sim.Envelope, 0, len(nbrs))
 		for _, to := range nbrs {
@@ -191,7 +191,7 @@ func (v *VectorFewCrashes) inquiryTargets(phase int) []int {
 	if err != nil {
 		panic("consensus: inquiry overlay unavailable: " + err.Error())
 	}
-	return overlay.G.Neighbors(v.id)
+	return overlay.Neighbors(v.id)
 }
 
 // absorb ORs a received vector into the candidate, reporting growth.

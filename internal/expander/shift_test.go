@@ -1,0 +1,114 @@
+package expander
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"lineartime/internal/graph"
+)
+
+// Implicit and materialized shift overlays must be the same graph:
+// same seed, same generators, identical neighbor lists everywhere.
+func TestShiftImplicitMatchesMaterialized(t *testing.T) {
+	for _, n := range []int{50, 97, 256, 1000} {
+		mat, err := New(n, Options{Family: FamilyShift, Seed: 7})
+		if err != nil {
+			t.Fatalf("n=%d materialized: %v", n, err)
+		}
+		imp, err := New(n, Options{Family: FamilyShift, Implicit: true, Seed: 7})
+		if err != nil {
+			t.Fatalf("n=%d implicit: %v", n, err)
+		}
+		if mat.Implicit() {
+			t.Fatalf("n=%d: materialized overlay reports implicit", n)
+		}
+		if !imp.Implicit() {
+			t.Fatalf("n=%d: implicit overlay has a materialized graph", n)
+		}
+		if imp.Seed != mat.Seed || imp.P != mat.P {
+			t.Fatalf("n=%d: params diverge: %+v vs %+v", n, imp.P, mat.P)
+		}
+		if !(math.IsNaN(imp.Lambda) && math.IsNaN(mat.Lambda)) && imp.Lambda != mat.Lambda {
+			t.Fatalf("n=%d: lambda diverges: %v vs %v", n, imp.Lambda, mat.Lambda)
+		}
+		buf := make([]int, 0, imp.P.Degree)
+		for v := 0; v < n; v++ {
+			got := imp.AppendNeighbors(v, buf[:0])
+			want := mat.Neighbors(v)
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("n=%d v=%d: implicit %v vs materialized %v", n, v, got, want)
+			}
+			if nb := imp.Neighbors(v); !reflect.DeepEqual(nb, want) {
+				t.Fatalf("n=%d v=%d: Neighbors %v vs materialized %v", n, v, nb, want)
+			}
+		}
+		if g := graph.Materialize(imp.Neighborhood()); !g.IsConnected() {
+			t.Fatalf("n=%d: shift overlay disconnected", n)
+		}
+	}
+}
+
+func TestShiftLambdaRecordedSmallN(t *testing.T) {
+	o, err := New(500, Options{Family: FamilyShift, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.IsNaN(o.Lambda) || o.Lambda <= 0 || o.Lambda >= float64(o.P.Degree) {
+		t.Fatalf("small-n shift overlay lambda = %v, want exact value in (0, d)", o.Lambda)
+	}
+	big, err := New(lambdaExactCap+1, Options{Family: FamilyShift, Implicit: true, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsNaN(big.Lambda) {
+		t.Fatalf("large-n shift overlay lambda = %v, want NaN (not computed)", big.Lambda)
+	}
+}
+
+func TestImplicitRequiresShiftFamily(t *testing.T) {
+	if _, err := New(100, Options{Implicit: true, Seed: 1}); err == nil {
+		t.Fatal("implicit random-regular overlay accepted")
+	}
+}
+
+// Tiny instances degenerate to a materialized K_n in every mode.
+func TestImplicitTinyFallsBackToComplete(t *testing.T) {
+	o, err := New(5, Options{Family: FamilyShift, Implicit: true, Degree: 16, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.Implicit() || o.P.Degree != 4 {
+		t.Fatalf("tiny implicit overlay: implicit=%v d=%d, want materialized K_5", o.Implicit(), o.P.Degree)
+	}
+}
+
+// The inquiry family and broadcast graph must honor the mode.
+func TestFamilyModeThreading(t *testing.T) {
+	mode := Mode{Family: FamilyShift, Implicit: true}
+	h, err := NewBroadcastGraphMode(300, 9, mode)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !h.Implicit() {
+		t.Fatal("broadcast graph ignored implicit mode")
+	}
+	fam := NewInquiryFamily(300, 8, 9).WithMode(mode)
+	o, err := fam.Phase(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !o.Implicit() {
+		t.Fatal("inquiry family ignored implicit mode")
+	}
+	matFam := NewInquiryFamily(300, 8, 9).WithMode(Mode{Family: FamilyShift})
+	mo, err := matFam.Phase(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := 0; v < 300; v += 37 {
+		if !reflect.DeepEqual(o.Neighbors(v), mo.Neighbors(v)) {
+			t.Fatalf("phase-2 inquiry graph diverges at v=%d", v)
+		}
+	}
+}

@@ -55,7 +55,7 @@ func New(id int, top *consensus.Topology, rumor Rumor) *Gossip {
 	g.p1End = g.phases * g.phaseLen
 	g.p2End = 2 * g.p1End
 	if top.IsLittle(id) {
-		g.probing = probe.New(top.Little.G.Neighbors(id), gamma, top.Little.P.Delta)
+		g.probing = probe.New(top.Little.Neighbors(id), gamma, top.Little.P.Delta)
 		g.completion = make([]bool, top.N)
 		g.completion[id] = true
 	}
@@ -92,7 +92,7 @@ func (g *Gossip) overlayFor(phase int) []int {
 	if err != nil {
 		panic("gossip: inquiry overlay unavailable: " + err.Error())
 	}
-	return o.G.Neighbors(g.id)
+	return o.Neighbors(g.id)
 }
 
 // Send implements sim.Protocol.

@@ -1,0 +1,179 @@
+package scenario
+
+import (
+	"reflect"
+	"testing"
+)
+
+// implicitParitySize is the matrix size the parity suite pins: large
+// enough that every protocol schedule has non-trivial structure
+// (little committees, inquiry phases, partition windows), small
+// enough that 27 rows × 3 engines × 2 representations stays fast.
+const (
+	implicitParityN = 60
+	implicitParityT = 10
+)
+
+// TestImplicitParityRegistry pins the tentpole guarantee: for every
+// registry row that supports implicit topologies — including the
+// fault-bound rows and the campaign-found */chaos rows — a run whose
+// overlays are regenerated on the fly from the seeded shift
+// construction produces a Report byte-identical
+// (reflect.DeepEqual) to the same run with those overlays
+// materialized, on the sequential engine, the 4-phase parallel
+// engine, and the bit-sliced batch path.
+func TestImplicitParityRegistry(t *testing.T) {
+	for _, d := range All() {
+		if !d.SupportsImplicit() {
+			continue
+		}
+		d := d
+		t.Run(d.Name, func(t *testing.T) {
+			mat := d.Spec(implicitParityN, implicitParityT, 7)
+			mat.Topology = TopologyShift
+			imp := mat
+			imp.Implicit = true
+
+			want, err := Run(mat)
+			if err != nil {
+				t.Fatalf("materialized run: %v", err)
+			}
+			got, err := Run(imp)
+			if err != nil {
+				t.Fatalf("implicit run: %v", err)
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("sequential: implicit report differs from materialized\nimplicit:     %+v\nmaterialized: %+v", got, want)
+			}
+
+			if d.Port != SinglePort {
+				matP, impP := mat, imp
+				matP.Exec = Parallel(4)
+				impP.Exec = Parallel(4)
+				wantP, err := Run(matP)
+				if err != nil {
+					t.Fatalf("materialized parallel run: %v", err)
+				}
+				gotP, err := Run(impP)
+				if err != nil {
+					t.Fatalf("implicit parallel run: %v", err)
+				}
+				if !reflect.DeepEqual(gotP, wantP) {
+					t.Fatalf("parallel: implicit report differs from materialized")
+				}
+				if !reflect.DeepEqual(gotP, want) {
+					t.Fatalf("parallel implicit report differs from sequential materialized")
+				}
+			}
+
+			// Batch path: ExecuteBatch slices what it can and falls
+			// back to the scalar runner for the rest — either way the
+			// implicit/materialized pair must stay identical.
+			reps, errs := ExecuteBatch([]Spec{mat, imp})
+			for i, err := range errs {
+				if err != nil {
+					t.Fatalf("batch run %d: %v", i, err)
+				}
+			}
+			if !reflect.DeepEqual(reps[1], reps[0]) {
+				t.Fatalf("batch: implicit report differs from materialized")
+			}
+			if !reflect.DeepEqual(reps[0], want) {
+				t.Fatalf("batch materialized report differs from sequential run")
+			}
+		})
+	}
+}
+
+// TestImplicitImpliesShift pins the Implicit ⇒ shift-family
+// resolution: an implicit spec with the default topology kind runs
+// the identical construction as an explicit shift spec.
+func TestImplicitImpliesShift(t *testing.T) {
+	d := MustLookup("consensus/few-crashes")
+	a := d.Spec(60, 10, 3)
+	a.Implicit = true // Topology left at the default
+	b := d.Spec(60, 10, 3)
+	b.Topology = TopologyShift
+	b.Implicit = true
+	ra, err := Run(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, err := Run(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(ra, rb) {
+		t.Fatal("implicit-with-default-topology differs from explicit shift")
+	}
+}
+
+func TestUnknownTopologyRejected(t *testing.T) {
+	sp := MustLookup("consensus/few-crashes").Spec(60, 10, 3)
+	sp.Topology = "torus"
+	if _, err := Run(sp); err == nil {
+		t.Fatal("unknown topology family accepted")
+	}
+}
+
+// Shift-family specs must hash to different keys than default specs,
+// implicit to different keys than materialized, and default specs to
+// the exact keys they had before the fields existed (guarded by the
+// golden key test elsewhere; here we pin the non-default splits).
+func TestTopologyKeySeparation(t *testing.T) {
+	base := MustLookup("consensus/few-crashes").Spec(60, 10, 3)
+	shift := base
+	shift.Topology = TopologyShift
+	imp := shift
+	imp.Implicit = true
+	keys := map[string]string{
+		"default": base.Key(),
+		"shift":   shift.Key(),
+		"imp":     imp.Key(),
+	}
+	seen := map[string]string{}
+	for name, k := range keys {
+		if prev, dup := seen[k]; dup {
+			t.Fatalf("specs %q and %q share key %s", prev, name, k)
+		}
+		seen[k] = name
+	}
+}
+
+func TestSupportsImplicitMatrix(t *testing.T) {
+	want := map[string]bool{
+		"consensus/few-crashes":          true,
+		"consensus/many-crashes":         true,
+		"consensus/single-port":          true,
+		"consensus/flooding":             false,
+		"consensus/early-stopping":       false,
+		"consensus/rotating-coordinator": false,
+		"gossip/expander":                true,
+		"gossip/all-to-all":              false,
+		"checkpoint/expander":            true,
+		"checkpoint/direct":              false,
+		"byzantine/ab-consensus":         true,
+		"byzantine/dolev-strong-all":     true,
+		"aea/expander":                   true,
+		"scv/expander":                   true,
+		"majority/expander":              true,
+	}
+	for name, w := range want {
+		if got := MustLookup(name).SupportsImplicit(); got != w {
+			t.Errorf("%s: SupportsImplicit = %v, want %v", name, got, w)
+		}
+	}
+}
+
+func TestSetImplicitDefault(t *testing.T) {
+	SetImplicitDefault(true)
+	defer SetImplicitDefault(false)
+	sp := MustLookup("gossip/expander").Spec(60, 10, 3)
+	if !sp.Implicit || sp.Topology != TopologyShift {
+		t.Fatalf("implicit default ignored: %+v", sp)
+	}
+	flood := MustLookup("consensus/flooding").Spec(60, 10, 3)
+	if flood.Implicit || flood.Topology != TopologyRandomRegular {
+		t.Fatalf("implicit default applied to a non-overlay row: %+v", flood)
+	}
+}

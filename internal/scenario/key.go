@@ -49,6 +49,24 @@ func (sp Spec) Key() string {
 	for _, v := range sp.Values {
 		hashUint(h, v)
 	}
+	// The topology-family fields entered the spec after v1 keys were
+	// in the wild; hash them only when non-default, so every
+	// pre-existing spec keeps its exact key (a strict stream
+	// extension: the default encoding is byte-identical to before).
+	// Implicit is hashed even though it cannot change the Report —
+	// implicit runs are pinned byte-identical to materialized ones —
+	// because keys must never assert more equality than the encoding
+	// proves; collapsing the two costs one duplicate cache entry, not
+	// correctness.
+	if sp.Topology != TopologyRandomRegular || sp.Implicit {
+		hashString(h, "topology")
+		hashString(h, string(sp.Topology))
+		if sp.Implicit {
+			h.Write([]byte{1})
+		} else {
+			h.Write([]byte{0})
+		}
+	}
 	return "k1:" + hex.EncodeToString(h.Sum(nil))
 }
 

@@ -31,6 +31,37 @@ type Definition struct {
 	About string
 }
 
+// SupportsImplicit reports whether the definition's protocol stack
+// runs on expander overlays and can therefore opt into the implicit
+// (shift-family, unmaterialized) topology mode. The comparator
+// algorithms that talk to all n peers directly — flooding, rotating
+// coordinator, early stopping, all-to-all gossip, direct
+// checkpointing — build no overlay, so implicit mode has nothing to
+// make implicit there.
+func (d Definition) SupportsImplicit() bool {
+	switch d.Algorithm {
+	case FewCrashes, ManyCrashes, SinglePortLinear,
+		GossipExpander, CheckpointExpander,
+		ABConsensus, DolevStrongAll,
+		AEA, SCV, Majority:
+		return true
+	default:
+		return false
+	}
+}
+
+// implicitDefault, when set, makes Definition.Spec emit
+// implicit-topology specs for every row that supports them. It exists
+// for cmd/sweep, whose experiment tables enumerate specs inside
+// opaque Point closures: one process-wide switch set before the sweep
+// starts beats threading a flag through every closure. Set it before
+// launching workers; it is not synchronized.
+var implicitDefault bool
+
+// SetImplicitDefault toggles the process-wide implicit-topology
+// default consulted by Definition.Spec. Call before concurrent use.
+func SetImplicitDefault(on bool) { implicitDefault = on }
+
 // Spec materializes the definition at size (n, t) with the given seed:
 // canonical per-problem inputs, the definition's fault model (none for
 // the plain protocol stacks), sequential engine. Callers adjust the
@@ -46,6 +77,10 @@ func (d Definition) Spec(n, t int, seed uint64) Spec {
 		T:         t,
 		Seed:      seed,
 		Fault:     d.Fault,
+	}
+	if implicitDefault && d.SupportsImplicit() {
+		sp.Topology = TopologyShift
+		sp.Implicit = true
 	}
 	switch d.Problem {
 	case Consensus, AlmostEverywhere, MajorityVote:

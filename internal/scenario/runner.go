@@ -9,6 +9,7 @@ import (
 	"lineartime/internal/byzantine"
 	"lineartime/internal/checkpoint"
 	"lineartime/internal/consensus"
+	"lineartime/internal/expander"
 	"lineartime/internal/gossip"
 	"lineartime/internal/majority"
 	"lineartime/internal/sim"
@@ -66,6 +67,9 @@ type Runner struct{}
 func (Runner) Run(sp Spec) (*Report, error) {
 	if sp.N <= 0 {
 		return nil, fmt.Errorf("scenario: n=%d must be positive", sp.N)
+	}
+	if _, err := sp.topologyMode(); err != nil {
+		return nil, err
 	}
 	if err := sp.Fault.validate(sp); err != nil {
 		return nil, err
@@ -176,8 +180,48 @@ func materialize(sp Spec) (*system, error) {
 	}
 }
 
-func (sp Spec) topologyOptions() consensus.TopologyOptions {
-	return consensus.TopologyOptions{Seed: sp.Seed, Degree: sp.Degree}
+// topologyMode resolves the spec's Topology/Implicit fields into the
+// expander construction mode threaded through every overlay of the
+// run. Implicit implies the shift family — it is the only locally
+// computable one.
+func (sp Spec) topologyMode() (expander.Mode, error) {
+	switch sp.Topology {
+	case TopologyRandomRegular:
+		if sp.Implicit {
+			return expander.Mode{Family: expander.FamilyShift, Implicit: true}, nil
+		}
+		return expander.Mode{}, nil
+	case TopologyShift:
+		return expander.Mode{Family: expander.FamilyShift, Implicit: sp.Implicit}, nil
+	default:
+		return expander.Mode{}, fmt.Errorf("scenario: unknown topology family %q", sp.Topology)
+	}
+}
+
+func (sp Spec) topologyOptions() (consensus.TopologyOptions, error) {
+	mode, err := sp.topologyMode()
+	if err != nil {
+		return consensus.TopologyOptions{}, err
+	}
+	return consensus.TopologyOptions{Seed: sp.Seed, Degree: sp.Degree, Mode: mode}, nil
+}
+
+// newTopology builds the t < n/5 expander topology for the spec.
+func (sp Spec) newTopology(n, t int) (*consensus.Topology, error) {
+	opts, err := sp.topologyOptions()
+	if err != nil {
+		return nil, err
+	}
+	return consensus.NewTopology(n, t, opts)
+}
+
+// newManyTopology builds the any-t topology for the spec.
+func (sp Spec) newManyTopology(n, t int) (*consensus.ManyTopology, error) {
+	opts, err := sp.topologyOptions()
+	if err != nil {
+		return nil, err
+	}
+	return consensus.NewManyTopology(n, t, opts)
 }
 
 // boolDecider is the decision surface shared by the consensus
@@ -198,7 +242,7 @@ func materializeConsensus(sp Spec) (*system, error) {
 
 	switch sp.Algorithm {
 	case FewCrashes:
-		top, err := consensus.NewTopology(n, t, sp.topologyOptions())
+		top, err := sp.newTopology(n, t)
 		if err != nil {
 			return nil, err
 		}
@@ -209,7 +253,7 @@ func materializeConsensus(sp Spec) (*system, error) {
 			sys.schedule = m.ScheduleLength()
 		}
 	case ManyCrashes:
-		top, err := consensus.NewManyTopology(n, t, sp.topologyOptions())
+		top, err := sp.newManyTopology(n, t)
 		if err != nil {
 			return nil, err
 		}
@@ -225,7 +269,7 @@ func materializeConsensus(sp Spec) (*system, error) {
 			sys.schedule = m.ScheduleLength()
 		}
 	case SinglePortLinear:
-		top, err := consensus.NewTopology(n, t, sp.topologyOptions())
+		top, err := sp.newTopology(n, t)
 		if err != nil {
 			return nil, err
 		}
@@ -315,7 +359,7 @@ func materializeGossip(sp Spec) (*system, error) {
 			sys.schedule = m.ScheduleLength()
 		}
 	case sp.Algorithm == GossipExpander && sp.Port == SinglePort:
-		top, err := consensus.NewTopology(n, t, sp.topologyOptions())
+		top, err := sp.newTopology(n, t)
 		if err != nil {
 			return nil, err
 		}
@@ -332,7 +376,7 @@ func materializeGossip(sp Spec) (*system, error) {
 		}
 		sys.singlePort = true
 	case sp.Algorithm == GossipExpander:
-		top, err := consensus.NewTopology(n, t, sp.topologyOptions())
+		top, err := sp.newTopology(n, t)
 		if err != nil {
 			return nil, err
 		}
@@ -388,7 +432,7 @@ func materializeCheckpointing(sp Spec) (*system, error) {
 			sys.schedule = m.ScheduleLength()
 		}
 	case sp.Algorithm == CheckpointExpander && sp.Port == SinglePort:
-		top, err := consensus.NewTopology(n, t, sp.topologyOptions())
+		top, err := sp.newTopology(n, t)
 		if err != nil {
 			return nil, err
 		}
@@ -405,7 +449,7 @@ func materializeCheckpointing(sp Spec) (*system, error) {
 		}
 		sys.singlePort = true
 	case sp.Algorithm == CheckpointExpander:
-		top, err := consensus.NewTopology(n, t, sp.topologyOptions())
+		top, err := sp.newTopology(n, t)
 		if err != nil {
 			return nil, err
 		}
@@ -457,7 +501,11 @@ func materializeByzantine(sp Spec) (*system, error) {
 	if len(inputs) != n {
 		return nil, fmt.Errorf("scenario: %d inputs for n=%d", len(inputs), n)
 	}
-	cfg, err := byzantine.NewConfig(n, t, sp.Seed)
+	mode, err := sp.topologyMode()
+	if err != nil {
+		return nil, err
+	}
+	cfg, err := byzantine.NewConfigMode(n, t, sp.Seed, mode)
 	if err != nil {
 		return nil, err
 	}
@@ -531,7 +579,7 @@ func materializeAEA(sp Spec) (*system, error) {
 	if len(inputs) != n {
 		return nil, fmt.Errorf("scenario: %d inputs for n=%d", len(inputs), n)
 	}
-	top, err := consensus.NewTopology(n, t, sp.topologyOptions())
+	top, err := sp.newTopology(n, t)
 	if err != nil {
 		return nil, err
 	}
@@ -565,7 +613,7 @@ func materializeMajority(sp Spec) (*system, error) {
 	if len(votes) != n {
 		return nil, fmt.Errorf("scenario: %d votes for n=%d", len(votes), n)
 	}
-	top, err := consensus.NewTopology(n, t, sp.topologyOptions())
+	top, err := sp.newTopology(n, t)
 	if err != nil {
 		return nil, err
 	}
@@ -612,7 +660,7 @@ func materializeSCV(sp Spec) (*system, error) {
 	if len(inputs) != n {
 		return nil, fmt.Errorf("scenario: %d inputs for n=%d", len(inputs), n)
 	}
-	top, err := consensus.NewTopology(n, t, sp.topologyOptions())
+	top, err := sp.newTopology(n, t)
 	if err != nil {
 		return nil, err
 	}

@@ -147,6 +147,20 @@ type Parallelism struct {
 // Serial is the sequential engine.
 var Serial = Parallelism{}
 
+// TopologyKind names the overlay construction family of a scenario.
+type TopologyKind string
+
+// The topology families.
+const (
+	// TopologyRandomRegular is the default pairing-model random
+	// regular family, Ramanujan-verified and always materialized.
+	TopologyRandomRegular TopologyKind = ""
+	// TopologyShift is the seeded shift (circulant) family: locally
+	// computable neighbor lists, so it is the family that can run
+	// implicitly — O(d) generator state in place of O(n·d) adjacency.
+	TopologyShift TopologyKind = "shift"
+)
+
 // Parallel selects the pooled engine with the given worker count
 // (<= 0 means GOMAXPROCS).
 func Parallel(workers int) Parallelism { return Parallelism{Enabled: true, Workers: workers} }
@@ -173,6 +187,17 @@ type Spec struct {
 	// RoundSlack is added to the protocol schedule length to form
 	// sim.Config.MaxRounds (0 = the default of 8).
 	RoundSlack int
+
+	// Topology selects the overlay construction family (zero value =
+	// the default materialized random regular family).
+	Topology TopologyKind
+	// Implicit keeps every overlay of the run unmaterialized:
+	// neighbor lists are recomputed on demand from the seeded
+	// construction instead of stored, cutting resident topology state
+	// from O(n·d) words to O(d). Setting Implicit implies
+	// TopologyShift (the only locally computable family); results are
+	// byte-identical to a materialized TopologyShift run.
+	Implicit bool
 
 	// Fault is the scenario's fault model (zero value = no failures).
 	Fault FaultModel

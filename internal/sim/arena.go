@@ -27,6 +27,14 @@ type Runtime struct {
 	// slot, so replacing the pool (worker-count change) does not
 	// accumulate registrations that would pin dead pools.
 	slot *poolSlot
+	// cs holds the neighborcast engine's arena (cast.go), created on
+	// the first RunCast/RunCastParallel and recycled across cast runs.
+	cs *castState
+	// csl holds the sliced neighborcast arena (castsliced.go).
+	csl *castSlicedState
+	// castSlot holds the neighborcast engine's persistent worker pool,
+	// with the same one-cleanup-per-Runtime indirection as slot.
+	castSlot *castPoolSlot
 }
 
 // poolSlot is the stable object the Runtime's cleanup watches.
@@ -95,11 +103,15 @@ func (rt *Runtime) RunParallel(cfg Config, workers int) (*Result, error) {
 	return res, err
 }
 
-// Close stops the arena's persistent worker pool, if any. The Runtime
-// remains usable; a later RunParallel starts a fresh pool.
+// Close stops the arena's persistent worker pools, if any. The Runtime
+// remains usable; a later parallel run starts a fresh pool.
 func (rt *Runtime) Close() {
 	if rt.slot != nil && rt.slot.p != nil {
 		rt.slot.p.shutdown()
 		rt.slot.p = nil
+	}
+	if rt.castSlot != nil && rt.castSlot.p != nil {
+		rt.castSlot.p.shutdown()
+		rt.castSlot.p = nil
 	}
 }

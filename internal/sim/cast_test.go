@@ -1,0 +1,429 @@
+package sim
+
+import (
+	"reflect"
+	"runtime"
+	"testing"
+
+	"lineartime/internal/graph"
+)
+
+// floodCast is the canonical neighborcast system: sources know a rumor,
+// every informed node casts 1 to its neighborhood each round, a node
+// becomes informed when any casting neighbor's 1 gets through. It is
+// the cast-engine twin of the flooding Protocol below, which the parity
+// tests pin against the general engine.
+type floodCast struct {
+	n        int
+	informed []bool
+}
+
+func newFloodCast(n int, sources ...int) *floodCast {
+	f := &floodCast{n: n, informed: make([]bool, n)}
+	for _, s := range sources {
+		f.informed[s] = true
+	}
+	return f
+}
+
+func (f *floodCast) N() int                     { return f.n }
+func (f *floodCast) Cast(u, _ int) (bool, bool) { return true, f.informed[u] }
+func (f *floodCast) Done(_ int) bool            { return false }
+func (f *floodCast) Absorb(u, _, ones, _ int) {
+	if ones > 0 {
+		f.informed[u] = true
+	}
+}
+
+func (f *floodCast) reset(sources ...int) {
+	for i := range f.informed {
+		f.informed[i] = false
+	}
+	for _, s := range sources {
+		f.informed[s] = true
+	}
+}
+
+// floodProto is the same flood as a general-engine Protocol: informed
+// nodes broadcast Bit(true) to their (materialized) neighbor list, all
+// nodes halt together at the horizon so both engines execute the exact
+// same number of rounds.
+type floodProto struct {
+	id       int
+	nbrs     []int
+	informed bool
+	horizon  int
+	rounds   int
+	out      []Envelope
+}
+
+func (p *floodProto) Send(_ int) []Envelope {
+	if !p.informed {
+		return nil
+	}
+	p.out = p.out[:0]
+	for _, w := range p.nbrs {
+		p.out = append(p.out, Envelope{From: p.id, To: w, Payload: Bit(true)})
+	}
+	return p.out
+}
+
+func (p *floodProto) Deliver(round int, inbox []Envelope) {
+	for _, env := range inbox {
+		if bool(env.Payload.(Bit)) {
+			p.informed = true
+		}
+	}
+	p.rounds = round + 1
+}
+
+func (p *floodProto) Halted() bool { return p.rounds >= p.horizon }
+
+// cleanCrashFault crashes node u cleanly (no partial multicast) at
+// round at[u]; negative means never.
+type cleanCrashFault struct{ at []int }
+
+func (f cleanCrashFault) FilterSend(round int, from NodeID, outbox []Envelope) ([]Envelope, bool) {
+	if r := f.at[from]; r >= 0 && round >= r {
+		return nil, true
+	}
+	return outbox, false
+}
+
+// hashOmission drops a deterministic ~1/8 of the traffic as a pure
+// function of (round, from, to) — stateless, so the sender-major order
+// of the general engine and the receiver-major order of the cast
+// engine see identical verdicts.
+type hashOmission struct{ seed uint64 }
+
+func (hashOmission) FilterSend(_ int, _ NodeID, out []Envelope) ([]Envelope, bool) {
+	return out, false
+}
+
+func (f hashOmission) FilterLink(round int, env Envelope) Verdict {
+	x := f.seed ^ uint64(round)*0x9e3779b97f4a7c15 ^ uint64(env.From)<<20 ^ uint64(env.To)
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	if x&7 == 0 {
+		return Drop
+	}
+	return Deliver
+}
+
+func (hashOmission) MaxDelay() int { return 0 }
+
+// crashOmission layers clean crashes under the omission filter.
+type crashOmission struct {
+	crash cleanCrashFault
+	om    hashOmission
+}
+
+func (f crashOmission) FilterSend(r int, from NodeID, out []Envelope) ([]Envelope, bool) {
+	return f.crash.FilterSend(r, from, out)
+}
+func (f crashOmission) FilterLink(r int, env Envelope) Verdict { return f.om.FilterLink(r, env) }
+func (crashOmission) MaxDelay() int                            { return 0 }
+
+// TestCastFloodParityWithProtocolEngine pins the cast engine against
+// the general engine: the same flood over the same shift topology —
+// implicit on the cast side, materialized on the protocol side — must
+// agree on rounds, message/bit counts, the crash set, and the informed
+// set, under no faults, clean crashes, link omission, and both at once.
+func TestCastFloodParityWithProtocolEngine(t *testing.T) {
+	const n, d, horizon = 240, 8, 12
+	sh, err := graph.NewShift(n, d, 0xfeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := graph.Materialize(sh)
+
+	crashAt := make([]int, n)
+	for i := range crashAt {
+		crashAt[i] = -1
+	}
+	crashAt[3] = 0
+	crashAt[10] = 2
+	crashAt[0] = 4 // the source dies mid-flood
+	crashAt[50] = 5
+	crashAt[n-1] = horizon + 5 // past the horizon: never fires
+
+	cases := []struct {
+		name  string
+		crash bool
+		omit  bool
+	}{
+		{"fault-free", false, false},
+		{"clean-crashes", true, false},
+		{"omission", false, true},
+		{"crash-omission", true, true},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			// General engine on the materialized graph.
+			protos := make([]Protocol, n)
+			fps := make([]*floodProto, n)
+			for u := 0; u < n; u++ {
+				fps[u] = &floodProto{id: u, nbrs: g.Neighbors(u), horizon: horizon, informed: u == 0}
+				protos[u] = fps[u]
+			}
+			var fault LinkFault
+			switch {
+			case c.crash && c.omit:
+				fault = crashOmission{crash: cleanCrashFault{at: crashAt}, om: hashOmission{seed: 42}}
+			case c.crash:
+				fault = cleanCrashFault{at: crashAt}
+			case c.omit:
+				fault = hashOmission{seed: 42}
+			}
+			want, err := Run(Config{Protocols: protos, Fault: fault, MaxRounds: horizon})
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			// Cast engine on the implicit topology.
+			sys := newFloodCast(n, 0)
+			cfg := CastConfig{System: sys, Topology: sh, MaxRounds: horizon}
+			if c.crash {
+				cfg.Crash = func(u int) int { return crashAt[u] }
+			}
+			if c.omit {
+				cfg.Filter = hashOmission{seed: 42}
+			}
+			got, err := RunCast(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			if got.Rounds != want.Metrics.Rounds {
+				t.Errorf("rounds: cast %d, protocol %d", got.Rounds, want.Metrics.Rounds)
+			}
+			if got.Messages != want.Metrics.Messages || got.Bits != want.Metrics.Bits {
+				t.Errorf("traffic: cast %d msgs / %d bits, protocol %d msgs / %d bits",
+					got.Messages, got.Bits, want.Metrics.Messages, want.Metrics.Bits)
+			}
+			if alive := n - want.Crashed.Count(); got.Alive != alive {
+				t.Errorf("alive: cast %d, protocol %d", got.Alive, alive)
+			}
+			for u := 0; u < n; u++ {
+				if sys.informed[u] != fps[u].informed {
+					t.Fatalf("node %d: cast informed=%v, protocol informed=%v", u, sys.informed[u], fps[u].informed)
+				}
+			}
+
+			// And the cast engine itself must not care whether the
+			// topology is generated or materialized.
+			sysM := newFloodCast(n, 0)
+			cfgM := cfg
+			cfgM.System, cfgM.Topology = sysM, g
+			gotM, err := RunCast(cfgM)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(gotM, got) {
+				t.Errorf("materialized cast run differs from implicit: %+v vs %+v", gotM, got)
+			}
+			if !reflect.DeepEqual(sysM.informed, sys.informed) {
+				t.Error("materialized cast informed set differs from implicit")
+			}
+		})
+	}
+}
+
+// TestRunCastParallelMatchesSequential pins the sharded cast engine
+// result-identical to the sequential one, faults included, across
+// worker counts (including workers that don't divide n and exceed the
+// 64-bit word shards).
+func TestRunCastParallelMatchesSequential(t *testing.T) {
+	const n, d, horizon = 1000, 10, 15
+	sh, err := graph.NewShift(n, d, 0xabcd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	crashAt := make([]int, n)
+	for i := range crashAt {
+		crashAt[i] = -1
+		if i%97 == 5 {
+			crashAt[i] = i % 7
+		}
+	}
+	base := CastConfig{
+		Topology:  sh,
+		MaxRounds: horizon,
+		Crash:     func(u int) int { return crashAt[u] },
+		Filter:    hashOmission{seed: 7},
+	}
+
+	seqSys := newFloodCast(n, 0, 313)
+	seqCfg := base
+	seqCfg.System = seqSys
+	want, err := RunCast(seqCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, workers := range []int{1, 2, 3, 7} {
+		parSys := newFloodCast(n, 0, 313)
+		parCfg := base
+		parCfg.System = parSys
+		rt := NewRuntime()
+		got, err := rt.RunCastParallel(parCfg, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("workers=%d: parallel result %+v differs from sequential %+v", workers, got, want)
+		}
+		if !reflect.DeepEqual(parSys.informed, seqSys.informed) {
+			t.Errorf("workers=%d: parallel informed set differs from sequential", workers)
+		}
+		// Re-run on the same pooled runtime: the parked pool must
+		// produce the same answer again.
+		parSys.reset(0, 313)
+		got2, err := rt.RunCastParallel(parCfg, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got2, want) {
+			t.Errorf("workers=%d: pooled re-run differs from sequential", workers)
+		}
+		rt.Close()
+	}
+}
+
+// floodLanes is the sliced twin of floodCast: lane l floods from its
+// own source, all lanes share the topology and the word-packed state.
+type floodLanes struct {
+	n        int
+	informed []uint64
+}
+
+func (f *floodLanes) N() int                               { return f.n }
+func (f *floodLanes) CastLanes(u, _ int) (uint64, uint64)  { return f.informed[u], f.informed[u] }
+func (f *floodLanes) AbsorbLanes(u, _ int, ones, _ uint64) { f.informed[u] |= ones }
+func (f *floodLanes) Done(_ int) bool                      { return false }
+
+// TestRunCastSlicedMatchesScalar pins every lane of a sliced cast run
+// byte-identical to a scalar cast run of that lane's configuration.
+func TestRunCastSlicedMatchesScalar(t *testing.T) {
+	const n, d, horizon = 300, 8, 10
+	sources := []int{0, 17, 33, 99, 250}
+	sh, err := graph.NewShift(n, d, 0x5eed)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	sys := &floodLanes{n: n, informed: make([]uint64, n)}
+	for lane, s := range sources {
+		sys.informed[s] |= 1 << lane
+	}
+	res, err := RunCastSliced(CastSlicedConfig{System: sys, Topology: sh, MaxRounds: horizon, Lanes: len(sources)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rounds != horizon || len(res.Messages) != len(sources) {
+		t.Fatalf("sliced run shape: %+v", res)
+	}
+
+	for lane, s := range sources {
+		scalar := newFloodCast(n, s)
+		want, err := RunCast(CastConfig{System: scalar, Topology: sh, MaxRounds: horizon})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Messages[lane] != want.Messages {
+			t.Errorf("lane %d: sliced %d messages, scalar %d", lane, res.Messages[lane], want.Messages)
+		}
+		for u := 0; u < n; u++ {
+			if got := sys.informed[u]&(1<<lane) != 0; got != scalar.informed[u] {
+				t.Fatalf("lane %d node %d: sliced informed=%v, scalar=%v", lane, u, got, scalar.informed[u])
+			}
+		}
+	}
+}
+
+// delayingFilter requests a delay, which the cast engine must reject
+// up front.
+type delayingFilter struct{ NoFailures }
+
+func (delayingFilter) FilterLink(_ int, _ Envelope) Verdict { return DelayBy(1) }
+func (delayingFilter) MaxDelay() int                        { return 1 }
+
+func TestCastConfigValidation(t *testing.T) {
+	sh, err := graph.NewShift(64, 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	small, err := graph.NewShift(32, 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok := CastConfig{System: newFloodCast(64, 0), Topology: sh, MaxRounds: 4}
+
+	bad := ok
+	bad.System = nil
+	if _, err := RunCast(bad); err == nil {
+		t.Error("nil system accepted")
+	}
+	bad = ok
+	bad.Topology = small
+	if _, err := RunCast(bad); err == nil {
+		t.Error("topology size mismatch accepted")
+	}
+	bad = ok
+	bad.MaxRounds = 0
+	if _, err := RunCast(bad); err == nil {
+		t.Error("MaxRounds 0 accepted")
+	}
+	bad = ok
+	bad.Filter = delayingFilter{}
+	if _, err := RunCast(bad); err == nil {
+		t.Error("delaying filter accepted")
+	}
+
+	if _, err := RunCastSliced(CastSlicedConfig{System: &floodLanes{n: 64, informed: make([]uint64, 64)},
+		Topology: sh, MaxRounds: 4, Lanes: 65}); err == nil {
+		t.Error("Lanes 65 accepted")
+	}
+}
+
+// TestCastGigascaleResident is the memory-wall smoke: a fault-free
+// implicit cast run at n = 2^20 — where a materialized d=8 adjacency
+// alone would be ≥ 64 MB — must keep the ENTIRE working set it
+// allocates (topology, system, engine planes) under 8 MB of heap, and
+// produce the exact flood traffic the topology dictates.
+func TestCastGigascaleResident(t *testing.T) {
+	const n, d = 1 << 20, 8
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+
+	sh, err := graph.NewShift(n, d, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys := newFloodCast(n, 0)
+	rt := NewRuntime()
+	res, err := rt.RunCast(CastConfig{System: sys, Topology: sh, MaxRounds: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	runtime.GC()
+	runtime.ReadMemStats(&after)
+	runtime.KeepAlive(rt)
+	runtime.KeepAlive(sys)
+	runtime.KeepAlive(sh)
+
+	if delta := int64(after.HeapAlloc) - int64(before.HeapAlloc); delta > 8<<20 {
+		t.Errorf("gigascale cast run holds %d bytes resident; budget is %d", delta, 8<<20)
+	}
+	// Round 0: the source casts to its d neighbors. Round 1: the
+	// source and its d now-informed neighbors cast.
+	if want := int64(d + (d+1)*d); res.Messages != want {
+		t.Errorf("gigascale flood sent %d messages, want %d", res.Messages, want)
+	}
+	if res.Rounds != 2 || res.Alive != n {
+		t.Errorf("gigascale run shape: %+v", res)
+	}
+}

@@ -1,0 +1,194 @@
+package sim
+
+import "runtime"
+
+// The parallel neighborcast engine shards the node range over a
+// persistent worker pool. Each round has two barriers, matching the
+// sequential engine's two halves: all workers cast (publish into the
+// shared bit planes), then all workers absorb (gather from them). The
+// cast half writes bitset words, so shard boundaries are rounded up to
+// multiples of 64: two workers never touch the same machine word, and
+// no atomics are needed. The absorb half only reads the planes, and
+// per-node system state is disjoint by the CastSystem contract, so any
+// partition is race-free there. The crash seam and the Done check run
+// serially on the caller between barriers. Because Absorb(u) observes
+// exactly the full round's casts either way, the parallel engine is
+// result-identical to the sequential one.
+
+// castJob is the phase a parked cast worker is told to execute.
+type castJob uint8
+
+const (
+	castJobCast castJob = iota
+	castJobAbsorb
+	castJobStop
+)
+
+// castPool is the persistent worker pool of the parallel neighborcast
+// engine. Workers stay parked on their job channels between runs.
+type castPool struct {
+	cs      *castState
+	workers int
+	jobs    []chan castJob
+	done    chan struct{}
+}
+
+// castPoolSlot is the stable object the Runtime's cleanup watches,
+// mirroring poolSlot.
+type castPoolSlot struct {
+	p *castPool
+}
+
+func newCastPool(cs *castState, workers int) *castPool {
+	p := &castPool{
+		cs:      cs,
+		workers: workers,
+		jobs:    make([]chan castJob, workers),
+		done:    make(chan struct{}, workers),
+	}
+	for i := range p.jobs {
+		p.jobs[i] = make(chan castJob, 1)
+		go p.worker(i)
+	}
+	return p
+}
+
+func (p *castPool) worker(i int) {
+	cs := p.cs
+	for j := range p.jobs[i] {
+		if j == castJobStop {
+			return
+		}
+		lo, hi := cs.bounds[i], cs.bounds[i+1]
+		switch j {
+		case castJobCast:
+			cs.wmsgs[i] = cs.castRange(cs.round, lo, hi)
+		case castJobAbsorb:
+			cs.wscratch[i] = cs.absorbRange(cs.round, lo, hi, cs.wscratch[i])
+		}
+		p.done <- struct{}{}
+	}
+}
+
+// dispatch runs one phase on every worker and waits for the barrier.
+// The job send publishes the round number and shard bounds written by
+// the caller; the done receive publishes the workers' plane writes
+// back.
+func (p *castPool) dispatch(j castJob) {
+	for _, ch := range p.jobs {
+		ch <- j
+	}
+	for i := 0; i < p.workers; i++ {
+		<-p.done
+	}
+}
+
+func (p *castPool) shutdown() {
+	for _, ch := range p.jobs {
+		ch <- castJobStop
+	}
+}
+
+// shard computes 64-aligned shard bounds for w workers and sizes the
+// per-worker scratch and message accumulators, reusing prior capacity.
+func (cs *castState) shard(w int) {
+	if cap(cs.bounds) < w+1 {
+		cs.bounds = make([]int, 0, w+1)
+	}
+	cs.bounds = append(cs.bounds[:0], 0)
+	for i := 1; i < w; i++ {
+		b := (i*cs.n/w + 63) &^ 63
+		if b > cs.n {
+			b = cs.n
+		}
+		cs.bounds = append(cs.bounds, b)
+	}
+	cs.bounds = append(cs.bounds, cs.n)
+	if len(cs.wscratch) < w {
+		ws := make([][]int, w)
+		copy(ws, cs.wscratch)
+		cs.wscratch = ws
+	}
+	for i := 0; i < w; i++ {
+		if cap(cs.wscratch[i]) < cs.maxDeg {
+			cs.wscratch[i] = make([]int, 0, cs.maxDeg)
+		}
+	}
+	if cap(cs.wmsgs) < w {
+		cs.wmsgs = make([]int64, w)
+	}
+	cs.wmsgs = cs.wmsgs[:w]
+}
+
+// runParallel executes the neighborcast loop over the pool.
+func (cs *castState) runParallel(p *castPool) *CastResult {
+	rounds := 0
+	for r := 0; r < cs.maxRounds; r++ {
+		cs.applyCrashes(r)
+		cs.round = r
+		p.dispatch(castJobCast)
+		for i := range cs.wmsgs {
+			cs.msgs += cs.wmsgs[i]
+		}
+		p.dispatch(castJobAbsorb)
+		rounds = r + 1
+		if cs.sys.Done(rounds) {
+			break
+		}
+	}
+	cs.res = CastResult{
+		Rounds:   rounds,
+		Messages: cs.msgs,
+		Bits:     cs.msgs,
+		Alive:    cs.alive.Count(),
+	}
+	return &cs.res
+}
+
+// RunCastParallel executes a neighborcast system on the sharded worker
+// pool, reusing the arena's buffers and its persistent workers. It is
+// result-identical to RunCast. The System's Cast/Absorb are called
+// concurrently for distinct nodes (see CastSystem), and a non-nil
+// Filter must be safe for concurrent FilterLink calls — the stateless
+// link models (e.g. seeded per-edge omission) are. The returned result
+// is owned by the arena and valid until the next cast run on this
+// Runtime.
+func (rt *Runtime) RunCastParallel(cfg CastConfig, workers int) (*CastResult, error) {
+	if rt.cs == nil {
+		rt.cs = &castState{}
+	}
+	cs := rt.cs
+	if err := cs.reset(cfg); err != nil {
+		cs.detach()
+		return nil, err
+	}
+	w := resolveWorkers(workers, cs.n)
+	cs.shard(w)
+	if rt.castSlot == nil {
+		rt.castSlot = &castPoolSlot{}
+		// As with the main pool: the workers keep the pool and the
+		// cast state alive but not the Runtime, so a dropped Runtime
+		// still becomes unreachable and the cleanup reaps the pool.
+		runtime.AddCleanup(rt, func(s *castPoolSlot) {
+			if s.p != nil {
+				s.p.shutdown()
+			}
+		}, rt.castSlot)
+	}
+	switch pl := rt.castSlot.p; {
+	case pl == nil:
+		rt.castSlot.p = newCastPool(cs, w)
+	case pl.workers != w:
+		pl.shutdown()
+		rt.castSlot.p = newCastPool(cs, w)
+	}
+	res := cs.runParallel(rt.castSlot.p)
+	cs.detach()
+	return res, nil
+}
+
+// RunCastParallel executes the configured neighborcast system on a
+// fresh arena with the given worker count.
+func RunCastParallel(cfg CastConfig, workers int) (*CastResult, error) {
+	return NewRuntime().RunCastParallel(cfg, workers)
+}

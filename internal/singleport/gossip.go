@@ -152,7 +152,7 @@ func NewSPGossip(id int, schedule *GossipSchedule, rumor gossip.Rumor) *SPGossip
 	}
 	g.extant.Update(id, rumor)
 	if top.IsLittle(id) {
-		g.probing = probe.New(top.Little.G.Neighbors(id), top.Little.P.Gamma, top.Little.P.Delta)
+		g.probing = probe.New(top.Little.Neighbors(id), top.Little.P.Gamma, top.Little.P.Delta)
 		g.completion = make([]bool, top.N)
 		g.completion[id] = true
 	}
@@ -166,7 +166,7 @@ func (g *SPGossip) ScheduleLength() int { return g.schedule.Length() }
 func (g *SPGossip) Extant() *gossip.ExtantSet { return g.extant }
 
 func (g *SPGossip) neighborAt(b *gossipBlock, slot int) int {
-	nbrs := b.overlay.G.Neighbors(g.id)
+	nbrs := b.overlay.Neighbors(g.id)
 	if slot < 0 || slot >= len(nbrs) {
 		return -1
 	}
@@ -174,7 +174,7 @@ func (g *SPGossip) neighborAt(b *gossipBlock, slot int) int {
 }
 
 func (g *SPGossip) littleNeighborAt(slot int) int {
-	nbrs := g.schedule.Top.Little.G.Neighbors(g.id)
+	nbrs := g.schedule.Top.Little.Neighbors(g.id)
 	if slot < 0 || slot >= len(nbrs) {
 		return -1
 	}
@@ -350,7 +350,7 @@ func (g *SPGossip) Deliver(round int, inbox []sim.Envelope) {
 // neighborIndex returns the index of `from` in this node's adjacency
 // of the block's overlay, or -1.
 func (g *SPGossip) neighborIndex(b *gossipBlock, from int) int {
-	nbrs := b.overlay.G.Neighbors(g.id)
+	nbrs := b.overlay.Neighbors(g.id)
 	i := sort.SearchInts(nbrs, from)
 	if i < len(nbrs) && nbrs[i] == from {
 		return i

@@ -93,7 +93,7 @@ func New(id int, top *consensus.Topology, input bool) *LinearConsensus {
 	l.segDEnd = l.segCEnd + 4*l.ringPhases
 
 	if top.IsLittle(id) {
-		l.probing = probe.New(top.Little.G.Neighbors(id), l.gamma, top.Little.P.Delta)
+		l.probing = probe.New(top.Little.Neighbors(id), l.gamma, top.Little.P.Delta)
 	}
 	return l
 }
@@ -109,7 +109,7 @@ func (l *LinearConsensus) littleNeighbor(slot int) int {
 	if l.probing == nil {
 		return -1
 	}
-	nbrs := l.top.Little.G.Neighbors(l.id)
+	nbrs := l.top.Little.Neighbors(l.id)
 	if slot < 0 || slot >= len(nbrs) {
 		return -1
 	}
@@ -117,7 +117,7 @@ func (l *LinearConsensus) littleNeighbor(slot int) int {
 }
 
 func (l *LinearConsensus) hNeighbor(slot int) int {
-	nbrs := l.top.Broadcast.G.Neighbors(l.id)
+	nbrs := l.top.Broadcast.Neighbors(l.id)
 	if slot < 0 || slot >= len(nbrs) {
 		return -1
 	}

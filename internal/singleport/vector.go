@@ -80,7 +80,7 @@ func NewSPVectorConsensus(id int, top *consensus.Topology, initial *bitset.Set) 
 	v.segDEnd = v.segCEnd + 4*v.ringPhases
 
 	if top.IsLittle(id) {
-		v.probing = probe.New(top.Little.G.Neighbors(id), v.gamma, top.Little.P.Delta)
+		v.probing = probe.New(top.Little.Neighbors(id), v.gamma, top.Little.P.Delta)
 	}
 	return v
 }
@@ -110,7 +110,7 @@ func (v *SPVectorConsensus) littleNeighbor(slot int) int {
 	if v.probing == nil {
 		return -1
 	}
-	nbrs := v.top.Little.G.Neighbors(v.id)
+	nbrs := v.top.Little.Neighbors(v.id)
 	if slot < 0 || slot >= len(nbrs) {
 		return -1
 	}
@@ -118,7 +118,7 @@ func (v *SPVectorConsensus) littleNeighbor(slot int) int {
 }
 
 func (v *SPVectorConsensus) hNeighbor(slot int) int {
-	nbrs := v.top.Broadcast.G.Neighbors(v.id)
+	nbrs := v.top.Broadcast.Neighbors(v.id)
 	if slot < 0 || slot >= len(nbrs) {
 		return -1
 	}

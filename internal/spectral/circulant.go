@@ -1,0 +1,49 @@
+package spectral
+
+import "math"
+
+// CirculantLambda returns the exact λ = max(|λ2|, ..., |λn|) of the
+// circulant graph on n vertices with connection set gens (each
+// generator g in [1, n/2]; g = n/2 contributes a single ±n/2 edge).
+// Circulants are Cayley graphs of Z_n, so their adjacency eigenvalues
+// have the closed form
+//
+//	λ_j = Σ_g 2·cos(2πjg/n)   (with the n/2 term contributing cos(πj))
+//
+// for j = 0..n−1, with j = 0 the trivial top eigenvalue d. This is
+// what the expander layer records for the implicit shift family in
+// place of the power-iteration estimate: exact, deterministic, and
+// O(n·|gens|) — but still linear in n, so callers cap the n at which
+// they bother (implicit mode exists precisely so nothing per-vertex
+// needs storing at gigascale, and the verdict on shift graphs comes
+// from the gcd connectivity criterion, not a spectral gate; see
+// graph.Shift for why constant-degree circulants cannot be
+// near-Ramanujan).
+func CirculantLambda(n int, gens []int) float64 {
+	if n <= 1 {
+		return 0
+	}
+	// λ_j = λ_{n−j}, so scanning j = 1..n/2 covers every nontrivial
+	// eigenvalue once.
+	worst := 0.0
+	base := 2 * math.Pi / float64(n)
+	for j := 1; 2*j <= n; j++ {
+		sum := 0.0
+		for _, g := range gens {
+			if 2*g == n {
+				// cos(πj): +1 for even j, −1 for odd j.
+				if j%2 == 0 {
+					sum++
+				} else {
+					sum--
+				}
+				continue
+			}
+			sum += 2 * math.Cos(base*float64(j)*float64(g))
+		}
+		if a := math.Abs(sum); a > worst {
+			worst = a
+		}
+	}
+	return worst
+}

@@ -1,0 +1,50 @@
+package spectral
+
+import (
+	"math"
+	"testing"
+
+	"lineartime/internal/graph"
+)
+
+// The closed form must agree with the power-iteration estimate on the
+// same materialized circulant — they compute the same spectrum by
+// independent routes.
+func TestCirculantLambdaMatchesPowerIteration(t *testing.T) {
+	for _, tc := range []struct {
+		n    int
+		gens []int
+	}{
+		{n: 64, gens: []int{1, 5, 9}},
+		{n: 101, gens: []int{2, 11, 30, 45}},
+		{n: 128, gens: []int{3, 17, 64}}, // includes the involution n/2
+	} {
+		exact := CirculantLambda(tc.n, tc.gens)
+		g := graph.Circulant(tc.n, tc.gens)
+		est := SecondEigenvalue(g, Options{Iterations: 400, Seed: 1})
+		if math.Abs(exact-est) > 0.05*exact+0.05 {
+			t.Errorf("n=%d gens=%v: closed form λ=%.4f vs power iteration %.4f",
+				tc.n, tc.gens, exact, est)
+		}
+	}
+}
+
+func TestCirculantLambdaCompleteGraph(t *testing.T) {
+	// K_5 is the circulant on gens {1, 2}: all nontrivial adjacency
+	// eigenvalues are −1, so λ = 1 exactly.
+	got := CirculantLambda(5, []int{1, 2})
+	if math.Abs(got-1) > 1e-9 {
+		t.Fatalf("K_5 λ = %v, want 1", got)
+	}
+	// An even cycle is bipartite: λn = −2, so λ = 2 exactly.
+	if got := CirculantLambda(360, []int{1}); math.Abs(got-2) > 1e-9 {
+		t.Fatalf("C_360 λ = %v, want 2", got)
+	}
+	// An odd cycle's extreme nontrivial eigenvalue is 2cos(π/n)·(−1)
+	// at j = (n−1)/2, so λ = 2cos(π/n).
+	n := 361
+	want := 2 * math.Cos(math.Pi/float64(n))
+	if got := CirculantLambda(n, []int{1}); math.Abs(got-want) > 1e-9 {
+		t.Fatalf("C_%d λ = %v, want %v", n, got, want)
+	}
+}
