@@ -27,6 +27,7 @@
 //	go run ./cmd/benchjson            # write BENCH_sim.json
 //	go run ./cmd/benchjson -o out.json -quick
 //	go run ./cmd/benchjson -maxprocs 8
+//	go run ./cmd/benchjson -only sliced -floor 8   # CI perf-floor smoke
 package main
 
 import (
@@ -79,7 +80,7 @@ func buildSystem(n, fanout, horizon int) (sim.Config, []*broadcaster) {
 // benchPoint is one measured engine configuration.
 type benchPoint struct {
 	Name         string  `json:"name"`
-	Engine       string  `json:"engine"` // "sequential" | "parallel" | "reuse" | "reuse-parallel" | "scalar-per-seed" | "sliced" | "implicit-sequential" | "implicit-parallel" | "implicit-sliced"
+	Engine       string  `json:"engine"` // "sequential" | "parallel" | "reuse" | "reuse-parallel" | "scalar-per-seed" | "sliced" | "scalar-per-seed-gossip" | "sliced-gossip" | "implicit-sequential" | "implicit-parallel" | "implicit-sliced"
 	N            int     `json:"n"`
 	Fanout       int     `json:"fanout"`
 	Rounds       int     `json:"rounds"`
@@ -169,6 +170,87 @@ func measureSliced(engine string, n, t, seeds int) (benchPoint, error) {
 	// One reference run supplies the row's round and message
 	// bookkeeping (seed 1; per-seed numbers vary with the crash draw).
 	ref, err := scenario.Run(sp)
+	if err != nil {
+		return benchPoint{}, err
+	}
+	res := testing.Benchmark(body)
+	if runErr != nil {
+		return benchPoint{}, runErr
+	}
+	nsPerOp := float64(res.NsPerOp())
+	return benchPoint{
+		Name:         fmt.Sprintf("engine/%s/n=%d/seeds=%d", engine, n, seeds),
+		Engine:       engine,
+		N:            n,
+		Rounds:       ref.Metrics.Rounds,
+		NsPerOp:      nsPerOp,
+		NsPerRound:   nsPerOp / float64(seeds) / float64(ref.Metrics.Rounds),
+		AllocsPerOp:  res.AllocsPerOp(),
+		BytesPerOp:   res.AllocedBytesPerOp(),
+		MsgsPerRound: ref.Metrics.Messages / int64(ref.Metrics.Rounds),
+		SeedsPerOp:   seeds,
+		SimsPerSec:   float64(seeds) * 1e9 / nsPerOp,
+	}, nil
+}
+
+// gossipSpecs builds the sliced-gossip benchmark workload: one
+// gossip/expander shape shared by every lane — same topology seed, so
+// the whole batch forms one sliced group — with per-lane random-crash
+// adversaries, so the lanes genuinely diverge in crash sets, rounds
+// and traffic instead of measuring a degenerate identical batch.
+func gossipSpecs(n, t, seeds int) []scenario.Spec {
+	base := scenario.MustLookup("gossip/expander").Spec(n, t, 1)
+	sps := make([]scenario.Spec, seeds)
+	for i := range sps {
+		sps[i] = base
+		sps[i].Fault = scenario.FaultModel{
+			Kind: scenario.RandomCrashes, Count: t, Horizon: t + 2, Seed: uint64(1001 + i),
+		}
+	}
+	return sps
+}
+
+// measureSlicedGossip measures the fault-swept gossip batch path at one
+// shape: "scalar-per-seed-gossip" runs the lanes as sequential
+// scenario.Run calls (one op = seeds full scalar gossip simulations);
+// "sliced-gossip" evaluates the same specs as one
+// scenario.ExecuteBatch call riding the bit-sliced gossip machine.
+func measureSlicedGossip(engine string, n, t, seeds int) (benchPoint, error) {
+	sps := gossipSpecs(n, t, seeds)
+	var runErr error
+	var body func(b *testing.B)
+	switch engine {
+	case "scalar-per-seed-gossip":
+		body = func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				for _, sp := range sps {
+					if _, err := scenario.Run(sp); err != nil {
+						runErr = err
+						b.FailNow()
+					}
+				}
+			}
+		}
+	case "sliced-gossip":
+		body = func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				_, errs := scenario.ExecuteBatch(sps)
+				for _, err := range errs {
+					if err != nil {
+						runErr = err
+						b.FailNow()
+					}
+				}
+			}
+		}
+	default:
+		return benchPoint{}, fmt.Errorf("unknown engine %q", engine)
+	}
+	// One reference run supplies the row's round and message
+	// bookkeeping (lane 0; per-lane numbers vary with the crash draw).
+	ref, err := scenario.Run(sps[0])
 	if err != nil {
 		return benchPoint{}, err
 	}
@@ -439,10 +521,14 @@ func fillSpeedups(points []benchPoint) {
 			seq = base("reuse", p.N, p.Fanout)
 		case "implicit-parallel":
 			seq = base("implicit-sequential", p.N, p.Fanout)
-		case "sliced":
+		case "sliced", "sliced-gossip":
+			scalar := "scalar-per-seed"
+			if p.Engine == "sliced-gossip" {
+				scalar = "scalar-per-seed-gossip"
+			}
 			for j := range points {
 				q := &points[j]
-				if q.Engine == "scalar-per-seed" && q.N == p.N && q.SeedsPerOp == p.SeedsPerOp && q.SimsPerSec > 0 {
+				if q.Engine == scalar && q.N == p.N && q.SeedsPerOp == p.SeedsPerOp && q.SimsPerSec > 0 {
 					p.SpeedupVsScalarPerSeed = p.SimsPerSec / q.SimsPerSec
 				}
 			}
@@ -609,8 +695,13 @@ func run(args []string, stdout *os.File) error {
 	quick := fs.Bool("quick", false, "tiny sizes (CI smoke)")
 	budgetMs := fs.Int("budget", 100, "max-feasible-n time budget, ms per round")
 	maxprocs := fs.Int("maxprocs", 0, "override GOMAXPROCS for the measuring run (0 = leave as is)")
+	floor := fs.Float64("floor", 0, "fail unless every sliced row's speedup_vs_scalar_per_seed reaches this factor (0 = no check)")
+	only := fs.String("only", "", `restrict the measurement: "sliced" runs only the multi-seed scalar/sliced families (the CI perf-floor smoke)`)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *only != "" && *only != "sliced" {
+		return fmt.Errorf("unknown -only value %q (have: sliced)", *only)
 	}
 	if *maxprocs > 0 {
 		runtime.GOMAXPROCS(*maxprocs)
@@ -656,9 +747,14 @@ func run(args []string, stdout *os.File) error {
 		capN = 2048
 		capImplicitN = 1 << 14
 	}
+	if *only == "sliced" {
+		points = nil
+		implicitPoints = nil
+		memShapes = nil
+	}
 
 	var rep report
-	rep.Schema = "lineartime/bench_sim/v4"
+	rep.Schema = "lineartime/bench_sim/v5"
 	rep.Go = runtime.Version()
 	rep.GOMAXPROCS = runtime.GOMAXPROCS(0)
 	rep.NumCPU = runtime.NumCPU()
@@ -692,6 +788,25 @@ func run(args []string, stdout *os.File) error {
 		}
 		rep.Benchmarks = append(rep.Benchmarks, bp)
 	}
+	gossipPoints := []slicedPt{
+		// The fault-swept gossip headline: one expander topology, a
+		// word of crash adversaries per batch.
+		{"scalar-per-seed-gossip", 1000, 16, 64},
+		{"sliced-gossip", 1000, 16, 64},
+	}
+	if *quick {
+		gossipPoints = []slicedPt{
+			{"scalar-per-seed-gossip", 64, 8, 16},
+			{"sliced-gossip", 64, 8, 16},
+		}
+	}
+	for _, p := range gossipPoints {
+		bp, err := measureSlicedGossip(p.engine, p.n, p.t, p.seedsPer)
+		if err != nil {
+			return fmt.Errorf("%s n=%d: %w", p.engine, p.n, err)
+		}
+		rep.Benchmarks = append(rep.Benchmarks, bp)
+	}
 	for _, p := range implicitPoints {
 		bp, err := measureImplicit(p.engine, p.n, p.fanout, p.rounds, 0)
 		if err != nil {
@@ -700,6 +815,21 @@ func run(args []string, stdout *os.File) error {
 		rep.Benchmarks = append(rep.Benchmarks, bp)
 	}
 	fillSpeedups(rep.Benchmarks)
+	if *floor > 0 {
+		checked := 0
+		for _, p := range rep.Benchmarks {
+			if p.SpeedupVsScalarPerSeed == 0 {
+				continue
+			}
+			checked++
+			if p.SpeedupVsScalarPerSeed < *floor {
+				return fmt.Errorf("%s: speedup_vs_scalar_per_seed %.2f below floor %.2f", p.Name, p.SpeedupVsScalarPerSeed, *floor)
+			}
+		}
+		if checked == 0 {
+			return fmt.Errorf("-floor %.2f: no sliced rows to check", *floor)
+		}
+	}
 	for _, shape := range memShapes {
 		pts, err := measureMemory(shape[0], shape[1])
 		if err != nil {
@@ -707,17 +837,19 @@ func run(args []string, stdout *os.File) error {
 		}
 		rep.MemoryModel = append(rep.MemoryModel, pts...)
 	}
-	rep.MaxFeasible.Fanout = 8
-	rep.MaxFeasible.BudgetMsPerRound = float64(*budgetMs)
-	rep.MaxFeasible.N, rep.MaxFeasible.NsPerRound =
-		maxFeasibleN(8, time.Duration(*budgetMs)*time.Millisecond, capN)
-	rep.MaxFeasibleImplicit.Degree = 8
-	rep.MaxFeasibleImplicit.BudgetMsPerRound = float64(*budgetMs)
-	var probeErr error
-	rep.MaxFeasibleImplicit.N, rep.MaxFeasibleImplicit.NsPerRound, probeErr =
-		maxFeasibleImplicitN(8, time.Duration(*budgetMs)*time.Millisecond, capImplicitN)
-	if probeErr != nil {
-		return fmt.Errorf("implicit max-n probe: %w", probeErr)
+	if *only == "" {
+		rep.MaxFeasible.Fanout = 8
+		rep.MaxFeasible.BudgetMsPerRound = float64(*budgetMs)
+		rep.MaxFeasible.N, rep.MaxFeasible.NsPerRound =
+			maxFeasibleN(8, time.Duration(*budgetMs)*time.Millisecond, capN)
+		rep.MaxFeasibleImplicit.Degree = 8
+		rep.MaxFeasibleImplicit.BudgetMsPerRound = float64(*budgetMs)
+		var probeErr error
+		rep.MaxFeasibleImplicit.N, rep.MaxFeasibleImplicit.NsPerRound, probeErr =
+			maxFeasibleImplicitN(8, time.Duration(*budgetMs)*time.Millisecond, capImplicitN)
+		if probeErr != nil {
+			return fmt.Errorf("implicit max-n probe: %w", probeErr)
+		}
 	}
 	rep.Baseline.Name = "engine/sequential/n=1000/fanout=8"
 	rep.Baseline.NsPerOp = 10534134

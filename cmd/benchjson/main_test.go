@@ -23,13 +23,14 @@ func TestBenchJSONQuick(t *testing.T) {
 	if err := json.Unmarshal(data, &rep); err != nil {
 		t.Fatalf("invalid JSON: %v", err)
 	}
-	if rep.Schema != "lineartime/bench_sim/v4" {
+	if rep.Schema != "lineartime/bench_sim/v5" {
 		t.Fatalf("schema = %q", rep.Schema)
 	}
-	if len(rep.Benchmarks) != 8 {
-		t.Fatalf("benchmarks = %d, want 8 (3 broadcaster + scalar-per-seed + sliced + 3 implicit)", len(rep.Benchmarks))
+	if len(rep.Benchmarks) != 10 {
+		t.Fatalf("benchmarks = %d, want 10 (3 broadcaster + 2 multi-seed + 2 gossip + 3 implicit)", len(rep.Benchmarks))
 	}
 	var sawParallel, sawReuse, sawScalarPerSeed, sawSliced bool
+	var sawGossipScalar, sawGossipSliced bool
 	var sawImplicitSeq, sawImplicitPar, sawImplicitSliced bool
 	for _, bp := range rep.Benchmarks {
 		if bp.NsPerRound <= 0 || bp.MsgsPerRound <= 0 {
@@ -56,6 +57,19 @@ func TestBenchJSONQuick(t *testing.T) {
 			if bp.SpeedupVsScalarPerSeed <= 0 {
 				t.Fatalf("sliced row missing speedup_vs_scalar_per_seed: %+v", bp)
 			}
+		case "scalar-per-seed-gossip":
+			sawGossipScalar = true
+			if bp.SeedsPerOp <= 0 || bp.SimsPerSec <= 0 {
+				t.Fatalf("scalar-per-seed-gossip row missing seed accounting: %+v", bp)
+			}
+		case "sliced-gossip":
+			sawGossipSliced = true
+			if bp.SeedsPerOp <= 0 || bp.SimsPerSec <= 0 {
+				t.Fatalf("sliced-gossip row missing seed accounting: %+v", bp)
+			}
+			if bp.SpeedupVsScalarPerSeed <= 0 {
+				t.Fatalf("sliced-gossip row missing speedup_vs_scalar_per_seed: %+v", bp)
+			}
 		case "implicit-sequential":
 			sawImplicitSeq = true
 			if bp.HeapResidentBytes <= 0 || bp.BytesPerNode <= 0 {
@@ -78,6 +92,9 @@ func TestBenchJSONQuick(t *testing.T) {
 	}
 	if !sawScalarPerSeed || !sawSliced {
 		t.Fatalf("missing multi-seed rows: %+v", rep.Benchmarks)
+	}
+	if !sawGossipScalar || !sawGossipSliced {
+		t.Fatalf("missing gossip multi-seed rows: %+v", rep.Benchmarks)
 	}
 	if !sawImplicitSeq || !sawImplicitPar || !sawImplicitSliced {
 		t.Fatalf("missing implicit rows: %+v", rep.Benchmarks)
@@ -117,6 +134,43 @@ func TestBenchJSONQuick(t *testing.T) {
 func TestBenchJSONBadFlags(t *testing.T) {
 	if err := run([]string{"-bogus"}, os.Stdout); err == nil {
 		t.Fatal("bad flag accepted")
+	}
+	if err := run([]string{"-only", "everything"}, os.Stdout); err == nil {
+		t.Fatal("bad -only value accepted")
+	}
+}
+
+// TestBenchJSONOnlySlicedFloor exercises the CI perf-floor smoke: only
+// the multi-seed families are measured, and the -floor gate passes at a
+// trivially low factor and fails at an impossible one.
+func TestBenchJSONOnlySlicedFloor(t *testing.T) {
+	if testing.Short() {
+		t.Skip("benchmark emission skipped in -short mode")
+	}
+	out := filepath.Join(t.TempDir(), "bench.json")
+	if err := run([]string{"-quick", "-only", "sliced", "-floor", "0.01", "-o", out}, os.Stdout); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if len(rep.Benchmarks) != 4 {
+		t.Fatalf("benchmarks = %d, want 4 (2 multi-seed + 2 gossip)", len(rep.Benchmarks))
+	}
+	for _, bp := range rep.Benchmarks {
+		switch bp.Engine {
+		case "scalar-per-seed", "sliced", "scalar-per-seed-gossip", "sliced-gossip":
+		default:
+			t.Fatalf("-only sliced measured engine %q", bp.Engine)
+		}
+	}
+	if err := run([]string{"-quick", "-only", "sliced", "-floor", "1e9", "-o", out}, os.Stdout); err == nil {
+		t.Fatal("impossible floor passed")
 	}
 }
 

@@ -16,6 +16,7 @@
 //	linearsim -problem gossip -n 150 -t 30 -fault delay:d=2
 //	linearsim -problem checkpoint -n 150 -t 30 -fault partition:from=1,to=4
 //	linearsim -problem byzantine -n 100 -t 10 -byz equivocate -byzcount 10
+//	linearsim -problem consensus -algo flooding -n 100 -t 20 -crashes 20 -seeds 64
 //	linearsim -list
 package main
 
@@ -55,12 +56,24 @@ func run(args []string) error {
 		faultArg = fs.String("fault", "", "fault model, kind[:key=value,...] (see -list); overrides -crashes")
 		jsonOut  = fs.Bool("json", false, "emit the run as the {key, report} JSON envelope linearsimd serves")
 		implicit = fs.Bool("implicit", false, "generate the overlay topology on the fly from a seeded shift construction instead of materializing it (implicit-capable scenarios only, see -list)")
+		seeds    = fs.Int("seeds", 1, "run the scenario under this many consecutive seeds (starting at -seed) and print a summary; sliceable scenarios ride the bit-sliced engine 64 seeds per machine word")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *list {
 		return listScenarios()
+	}
+	if *seeds < 1 {
+		return fmt.Errorf("-seeds must be at least 1, got %d", *seeds)
+	}
+	if *seeds > 1 {
+		if *jsonOut {
+			return fmt.Errorf("-json emits a single run envelope; it is not available with -seeds > 1")
+		}
+		if *trace {
+			return fmt.Errorf("-trace follows a single run; it is not available with -seeds > 1")
+		}
 	}
 	if *trace {
 		if *jsonOut {
@@ -83,18 +96,91 @@ func run(args []string) error {
 
 	switch *problem {
 	case "consensus":
-		return runConsensus(*algo, *n, *t, *ones, *baseline, *seed, fault, *jsonOut, *implicit)
+		return runConsensus(*algo, *n, *t, *ones, *baseline, *seed, fault, *jsonOut, *implicit, *seeds)
 	case "gossip":
-		return runGossip(*n, *t, *baseline, *seed, fault, *jsonOut, *implicit)
+		return runGossip(*n, *t, *baseline, *seed, fault, *jsonOut, *implicit, *seeds)
 	case "checkpoint":
-		return runCheckpoint(*n, *t, *baseline, *seed, fault, *jsonOut, *implicit)
+		return runCheckpoint(*n, *t, *baseline, *seed, fault, *jsonOut, *implicit, *seeds)
 	case "byzantine":
 		if *faultArg != "" {
 			return fmt.Errorf("the byzantine problem configures its faults with -byz/-byzcount, not -fault")
 		}
-		return runByzantine(*n, *t, *byz, *byzCount, *baseline, *seed, *jsonOut, *implicit)
+		return runByzantine(*n, *t, *byz, *byzCount, *baseline, *seed, *jsonOut, *implicit, *seeds)
 	default:
 		return fmt.Errorf("unknown problem %q", *problem)
+	}
+}
+
+// runSeedsSummary fans one spec across consecutive seeds through
+// scenario.RunSeeds — where the scenario is sliceable the seeds ride
+// the bit-sliced engine a machine word at a time — and prints per-seed
+// outcome counts plus mean costs over the successful runs.
+func runSeedsSummary(kind string, sp scenario.Spec, seeds int) error {
+	list := make([]uint64, seeds)
+	for i := range list {
+		list[i] = sp.Seed + uint64(i)
+	}
+	reports, errs := scenario.RunSeeds(sp, list)
+	counts := make(map[string]int)
+	okRuns := 0
+	var rounds, msgs, bits float64
+	for i := range reports {
+		if errs[i] != nil {
+			counts["error"]++
+			continue
+		}
+		r := reports[i]
+		okRuns++
+		rounds += float64(r.Metrics.Rounds)
+		msgs += float64(r.Metrics.Messages)
+		bits += float64(r.Metrics.Bits)
+		counts[seedOutcome(r)]++
+	}
+	fmt.Printf("%-10s n=%d t=%d seeds=%d (%d..%d)\n", kind, sp.N, sp.T, seeds, list[0], list[len(list)-1])
+	labels := make([]string, 0, len(counts))
+	for label := range counts {
+		labels = append(labels, label)
+	}
+	sort.Strings(labels)
+	fmt.Println("outcomes:")
+	for _, label := range labels {
+		fmt.Printf("  %-20s %d/%d\n", label, counts[label], seeds)
+	}
+	if okRuns > 0 {
+		k := float64(okRuns)
+		fmt.Printf("mean over %d runs:\n", okRuns)
+		fmt.Printf("  rounds:    %.1f\n", rounds/k)
+		fmt.Printf("  messages:  %.1f\n", msgs/k)
+		fmt.Printf("  bits:      %.1f\n", bits/k)
+	}
+	return nil
+}
+
+// seedOutcome labels one run's verdict for the -seeds summary.
+func seedOutcome(r *scenario.Report) string {
+	switch {
+	case r.Consensus != nil:
+		if r.Consensus.Agreement && r.Consensus.Validity {
+			return "agreement+validity"
+		}
+		return "violated"
+	case r.Gossip != nil:
+		if r.Gossip.Complete {
+			return "complete"
+		}
+		return "incomplete"
+	case r.Checkpoint != nil:
+		if r.Checkpoint.Agreement {
+			return "agreement"
+		}
+		return "disagreement"
+	case r.Byzantine != nil:
+		if r.Byzantine.Agreement {
+			return "agreement"
+		}
+		return "disagreement"
+	default:
+		return "done"
 	}
 }
 
@@ -157,7 +243,7 @@ func scenarioForAlgorithm(name string, baseline bool) (scenario.Definition, erro
 	}
 }
 
-func runConsensus(algoName string, n, t, ones int, baseline bool, seed uint64, fault scenario.FaultModel, jsonOut, implicit bool) error {
+func runConsensus(algoName string, n, t, ones int, baseline bool, seed uint64, fault scenario.FaultModel, jsonOut, implicit bool, seeds int) error {
 	def, err := scenarioForAlgorithm(algoName, baseline)
 	if err != nil {
 		return err
@@ -174,6 +260,9 @@ func runConsensus(algoName string, n, t, ones int, baseline bool, seed uint64, f
 		}
 		sp.BoolInputs = inputs
 	}
+	if seeds > 1 {
+		return runSeedsSummary(def.Name, sp, seeds)
+	}
 	r, err := scenario.Run(sp)
 	if err != nil {
 		return err
@@ -188,7 +277,7 @@ func runConsensus(algoName string, n, t, ones int, baseline bool, seed uint64, f
 	return nil
 }
 
-func runGossip(n, t int, baseline bool, seed uint64, fault scenario.FaultModel, jsonOut, implicit bool) error {
+func runGossip(n, t int, baseline bool, seed uint64, fault scenario.FaultModel, jsonOut, implicit bool, seeds int) error {
 	name, kind := "gossip/expander", "gossip(§5)"
 	if baseline {
 		name, kind = "gossip/all-to-all", "gossip(all-to-all)"
@@ -204,6 +293,9 @@ func runGossip(n, t int, baseline bool, seed uint64, fault scenario.FaultModel, 
 		rumors[i] = uint64(1000 + i)
 	}
 	sp.Rumors = rumors
+	if seeds > 1 {
+		return runSeedsSummary(kind, sp, seeds)
+	}
 	r, err := scenario.Run(sp)
 	if err != nil {
 		return err
@@ -218,7 +310,7 @@ func runGossip(n, t int, baseline bool, seed uint64, fault scenario.FaultModel, 
 	return nil
 }
 
-func runCheckpoint(n, t int, baseline bool, seed uint64, fault scenario.FaultModel, jsonOut, implicit bool) error {
+func runCheckpoint(n, t int, baseline bool, seed uint64, fault scenario.FaultModel, jsonOut, implicit bool, seeds int) error {
 	name, kind := "checkpoint/expander", "checkpoint(§6)"
 	if baseline {
 		name, kind = "checkpoint/direct", "checkpoint(direct)"
@@ -228,6 +320,9 @@ func runCheckpoint(n, t int, baseline bool, seed uint64, fault scenario.FaultMod
 	sp.Fault = fault
 	if err := applyImplicit(def, &sp, implicit); err != nil {
 		return err
+	}
+	if seeds > 1 {
+		return runSeedsSummary(kind, sp, seeds)
 	}
 	r, err := scenario.Run(sp)
 	if err != nil {
@@ -243,7 +338,7 @@ func runCheckpoint(n, t int, baseline bool, seed uint64, fault scenario.FaultMod
 	return nil
 }
 
-func runByzantine(n, t int, strategy string, count int, baseline bool, seed uint64, jsonOut, implicit bool) error {
+func runByzantine(n, t int, strategy string, count int, baseline bool, seed uint64, jsonOut, implicit bool, seeds int) error {
 	var strat scenario.ByzantineStrategy
 	switch strategy {
 	case "silence":
@@ -278,6 +373,9 @@ func runByzantine(n, t int, strategy string, count int, baseline bool, seed uint
 	sp.Values = inputs
 	if count > 0 {
 		sp.Fault = scenario.FaultModel{Kind: scenario.ByzantineFaults, Strategy: strat, Corrupted: corrupted}
+	}
+	if seeds > 1 {
+		return runSeedsSummary(kind, sp, seeds)
 	}
 	r, err := scenario.Run(sp)
 	if err != nil {

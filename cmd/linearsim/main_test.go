@@ -59,11 +59,35 @@ func TestRunErrors(t *testing.T) {
 		{"-problem", "consensus", "-n", "60", "-t", "10", "-fault", "partition:from=4,to=4"},
 		{"-problem", "consensus", "-n", "60", "-t", "10", "-fault", "delay:d=0"},
 		{"-problem", "byzantine", "-n", "40", "-t", "4", "-fault", "omission:rate=0.1"},
+		{"-problem", "consensus", "-n", "40", "-t", "8", "-seeds", "0"},
+		{"-problem", "consensus", "-n", "40", "-t", "8", "-seeds", "4", "-json"},
+		{"-problem", "consensus", "-n", "40", "-t", "8", "-seeds", "4", "-trace"},
 	}
 	for _, args := range cases {
 		t.Run(strings.Join(args, " "), func(t *testing.T) {
 			if err := run(args); err == nil {
 				t.Fatalf("run(%v) succeeded, want error", args)
+			}
+		})
+	}
+}
+
+// TestRunSeedsSummary exercises the -seeds sweep for every problem:
+// the sliceable flooding comparator (which rides the bit-sliced
+// engine), the expander scenarios (scalar fallback: their topologies
+// are seed-derived), and byzantine (adaptive, always scalar).
+func TestRunSeedsSummary(t *testing.T) {
+	cases := [][]string{
+		{"-problem", "consensus", "-algo", "flooding", "-n", "40", "-t", "8", "-seeds", "64", "-fault", "random-crashes:count=8,horizon=10"},
+		{"-problem", "consensus", "-n", "60", "-t", "12", "-crashes", "12", "-seeds", "3"},
+		{"-problem", "gossip", "-n", "50", "-t", "10", "-seeds", "3", "-fault", "delay:d=1"},
+		{"-problem", "checkpoint", "-n", "50", "-t", "10", "-seeds", "3"},
+		{"-problem", "byzantine", "-n", "40", "-t", "4", "-byz", "equivocate", "-byzcount", "4", "-seeds", "3"},
+	}
+	for _, args := range cases {
+		t.Run(strings.Join(args, " "), func(t *testing.T) {
+			if err := run(args); err != nil {
+				t.Fatalf("run(%v): %v", args, err)
 			}
 		})
 	}

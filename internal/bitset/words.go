@@ -87,3 +87,29 @@ func (c *LaneCounter) Reset() {
 		c.planes[p] = 0
 	}
 }
+
+// Below returns the mask of lanes whose accumulated count is strictly
+// less than k, without flushing or disturbing the planes. It is the
+// word-parallel comparator of the vertical counter: a bit-sliced
+// subtract count-k computed plane by plane, whose final borrow is
+// exactly the lanes with count < k. Lanes that saw no Add at all have
+// count 0 and are below any positive k. k ≥ 2^32 saturates (every lane
+// is below); k ≤ 0 returns 0.
+func (c *LaneCounter) Below(k int) uint64 {
+	if k <= 0 {
+		return 0
+	}
+	if k >= 1<<laneCounterPlanes {
+		return ^uint64(0)
+	}
+	var borrow uint64
+	for p := 0; p < laneCounterPlanes; p++ {
+		var kp uint64 // bit p of k, broadcast to all lanes
+		if k&(1<<p) != 0 {
+			kp = ^uint64(0)
+		}
+		a := c.planes[p]
+		borrow = (^a & (kp | borrow)) | (kp & borrow)
+	}
+	return borrow
+}

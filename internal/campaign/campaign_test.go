@@ -148,6 +148,59 @@ func TestCampaignBatchEvaluatorMatchesPerCandidate(t *testing.T) {
 	}
 }
 
+// TestCampaignGossipCrashAxisRidesSlicedBatch pins the widened batch
+// path: with a batch evaluator installed, a gossip campaign over the
+// crash-schedule axis must dequeue declarative candidates in batches
+// wider than the worker concurrency — the whole axis rides one
+// scenario.ExecuteBatch call as word lanes (every candidate shares the
+// campaign's topology seed, so they form one sliced group) — while the
+// frontier artifact stays byte-identical to per-candidate evaluation.
+func TestCampaignGossipCrashAxisRidesSlicedBatch(t *testing.T) {
+	spec := Spec{
+		Scenario: "gossip/expander",
+		N:        48,
+		T:        8,
+		Seed:     1,
+		Kinds:    []string{KindCrash},
+		Budget:   Budget{MaxSims: 18, MaxWaves: 2, TopK: 3},
+	}
+	want := runToBytes(t, spec, 2)
+
+	c, err := New(spec, localRun, 2)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	widest := 0
+	c.SetBatchRun(func(_ context.Context, sps []scenario.Spec) ([]*scenario.Report, []error) {
+		if len(sps) > widest {
+			widest = len(sps)
+		}
+		for i, sp := range sps {
+			if !sp.Fault.Declarative() {
+				t.Errorf("batch[%d] fault %v is not declarative", i, sp.Fault.Kind)
+			}
+			if sp.Seed != spec.Seed {
+				t.Errorf("batch[%d] seed %d breaks the shared sliced group", i, sp.Seed)
+			}
+		}
+		return scenario.ExecuteBatch(sps)
+	})
+	fr, err := c.Run(context.Background())
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if widest <= 2 {
+		t.Fatalf("widest batch was %d candidates; want wider than conc=2", widest)
+	}
+	got, err := fr.Encode()
+	if err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	if string(got) != string(want) {
+		t.Fatalf("widened batch evaluation changed the artifact:\n%s\nvs\n%s", got, want)
+	}
+}
+
 // TestCampaignBudget pins that the sim budget is a hard cap and every
 // charged sim lands as a result.
 func TestCampaignBudget(t *testing.T) {

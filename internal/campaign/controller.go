@@ -236,6 +236,23 @@ func (c *Controller) Run(ctx context.Context) (*Frontier, error) {
 			}
 		}
 		k := min(len(c.queue), budgetLeft, c.conc)
+		if c.batchRun != nil {
+			// A batch evaluator turns a run of declarative candidates
+			// at the head of the queue into word lanes of one
+			// bit-sliced engine call, so the batch widens past conc up
+			// to the lane capacity. Candidates are still evaluated and
+			// scored in queue order and the budget is charged per
+			// candidate, so the search — and the frontier artifact —
+			// is unchanged; only throughput moves.
+			wide := min(len(c.queue), budgetLeft, sim.MaxLanes)
+			decl := 0
+			for decl < wide && c.queue[decl].fm.Declarative() {
+				decl++
+			}
+			if decl > k {
+				k = decl
+			}
+		}
 		batch := slices.Clone(c.queue[:k])
 		c.queue = slices.Delete(c.queue, 0, k)
 		// Budget is charged at dequeue: the batch always runs to

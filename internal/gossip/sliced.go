@@ -1,0 +1,450 @@
+package gossip
+
+import (
+	"fmt"
+	"math/bits"
+
+	"lineartime/internal/bitset"
+	"lineartime/internal/consensus"
+	"lineartime/internal/probe"
+	"lineartime/internal/sim"
+)
+
+// SlicedGossip is the lane-parallel implementation of Gossip
+// (Figure 5) for the bit-sliced engine: 64 independent replicas of the
+// protocol over one shared topology, one bit per lane. The per-node
+// extant and completion sets — one bit per node pair in the scalar
+// machine — become 64-lane word planes, so a set merge is an OR over n
+// words for all lanes at once, and the overlay traversal plus phase
+// schedule amortize across the whole batch.
+//
+// Payload contents never ride the wire: a message's SlicedMsg.Tag
+// names its payload type, and for extant/completion sets it also names
+// a snapshot slot — the sender's set planes copied at send time into a
+// ring of maxDelay+1 slots, which receivers merge from at delivery.
+// The snapshot reproduces the scalar Clone-at-send semantics (a
+// receiver merges the sender's state as of the send round, not its
+// live state), and the ring keeps a slot alive until the last delayed
+// copy of its round's messages can arrive. Rumor values are not stored
+// at all: first-write-wins updates make every copy of node u's pair
+// equal to u's own rumor, so presence bits suffice and callers
+// reconstruct values from the per-lane inputs.
+//
+// Equivalence contract (pinned by the scenario-level parity suite):
+// per lane, byte-identical behaviour to the scalar Gossip machine
+// under the same fault layer — same sends in the same order, same
+// merges, same probing pauses and survivals, same halting round.
+// Nothing in the protocol escapes word logic, so the escape mask is
+// always zero.
+type SlicedGossip struct {
+	n, L  int
+	lanes int
+	all   uint64
+
+	phases   int
+	phaseLen int
+	p1End    int
+	p2End    int
+
+	delta    int
+	ringSize int // snapshot slots: maxDelay+1
+
+	// Captured adjacency: inqNbrs[phase][i] is little node i's G_{phase+1}
+	// inquiry overlay (used by Part 1 inquiries and Part 2 pushes alike),
+	// littleNbrs[i] its probing overlay. Captured once at construction so
+	// implicit topologies pay the neighborhood generation once, not per
+	// lane per round.
+	inqNbrs    [][][]int
+	littleNbrs [][]int
+
+	known   []uint64 // [v*n+u]: lanes in which v's extant set has u
+	comp    []uint64 // [i*n+u], i < L: lanes in which i's completion set has u
+	haltedW []uint64 // per node: lanes halted
+	inqFrom [][]inqEntry
+
+	prob *probe.Sliced
+
+	// Snapshot ring: column (slot, i<L) holds i's extant (resp.
+	// completion) planes as of its last send into that slot, and
+	// snapCnt the per-lane extant cardinality for wire accounting.
+	snapExt  []uint64
+	snapComp []uint64
+	snapCnt  [][64]int64
+
+	snapCtr  bitset.LaneCounter
+	probeCtr bitset.LaneCounter
+}
+
+// inqEntry is one Part 1 inquiry awaiting a response: the inquirer and
+// the lanes its inquiry arrived in.
+type inqEntry struct {
+	from  int32
+	lanes uint64
+}
+
+// Message tags: the low bits name the payload type, the rest the
+// snapshot slot for set-carrying payloads.
+const (
+	tagInquiry    = 0
+	tagPair       = 1
+	tagExtant     = 2
+	tagCompletion = 3
+	tagTypeMask   = 3
+	tagSlotShift  = 2
+
+	pairBits = 16 + RumorBits
+)
+
+// NewSlicedGossip builds the lane-parallel machine for `lanes` replicas
+// of Gossip over top, able to absorb link delays up to maxDelay rounds
+// (the largest MaxDelay any lane's link filter declares; 0 when none
+// delay). The constructor materializes every overlay neighborhood it
+// will traverse; an error means an inquiry overlay could not be built.
+func NewSlicedGossip(top *consensus.Topology, lanes, maxDelay int) (*SlicedGossip, error) {
+	if lanes <= 0 || lanes > sim.MaxLanes {
+		return nil, fmt.Errorf("gossip: sliced lanes must be in [1, %d], got %d", sim.MaxLanes, lanes)
+	}
+	if maxDelay < 0 {
+		maxDelay = 0
+	}
+	n, L := top.N, top.L
+	gamma := top.Little.P.Gamma
+	g := &SlicedGossip{
+		n:        n,
+		L:        L,
+		lanes:    lanes,
+		all:      bitset.LaneMask(lanes),
+		delta:    top.Little.P.Delta,
+		ringSize: maxDelay + 1,
+	}
+	g.phases = ceilLog2(n)
+	if g.phases < 1 {
+		g.phases = 1
+	}
+	g.phaseLen = 2 + gamma
+	g.p1End = g.phases * g.phaseLen
+	g.p2End = 2 * g.p1End
+
+	g.inqNbrs = make([][][]int, g.phases)
+	for ph := 0; ph < g.phases; ph++ {
+		o, err := top.Inquiry.Phase(ph + 1)
+		if err != nil {
+			return nil, fmt.Errorf("gossip: inquiry overlay %d: %w", ph+1, err)
+		}
+		row := make([][]int, L)
+		for i := 0; i < L; i++ {
+			row[i] = o.Neighbors(i)
+		}
+		g.inqNbrs[ph] = row
+	}
+	g.littleNbrs = make([][]int, L)
+	for i := 0; i < L; i++ {
+		g.littleNbrs[i] = top.Little.Neighbors(i)
+	}
+	g.prob = probe.NewSliced(L, g.delta)
+
+	g.known = make([]uint64, n*n)
+	g.comp = make([]uint64, L*n)
+	g.haltedW = make([]uint64, n)
+	g.inqFrom = make([][]inqEntry, n)
+	g.snapExt = make([]uint64, g.ringSize*L*n)
+	g.snapComp = make([]uint64, g.ringSize*L*n)
+	g.snapCnt = make([][64]int64, g.ringSize*L)
+	g.Reset()
+	return g, nil
+}
+
+// Reset rearms the machine for a fresh run over the same topology and
+// lane count, allocation-free: every node knows only its own pair,
+// little nodes have completed only themselves, nobody halted or
+// paused. Snapshot slots need no clearing — a run only reads slots its
+// own sends wrote.
+func (g *SlicedGossip) Reset() {
+	clear(g.known)
+	clear(g.comp)
+	clear(g.haltedW)
+	for i := range g.inqFrom {
+		g.inqFrom[i] = g.inqFrom[i][:0]
+	}
+	for v := 0; v < g.n; v++ {
+		g.known[v*g.n+v] = g.all
+	}
+	for i := 0; i < g.L; i++ {
+		g.comp[i*g.n+i] = g.all
+	}
+	g.prob.Reset(g.all)
+}
+
+// N implements sim.SlicedSystem.
+func (g *SlicedGossip) N() int { return g.n }
+
+// Lanes returns the configured lane count.
+func (g *SlicedGossip) Lanes() int { return g.lanes }
+
+// ScheduleLength returns the protocol's fixed round count.
+func (g *SlicedGossip) ScheduleLength() int { return g.p2End }
+
+// Known returns the lanes in which node v's extant set contains u —
+// the per-lane decided output, read by the batch runner to materialize
+// reports.
+func (g *SlicedGossip) Known(v, u int) uint64 { return g.known[v*g.n+u] }
+
+// position decomposes a round into (part, phase, offset-in-phase),
+// mirroring Gossip.position.
+func (g *SlicedGossip) position(round int) (part, phase, off int) {
+	if round < g.p1End {
+		return 1, round / g.phaseLen, round % g.phaseLen
+	}
+	r := round - g.p1End
+	return 2, r / g.phaseLen, r % g.phaseLen
+}
+
+// PartAt maps a round to its gossip part and block, matching the
+// scalar machine's per-part attribution labels.
+func (g *SlicedGossip) PartAt(round int) string {
+	if round >= g.p2End {
+		return ""
+	}
+	part, _, off := g.position(round)
+	switch {
+	case part == 1 && off <= 1:
+		return "p1/inquiry"
+	case part == 1:
+		return "p1/probing"
+	case off == 0:
+		return "p2/push"
+	default:
+		return "p2/probing"
+	}
+}
+
+func (g *SlicedGossip) slot(round int) int { return round % g.ringSize }
+
+// snapshotExtant copies node's extant planes into the slot's column
+// and records the per-lane cardinality for wire-size accounting.
+func (g *SlicedGossip) snapshotExtant(slot, node int) {
+	src := g.known[node*g.n:][:g.n]
+	col := g.snapExt[(slot*g.L+node)*g.n:][:g.n]
+	g.snapCtr.Reset()
+	for u := range src {
+		col[u] = src[u]
+		g.snapCtr.Add(src[u])
+	}
+	cnt := &g.snapCnt[slot*g.L+node]
+	*cnt = [64]int64{}
+	g.snapCtr.Flush(cnt)
+}
+
+// snapshotComp copies node's completion planes into the slot's column.
+// Completion payloads have lane-independent wire size (one bitmap), so
+// no cardinality is recorded.
+func (g *SlicedGossip) snapshotComp(slot, node int) {
+	src := g.comp[node*g.n:][:g.n]
+	col := g.snapComp[(slot*g.L+node)*g.n:][:g.n]
+	copy(col, src)
+}
+
+// SlicedSend implements sim.SlicedSystem, mirroring Gossip.Send per
+// lane: the append order filtered to a lane is exactly the scalar
+// machine's emission order in that lane.
+func (g *SlicedGossip) SlicedSend(round, node int, active uint64, out []sim.SlicedMsg) ([]sim.SlicedMsg, uint64) {
+	if round >= g.p2End {
+		return out, 0
+	}
+	part, phase, off := g.position(round)
+	switch off {
+	case 0: // inquiry (Part 1) / push (Part 2) round: little nodes only
+		if node >= g.L {
+			return out, 0
+		}
+		gate := active
+		if phase > 0 {
+			gate &= g.prob.SurvivedMask(node)
+		}
+		if gate == 0 {
+			return out, 0
+		}
+		base := node * g.n
+		if part == 1 {
+			for _, u := range g.inqNbrs[phase][node] {
+				if m := gate &^ g.known[base+u]; m != 0 {
+					out = append(out, sim.SlicedMsg{From: int32(node), To: int32(u), Lanes: m, Tag: tagInquiry})
+				}
+			}
+			return out, 0
+		}
+		slot := g.slot(round)
+		tag := uint32(tagExtant | slot<<tagSlotShift)
+		var need uint64
+		for _, u := range g.inqNbrs[phase][node] {
+			if m := gate &^ g.comp[base+u]; m != 0 {
+				g.comp[base+u] |= m
+				need |= m
+				out = append(out, sim.SlicedMsg{From: int32(node), To: int32(u), Lanes: m, Tag: tag})
+			}
+		}
+		if need != 0 {
+			g.snapshotExtant(slot, node)
+		}
+		return out, 0
+	case 1: // response round (Part 1 only)
+		if part == 1 && len(g.inqFrom[node]) > 0 {
+			for _, e := range g.inqFrom[node] {
+				out = append(out, sim.SlicedMsg{From: int32(node), To: e.from, Lanes: e.lanes, Tag: tagPair})
+			}
+			g.inqFrom[node] = g.inqFrom[node][:0]
+		}
+		return out, 0
+	default: // probing rounds: little nodes only
+		if node >= g.L {
+			return out, 0
+		}
+		send := g.prob.SendMask(node, active)
+		nbrs := g.littleNbrs[node]
+		if send == 0 || len(nbrs) == 0 {
+			return out, 0
+		}
+		slot := g.slot(round)
+		var tag uint32
+		if part == 1 {
+			g.snapshotExtant(slot, node)
+			tag = uint32(tagExtant | slot<<tagSlotShift)
+		} else {
+			g.snapshotComp(slot, node)
+			tag = uint32(tagCompletion | slot<<tagSlotShift)
+		}
+		for _, u := range nbrs {
+			out = append(out, sim.SlicedMsg{From: int32(node), To: int32(u), Lanes: send, Tag: tag})
+		}
+		return out, 0
+	}
+}
+
+// mergeExtant ORs the sender's snapshotted extant planes into node's,
+// confined to the lanes the message arrived in.
+func (g *SlicedGossip) mergeExtant(node int, m *sim.SlicedMsg, eff uint64) {
+	src := g.snapExt[(int(m.Tag>>tagSlotShift)*g.L+int(m.From))*g.n:][:g.n]
+	dst := g.known[node*g.n:][:g.n]
+	for u := range dst {
+		dst[u] |= src[u] & eff
+	}
+}
+
+// mergeComp ORs the sender's snapshotted completion planes into
+// node's. Callers guarantee node < L.
+func (g *SlicedGossip) mergeComp(node int, m *sim.SlicedMsg, eff uint64) {
+	src := g.snapComp[(int(m.Tag>>tagSlotShift)*g.L+int(m.From))*g.n:][:g.n]
+	dst := g.comp[node*g.n:][:g.n]
+	for u := range dst {
+		dst[u] |= src[u] & eff
+	}
+}
+
+// SlicedDeliver implements sim.SlicedSystem, mirroring Gossip.Deliver:
+// each (part, offset) block accepts exactly the payload types the
+// scalar type switch accepts there, so delayed messages crossing into
+// the wrong block are dropped or absorbed identically.
+func (g *SlicedGossip) SlicedDeliver(round, node int, active uint64, inbox []sim.SlicedMsg) uint64 {
+	if round >= g.p2End {
+		return 0
+	}
+	part, phase, off := g.position(round)
+	switch {
+	case off == 0 && part == 1: // inquiry arrivals
+		for i := range inbox {
+			m := &inbox[i]
+			if m.Tag&tagTypeMask != tagInquiry {
+				continue
+			}
+			if eff := m.Lanes & active; eff != 0 {
+				g.inqFrom[node] = append(g.inqFrom[node], inqEntry{from: m.From, lanes: eff})
+			}
+		}
+	case off == 0: // Part 2 push arrivals: absorb pushed extant sets
+		for i := range inbox {
+			m := &inbox[i]
+			if m.Tag&tagTypeMask != tagExtant {
+				continue
+			}
+			if eff := m.Lanes & active; eff != 0 {
+				g.mergeExtant(node, m, eff)
+			}
+		}
+	case off == 1: // response arrivals (Part 1 only)
+		if part == 1 {
+			for i := range inbox {
+				m := &inbox[i]
+				if m.Tag&tagTypeMask != tagPair {
+					continue
+				}
+				// The responder sends its own pair, whose value is
+				// determined by the sender name — presence is the state.
+				g.known[node*g.n+int(m.From)] |= m.Lanes & active
+			}
+		}
+	default: // probing rounds
+		if node < g.L {
+			g.probeCtr.Reset()
+			for i := range inbox {
+				m := &inbox[i]
+				eff := m.Lanes & active
+				if eff == 0 {
+					continue
+				}
+				switch m.Tag & tagTypeMask {
+				case tagExtant:
+					g.probeCtr.Add(eff)
+					g.mergeExtant(node, m, eff)
+				case tagCompletion:
+					g.probeCtr.Add(eff)
+					g.mergeComp(node, m, eff)
+				}
+			}
+			g.prob.Observe(node, &g.probeCtr, active)
+			if off == g.phaseLen-1 {
+				g.prob.FinishPhase(node, active, phase+1 < g.phases || part == 1)
+			}
+		}
+	}
+	if round == g.p2End-1 {
+		g.haltedW[node] |= active
+	}
+	return 0
+}
+
+// HaltedLanes implements sim.SlicedSystem.
+func (g *SlicedGossip) HaltedLanes(node int) uint64 { return g.haltedW[node] }
+
+// AddSlicedBits implements sim.SlicedSizer: per-lane wire sizes
+// matching the scalar payloads — 1 bit per inquiry, a name and a rumor
+// per pair, a bitmap per completion set, and a bitmap plus the
+// snapshotted per-lane cardinality of rumors per extant set.
+func (g *SlicedGossip) AddSlicedBits(m sim.SlicedMsg, lanes uint64, acc *[64]int64) {
+	switch m.Tag & tagTypeMask {
+	case tagInquiry:
+		for w := lanes; w != 0; w &= w - 1 {
+			acc[bits.TrailingZeros64(w)]++
+		}
+	case tagPair:
+		for w := lanes; w != 0; w &= w - 1 {
+			acc[bits.TrailingZeros64(w)] += pairBits
+		}
+	case tagCompletion:
+		nb := int64(g.n)
+		for w := lanes; w != 0; w &= w - 1 {
+			acc[bits.TrailingZeros64(w)] += nb
+		}
+	case tagExtant:
+		cnt := &g.snapCnt[int(m.Tag>>tagSlotShift)*g.L+int(m.From)]
+		nb := int64(g.n)
+		for w := lanes; w != 0; w &= w - 1 {
+			lane := bits.TrailingZeros64(w)
+			acc[lane] += nb + RumorBits*cnt[lane]
+		}
+	}
+}
+
+var (
+	_ sim.SlicedSystem = (*SlicedGossip)(nil)
+	_ sim.SlicedSizer  = (*SlicedGossip)(nil)
+)

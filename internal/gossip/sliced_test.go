@@ -1,0 +1,113 @@
+package gossip
+
+import (
+	"testing"
+
+	"lineartime/internal/consensus"
+	"lineartime/internal/sim"
+)
+
+// allocCrashPlan is a declarative crash schedule with a pre-built event
+// slice, so CrashEvents is allocation-free (the real crash adversaries
+// rebuild their slices per call, which would charge the steady-state
+// guard for the fault model instead of the engine).
+type allocCrashPlan struct{ events []sim.CrashEvent }
+
+func (p allocCrashPlan) FilterSend(round int, from sim.NodeID, out []sim.Envelope) ([]sim.Envelope, bool) {
+	for _, e := range p.events {
+		if e.Node == from && e.Round == round {
+			if e.Keep < 0 || e.Keep >= len(out) {
+				return out, true
+			}
+			return out[:e.Keep], true
+		}
+	}
+	return out, false
+}
+
+func (p allocCrashPlan) CrashEvents() []sim.CrashEvent { return p.events }
+
+// allocDelayLink is a stateless payload-independent drop/delay filter
+// embedding NoFailures for the empty crash declaration, like
+// internal/link's models.
+type allocDelayLink struct {
+	sim.NoFailures
+	d    int
+	seed uint64
+}
+
+func (h allocDelayLink) FilterLink(round int, env sim.Envelope) sim.Verdict {
+	x := h.seed
+	x ^= uint64(round) * 0x9e3779b97f4a7c15
+	x ^= uint64(env.From) * 0xbf58476d1ce4e5b9
+	x ^= uint64(env.To) * 0x94d049bb133111eb
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	switch p := x % 100; {
+	case p < 10:
+		return sim.Drop
+	case p < 30:
+		return sim.DelayBy(1 + int((x>>32)%uint64(h.d)))
+	default:
+		return sim.Deliver
+	}
+}
+
+func (h allocDelayLink) MaxDelay() int { return h.d }
+
+// TestRuntimeSlicedGossipSteadyStateAllocs is the sliced gossip path's
+// 0-alloc guard: one SlicedGossip machine reset across pooled engine
+// runs at full lane width — with per-lane crash schedules and delaying
+// link filters in the mix — must be allocation-free once the arena and
+// the machine's buffers have grown to the shape's peak.
+func TestRuntimeSlicedGossipSteadyStateAllocs(t *testing.T) {
+	const n, tBound, lanes, maxDelay = 96, 16, 64, 2
+	top, err := consensus.NewTopology(n, tBound, consensus.TopologyOptions{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	faults := make([]sim.LinkFault, lanes)
+	for lane := range faults {
+		switch lane % 3 {
+		case 1:
+			faults[lane] = allocCrashPlan{events: []sim.CrashEvent{
+				{Node: sim.NodeID(lane % n), Round: lane % 7, Keep: lane%4 - 1},
+				{Node: sim.NodeID((lane + 40) % n), Round: lane % 11, Keep: -1},
+			}}
+		case 2:
+			faults[lane] = allocDelayLink{d: maxDelay, seed: uint64(900 + lane)}
+		}
+	}
+	sys, err := NewSlicedGossip(top, lanes, maxDelay)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := sim.SlicedConfig{
+		System:    sys,
+		Lanes:     lanes,
+		MaxRounds: sys.ScheduleLength() + 8,
+		Faults:    faults,
+	}
+	rt := sim.NewRuntime()
+	var runErr error
+	oneRun := func() {
+		sys.Reset()
+		if _, err := rt.RunSliced(cfg); err != nil {
+			runErr = err
+		}
+	}
+	// Two warmup runs grow every buffer — engine arena and the
+	// machine's inquiry lists — to the shape's peak.
+	oneRun()
+	oneRun()
+	if runErr != nil {
+		t.Fatal(runErr)
+	}
+	if allocs := testing.AllocsPerRun(5, oneRun); allocs != 0 {
+		t.Fatalf("steady-state sliced gossip run allocated %.1f times; want 0", allocs)
+	}
+	if runErr != nil {
+		t.Fatal(runErr)
+	}
+}

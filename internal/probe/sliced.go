@@ -1,0 +1,70 @@
+package probe
+
+import "lineartime/internal/bitset"
+
+// Sliced is the lane-parallel probing automaton: 64 independent
+// replicas of Probing per node ride one uint64, bit b holding lane b's
+// pause/survive state. The caller owns the phase structure (which
+// rounds are probing rounds, when a phase ends) exactly as scalar
+// callers own the round mapping; Sliced tracks only the per-lane
+// pause/survive words. Equivalence contract: for every lane, the word
+// automaton transitions exactly as a scalar Probing instance observing
+// that lane's message counts would.
+type Sliced struct {
+	delta    int
+	paused   []uint64 // per node: lanes paused in the current instance
+	survived []uint64 // per node: lanes that survived the previous instance
+}
+
+// NewSliced returns the automaton for `nodes` probing participants
+// with survival threshold delta, all lanes unpaused and marked as
+// survivors (the scalar machines start with survivedPrev = true).
+func NewSliced(nodes, delta int) *Sliced {
+	if delta < 0 {
+		delta = 0
+	}
+	return &Sliced{
+		delta:    delta,
+		paused:   make([]uint64, nodes),
+		survived: make([]uint64, nodes),
+	}
+}
+
+// Reset rearms every node for a fresh run: no lane paused, every lane
+// of `all` a survivor.
+func (p *Sliced) Reset(all uint64) {
+	for i := range p.paused {
+		p.paused[i] = 0
+		p.survived[i] = all
+	}
+}
+
+// SendMask returns the lanes in which node sends probes this round:
+// active and not paused (mid-instance the scalar automaton is Active
+// iff it has not paused).
+func (p *Sliced) SendMask(node int, active uint64) uint64 {
+	return active &^ p.paused[node]
+}
+
+// Observe folds one probing round's arrivals into node's pause state:
+// ctr must hold the per-lane message counts of the round (unflushed),
+// and every active lane whose count is below δ pauses. Lanes that saw
+// no message at all have count zero and pause like scalar Observe(0).
+func (p *Sliced) Observe(node int, ctr *bitset.LaneCounter, active uint64) {
+	p.paused[node] |= ctr.Below(p.delta) & active
+}
+
+// FinishPhase ends the instance after its last Observe: active lanes
+// that never paused become the survivors. With rearm set the instance
+// is reset for the next phase (scalar Probing.Reset); the final phase
+// of a protocol leaves the automaton done, like its scalar twin.
+func (p *Sliced) FinishPhase(node int, active uint64, rearm bool) {
+	p.survived[node] = (p.survived[node] &^ active) | (active &^ p.paused[node])
+	if rearm {
+		p.paused[node] &^= active
+	}
+}
+
+// SurvivedMask returns the lanes in which node survived the previous
+// instance.
+func (p *Sliced) SurvivedMask(node int) uint64 { return p.survived[node] }

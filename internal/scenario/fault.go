@@ -125,6 +125,25 @@ type FaultModel struct {
 	Delay int
 }
 
+// Declarative reports whether the fault model's behaviour is fully
+// described by data known before the run — a fixed crash schedule plus
+// payload-independent link verdicts — which is what the bit-sliced
+// engine can replay as per-lane word masks. This is the single
+// slice-eligibility predicate: scenario slicing and the campaign batch
+// evaluator both consult it, so a new fault kind cannot be sliceable in
+// one and scalar in the other. ByzantineFaults is the one adaptive
+// model (corrupted protocols react to traffic), and unknown kinds are
+// conservatively non-declarative.
+func (f FaultModel) Declarative() bool {
+	switch f.Kind {
+	case NoFailures, CrashSchedule, RandomCrashes, CascadeCrashes,
+		TargetLittleCrashes, OmissionFaults, PartitionWindow, DelayedLinks:
+		return true
+	default:
+		return false
+	}
+}
+
 // adversarySeed resolves the adversary seed for a run seed.
 func (f FaultModel) adversarySeed(runSeed uint64) uint64 {
 	if f.Seed != 0 {

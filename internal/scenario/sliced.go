@@ -5,6 +5,7 @@ import (
 	"sync"
 
 	"lineartime/internal/consensus"
+	"lineartime/internal/gossip"
 	"lineartime/internal/sim"
 )
 
@@ -18,21 +19,35 @@ import (
 // byte-for-byte what the scalar path would have produced for that Spec.
 
 // sliceable reports whether a spec can run on the bit-sliced engine.
-// The sliced path covers the flooding comparator (the one natively
-// lane-parallel system, consensus.SlicedFlooding) under every
-// declarative fault model; adaptive adversaries and the remaining
-// protocol stacks keep the scalar engine. EXPERIMENTS.md ("Performance
-// model") documents the rule.
+// The sliced path covers the two natively lane-parallel systems — the
+// flooding comparator (consensus.SlicedFlooding) and the paper's
+// multi-port expander gossip (gossip.SlicedGossip) — under every
+// declarative fault model (FaultModel.Declarative); adaptive
+// adversaries and the remaining protocol stacks keep the scalar
+// engine. EXPERIMENTS.md ("Performance model") documents the rule.
 func sliceable(sp Spec) bool {
-	if sp.Problem != Consensus || sp.Algorithm != Flooding || sp.Port != MultiPort {
+	if !sp.Fault.Declarative() {
 		return false
 	}
-	switch sp.Fault.Kind {
-	case NoFailures, CrashSchedule, RandomCrashes, CascadeCrashes,
-		TargetLittleCrashes, OmissionFaults, PartitionWindow, DelayedLinks:
+	switch {
+	case sp.Problem == Consensus && sp.Algorithm == Flooding && sp.Port == MultiPort:
+		return true
+	case sp.Problem == Gossip && sp.Algorithm == GossipExpander && sp.Port == MultiPort:
 		return true
 	default:
 		return false
+	}
+}
+
+// batchInputsOK checks the per-problem input-length precondition the
+// scalar materializers enforce; anything that fails runs scalar so the
+// caller sees the exact scalar error.
+func batchInputsOK(sp Spec) bool {
+	switch sp.Problem {
+	case Gossip:
+		return len(sp.Rumors) == sp.N
+	default:
+		return len(sp.BoolInputs) == sp.N
 	}
 }
 
@@ -45,21 +60,49 @@ func slackOf(sp Spec) int {
 }
 
 // groupKey identifies specs that may share one sliced run: the lanes
-// of a run share the system (n, t, inputs) and the round budget; the
-// fault model and seed are per-lane.
+// of a run share the system and the round budget; the fault model and
+// seed are per-lane wherever the system does not depend on them.
+// Flooding has no topology, so its seeds differ freely across lanes —
+// that is what makes RunSeeds a single group. Gossip's overlays are
+// derived from (seed, topology family, degree), so those fields join
+// the key; its rumor values stay per-lane (first-write-wins updates
+// make values behaviour-independent).
 type groupKey struct {
+	problem     Problem
+	algorithm   Algorithm
+	port        PortModel
 	n, t, slack int
 	inputs      string
+	seed        uint64
+	topology    TopologyKind
+	implicit    bool
+	degree      int
 }
 
 func keyOf(sp Spec) groupKey {
+	k := groupKey{
+		problem:   sp.Problem,
+		algorithm: sp.Algorithm,
+		port:      sp.Port,
+		n:         sp.N,
+		t:         sp.T,
+		slack:     slackOf(sp),
+	}
+	if sp.Problem == Gossip {
+		k.seed = sp.Seed
+		k.topology = sp.Topology
+		k.implicit = sp.Implicit
+		k.degree = sp.Degree
+		return k
+	}
 	in := make([]byte, len(sp.BoolInputs))
 	for i, b := range sp.BoolInputs {
 		if b {
 			in[i] = 1
 		}
 	}
-	return groupKey{n: sp.N, t: sp.T, slack: slackOf(sp), inputs: string(in)}
+	k.inputs = string(in)
+	return k
 }
 
 // RunSeeds runs one spec under many seeds — the multi-seed sweep and
@@ -91,7 +134,7 @@ func ExecuteBatch(sps []Spec) ([]*Report, []error) {
 	for i, sp := range sps {
 		// Anything that would fail Run's preconditions goes scalar so
 		// the caller sees the exact scalar error.
-		if !sliceable(sp) || sp.N <= 0 || len(sp.BoolInputs) != sp.N ||
+		if !sliceable(sp) || sp.N <= 0 || !batchInputsOK(sp) ||
 			sp.Fault.validate(sp) != nil {
 			scalar = append(scalar, i)
 			continue
@@ -107,6 +150,14 @@ func ExecuteBatch(sps []Spec) ([]*Report, []error) {
 		rt := runtimes.Get().(*sim.Runtime)
 		for _, k := range order {
 			idx := groups[k]
+			if k.problem == Gossip && len(idx) < 2 {
+				// A gossip group needs a shared topology; a lone lane
+				// gains nothing from the word engine (its n² plane setup
+				// and n-word merges serve one replica), so the scalar
+				// path is both faster and trivially exact.
+				scalar = append(scalar, idx...)
+				continue
+			}
 			for base := 0; base < len(idx); base += sim.MaxLanes {
 				end := base + sim.MaxLanes
 				if end > len(idx) {
@@ -161,9 +212,14 @@ func runScalar(sps []Spec, idx []int, reports []*Report, errs []error) {
 // runSlicedChunk executes up to 64 same-shape specs as the lanes of one
 // sliced engine run and materializes each lane into its spec's report.
 // Any failure to slice — a fault without a declarative crash plan, an
-// escaped lane — falls back to the scalar runner for the affected
-// specs, preserving exact scalar results.
+// escaped lane, a topology that cannot be built — falls back to the
+// scalar runner for the affected specs, preserving exact scalar
+// results.
 func runSlicedChunk(rt *sim.Runtime, sps []Spec, idx []int, reports []*Report, errs []error) {
+	if sps[idx[0]].Problem == Gossip {
+		runSlicedGossipChunk(rt, sps, idx, reports, errs)
+		return
+	}
 	fallback := func(lanes ...int) {
 		for _, lane := range lanes {
 			i := idx[lane]
@@ -229,6 +285,76 @@ func runSlicedChunk(rt *sim.Runtime, sps []Spec, idx []int, reports []*Report, e
 	fallback(escaped...)
 }
 
+// runSlicedGossipChunk is runSlicedChunk's gossip arm: the lanes share
+// one expander topology (identical by group key) and one
+// gossip.SlicedGossip machine, with per-lane fault layers.
+func runSlicedGossipChunk(rt *sim.Runtime, sps []Spec, idx []int, reports []*Report, errs []error) {
+	fallback := func(lanes ...int) {
+		for _, lane := range lanes {
+			i := idx[lane]
+			reports[i], errs[i] = Run(sps[i])
+		}
+	}
+	all := make([]int, len(idx))
+	for lane := range idx {
+		all[lane] = lane
+	}
+
+	shape := sps[idx[0]]
+	top, err := shape.newTopology(shape.N, shape.T)
+	if err != nil {
+		fallback(all...)
+		return
+	}
+	faults := make([]sim.LinkFault, len(idx))
+	maxDelay := 0
+	for lane, i := range idx {
+		sp := sps[i]
+		f, err := sp.Fault.LinkFault(sp.N, sp.T, top.L, sp.Seed)
+		if err != nil {
+			fallback(all...)
+			return
+		}
+		faults[lane] = f
+		if lf, ok := f.(sim.LinkFilter); ok {
+			if d := lf.MaxDelay(); d > maxDelay {
+				maxDelay = d
+			}
+		}
+	}
+
+	sys, err := gossip.NewSlicedGossip(top, len(idx), maxDelay)
+	if err != nil {
+		fallback(all...)
+		return
+	}
+	res, err := rt.RunSliced(sim.SlicedConfig{
+		System:    sys,
+		Lanes:     len(idx),
+		MaxRounds: sys.ScheduleLength() + slackOf(shape),
+		Faults:    faults,
+	})
+	if err != nil {
+		fallback(all...)
+		return
+	}
+
+	var escaped []int
+	for lane, i := range idx {
+		lr := &res.Lanes[lane]
+		if lr.Escaped {
+			escaped = append(escaped, lane)
+			continue
+		}
+		if lr.Err != nil {
+			errs[i] = lr.Err
+			continue
+		}
+		reports[i] = gossipLaneReport(sps[i], sys, lane, lr)
+	}
+	fallback(escaped...)
+}
+
 // laneReport mirrors Runner.Run's consensus finish for one lane: same
 // metrics mapping, same crash list, same agreement/validity rules over
 // the lane's decisions.
@@ -279,5 +405,76 @@ func laneReport(sp Spec, sys *consensus.SlicedFlooding, lane int, lr *sim.LaneRe
 		}
 	}
 	rep.Consensus = out
+	return rep
+}
+
+// gossipLaneReport mirrors Runner.Run's gossip finish for one lane:
+// the same metrics (with the per-part attribution the scalar
+// PartLabeler would have recorded, reconstructed from the per-round
+// series), the same extant views (rumor values come from the lane's
+// inputs — first-write-wins makes every copy of node j's pair equal to
+// j's own rumor) and the same completeness rule.
+func gossipLaneReport(sp Spec, sys *gossip.SlicedGossip, lane int, lr *sim.LaneResult) *Report {
+	rep := &Report{
+		Scenario:  sp.Name,
+		Problem:   sp.Problem,
+		Algorithm: sp.Algorithm,
+		Port:      sp.Port,
+		N:         sp.N,
+		T:         sp.T,
+		Metrics: Metrics{
+			Rounds:   lr.Metrics.Rounds,
+			Messages: lr.Metrics.Messages,
+			Bits:     lr.Metrics.Bits,
+		},
+		Crashed: lr.Crashed.Elements(),
+	}
+	// The scalar engine labels a round's traffic with the schedule
+	// part at the accounting point; rounds without traffic contribute
+	// nothing, and a run with no labeled traffic leaves PerPart nil
+	// (toMetrics copies only non-empty maps).
+	var perPart map[string]int64
+	for r, c := range lr.Metrics.PerRoundMessages {
+		if c == 0 {
+			continue
+		}
+		if label := sys.PartAt(r); label != "" {
+			if perPart == nil {
+				perPart = make(map[string]int64)
+			}
+			perPart[label] += c
+		}
+	}
+	rep.Metrics.PerPart = perPart
+
+	bit := uint64(1) << lane
+	out := &GossipOutcome{
+		Extant:   make([]map[int]uint64, sp.N),
+		Complete: true,
+	}
+	for i := 0; i < sp.N; i++ {
+		if lr.Crashed.Contains(i) {
+			continue
+		}
+		// Pre-size the view to its exact cardinality: the views carry
+		// n entries each at full propagation, and letting the map grow
+		// incrementally costs more than the whole sliced run.
+		count := 0
+		for j := 0; j < sp.N; j++ {
+			if sys.Known(i, j)&bit != 0 {
+				count++
+			}
+		}
+		view := make(map[int]uint64, count)
+		for j := 0; j < sp.N; j++ {
+			if sys.Known(i, j)&bit != 0 {
+				view[j] = sp.Rumors[j]
+			} else if out.Complete && !lr.Crashed.Contains(j) {
+				out.Complete = false
+			}
+		}
+		out.Extant[i] = view
+	}
+	rep.Gossip = out
 	return rep
 }

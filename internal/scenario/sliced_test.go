@@ -22,9 +22,10 @@ func sameOutcome(t *testing.T, tag string, wantRep *Report, wantErr error, gotRe
 // TestExecuteBatchMatchesScalarAcrossRegistry runs every registry row —
 // protocol stacks, the E12 fault rows, the E13 chaos rows — under
 // several seeds through one mixed ExecuteBatch call and pins every
-// report byte-identical to the scalar Runner. The flooding rows ride
-// the sliced engine; everything else takes the scalar fallback inside
-// the same batch.
+// report byte-identical to the scalar Runner. Sliceable rows get the
+// full 64-seed lane width (the 64-for-1 oracle: one sliced run checks
+// a word of seeds at once); the rest keep a 3-seed spot check and take
+// the scalar fallback inside the same batch.
 func TestExecuteBatchMatchesScalarAcrossRegistry(t *testing.T) {
 	var specs []Spec
 	var tags []string
@@ -33,7 +34,11 @@ func TestExecuteBatchMatchesScalarAcrossRegistry(t *testing.T) {
 		if d.Problem == ByzantineConsensus {
 			tt = 4
 		}
-		for seed := uint64(1); seed <= 3; seed++ {
+		seeds := uint64(3)
+		if sliceable(d.Spec(n, tt, 1)) {
+			seeds = 64
+		}
+		for seed := uint64(1); seed <= seeds; seed++ {
 			specs = append(specs, d.Spec(n, tt, seed))
 			tags = append(tags, fmt.Sprintf("%s seed=%d", d.Name, seed))
 		}
@@ -90,6 +95,68 @@ func TestRunSeedsMatchesScalarPerLane(t *testing.T) {
 				wantRep, wantErr := Run(lane)
 				sameOutcome(t, fmt.Sprintf("seed %d", seed), wantRep, wantErr, reports[i], errs[i])
 			}
+		})
+	}
+}
+
+// TestGossipBatchMatchesScalarPerLane pins the sliced gossip path at
+// full width: every sliceable gossip registry row (the chaos row
+// included), 64 lanes sharing the row's topology seed with per-lane
+// fault models cycling through the whole declarative template —
+// mixed-kind groups, so crash schedules, omission patterns, partitions
+// and delays ride one engine run together — each lane byte-identical
+// to its scalar run. One lane per row is additionally pinned against
+// the parallel scalar engine, covering all three call sites.
+func TestGossipBatchMatchesScalarPerLane(t *testing.T) {
+	const n, tt = 60, 10
+	template := []FaultModel{
+		{Kind: NoFailures},
+		{Kind: CrashSchedule, Schedule: []CrashEvent{
+			{Node: 0, Round: 0, Keep: 0},
+			{Node: 5, Round: 1, Keep: 2},
+			{Node: 9, Round: 3, Keep: -1},
+		}},
+		{Kind: RandomCrashes, Count: tt, Horizon: tt + 2},
+		{Kind: CascadeCrashes, Count: tt, Keep: 1},
+		{Kind: TargetLittleCrashes, Count: tt},
+		{Kind: OmissionFaults, Rate: 0.15},
+		{Kind: PartitionWindow, WindowStart: 1, WindowEnd: 3},
+		{Kind: DelayedLinks, Delay: 2},
+	}
+	rows := []string{
+		"gossip/expander",
+		"gossip/expander/omission",
+		"gossip/expander/delay",
+		"gossip/expander/chaos",
+	}
+	for _, name := range rows {
+		t.Run(name, func(t *testing.T) {
+			base := MustLookup(name).Spec(n, tt, 1)
+			if !sliceable(base) {
+				t.Fatalf("%s must be sliceable", name)
+			}
+			specs := make([]Spec, 64)
+			for i := range specs {
+				specs[i] = base
+				f := template[i%len(template)]
+				// Distinct adversary seeds keep the lanes genuinely
+				// divergent while the topology seed stays shared.
+				f.Seed = uint64(900 + i)
+				specs[i].Fault = f
+				if !sliceable(specs[i]) || keyOf(specs[i]) != keyOf(base) {
+					t.Fatalf("lane %d must share the row's sliced group", i)
+				}
+			}
+			reports, errs := ExecuteBatch(specs)
+			for i, sp := range specs {
+				wantRep, wantErr := Run(sp)
+				sameOutcome(t, fmt.Sprintf("lane %d (%v)", i, sp.Fault.Kind), wantRep, wantErr, reports[i], errs[i])
+			}
+			// Parallel scalar call site: same report again for one lane.
+			par := specs[7]
+			par.Exec = Parallel(2)
+			parRep, parErr := Run(par)
+			sameOutcome(t, "parallel scalar", parRep, parErr, reports[7], errs[7])
 		})
 	}
 }

@@ -37,14 +37,18 @@ import (
 
 // SlicedMsg is one point-to-point message across all lanes: Lanes marks
 // the lanes in which the message exists, Bits carries the one-bit
-// payload per existing lane (Bits ⊆ Lanes). Sliced payloads are always
-// a single bit — wire.go already packs the scalar hot path's Bit
-// payloads inline, and the sliced engine keeps only that fast case;
-// anything else escapes to the scalar path.
+// payload per existing lane (Bits ⊆ Lanes). Systems whose payloads are
+// not single bits (sliced gossip) keep the payload content in their own
+// lane planes and use Tag to name it: the engine never interprets Tag,
+// only carries it — through the delay ring included — so a receiver can
+// dispatch on it at delivery. Such systems size their traffic through
+// SlicedSizer; everything the word-wide step cannot express escapes to
+// the scalar path.
 type SlicedMsg struct {
 	From, To int32
 	Lanes    uint64
 	Bits     uint64
+	Tag      uint32
 }
 
 // SlicedSystem is a lane-parallel program: one state machine whose
@@ -71,6 +75,16 @@ type SlicedSystem interface {
 	// HaltedLanes returns the lanes in which node has voluntarily
 	// halted. Halting is irrevocable, as in the scalar engine.
 	HaltedLanes(node int) uint64
+}
+
+// SlicedSizer is optionally implemented by sliced systems whose
+// payloads are not single bits. AddSlicedBits adds the payload size of
+// m, per lane of `lanes` (the post-crash mask the engine counted the
+// message in), into acc — the same accounting point at which the scalar
+// engine calls Payload.SizeBits. Systems that don't implement it get
+// bits == messages, the 1-bit default.
+type SlicedSizer interface {
+	AddSlicedBits(m SlicedMsg, lanes uint64, acc *[64]int64)
 }
 
 // CrashEvent is one node-level crash in declarative form: at Round, the
@@ -217,6 +231,7 @@ func (d *slicedRing) take(round int) []SlicedMsg {
 type slicedState struct {
 	cfg   SlicedConfig
 	sys   SlicedSystem
+	sizer SlicedSizer // non-nil iff sys sizes its own payloads
 	n     int
 	lanes int
 	all   uint64 // mask of configured lanes
@@ -257,6 +272,7 @@ type slicedState struct {
 	ctr         bitset.LaneCounter
 	roundCounts [64]int64
 	msgs        [64]int64
+	bitsAcc     [64]int64 // per-lane payload bits, used iff sizer != nil
 	perRound    [][]int64
 	haltedAt    [][]int
 	crashedSets []*bitset.Set
@@ -287,6 +303,7 @@ func (s *slicedState) reset(cfg SlicedConfig) error {
 	}
 	s.cfg = cfg
 	s.sys = sys
+	s.sizer, _ = sys.(SlicedSizer)
 	s.n = n
 	s.lanes = cfg.Lanes
 	s.all = bitset.LaneMask(cfg.Lanes)
@@ -369,6 +386,7 @@ func (s *slicedState) reset(cfg SlicedConfig) error {
 	s.ctr.Reset()
 	s.roundCounts = [64]int64{}
 	s.msgs = [64]int64{}
+	s.bitsAcc = [64]int64{}
 	if s.perRound == nil {
 		s.perRound = make([][]int64, 64)
 	}
@@ -408,6 +426,7 @@ func (s *slicedState) reset(cfg SlicedConfig) error {
 func (s *slicedState) detach() {
 	s.cfg = SlicedConfig{}
 	s.sys = nil
+	s.sizer = nil
 	for i := range s.filters {
 		s.filters[i] = nil
 	}
@@ -509,6 +528,9 @@ func (s *slicedState) round(r int) error {
 		for i := range seg {
 			if m := seg[i].Lanes & exec; m != 0 {
 				s.ctr.Add(m)
+				if s.sizer != nil {
+					s.sizer.AddSlicedBits(seg[i], m, &s.bitsAcc)
+				}
 			}
 		}
 		if s.filtered != 0 && len(seg) > 0 {
@@ -655,7 +677,7 @@ func (s *slicedState) filterSegment(r int, seg []SlicedMsg) error {
 		}
 		for w := delayed; w != 0; w &= w - 1 {
 			k := bits.TrailingZeros64(w)
-			s.ring.push(r+k, SlicedMsg{From: m.From, To: m.To, Lanes: s.delayLanes[k], Bits: s.delayBits[k]})
+			s.ring.push(r+k, SlicedMsg{From: m.From, To: m.To, Lanes: s.delayLanes[k], Bits: s.delayBits[k], Tag: m.Tag})
 			s.delayLanes[k], s.delayBits[k] = 0, 0
 		}
 		m.Lanes = now
@@ -713,11 +735,16 @@ func (s *slicedState) result() *SlicedResult {
 		case s.settled&b == 0:
 			lr.Err = fmt.Errorf("%w (MaxRounds=%d)", ErrNoTermination, s.cfg.MaxRounds)
 		default:
+			// Without a SlicedSizer, payloads are single bits and
+			// bits == messages; a sizer accumulated its own totals.
+			bits := s.msgs[lane]
+			if s.sizer != nil {
+				bits = s.bitsAcc[lane]
+			}
 			lr.Metrics = Metrics{
-				Rounds:   s.roundsDone[lane],
-				Messages: s.msgs[lane],
-				// Sliced payloads are single bits, so bits == messages.
-				Bits:             s.msgs[lane],
+				Rounds:           s.roundsDone[lane],
+				Messages:         s.msgs[lane],
+				Bits:             bits,
 				PerRoundMessages: s.perRound[lane][:s.roundsDone[lane]],
 			}
 			lr.Crashed = s.crashedSets[lane]
