@@ -27,7 +27,6 @@ import (
 	"sort"
 
 	"lineartime/internal/scenario"
-	"lineartime/internal/serve"
 )
 
 func main() {
@@ -51,7 +50,7 @@ func run(args []string) error {
 		byz      = fs.String("byz", "silence", "byzantine strategy: silence | equivocate | spam")
 		byzCount = fs.Int("byzcount", 0, "number of corrupted nodes (byzantine problem)")
 		ones     = fs.Int("ones", -1, "consensus: number of nodes with input 1 (-1 = every third)")
-		trace    = fs.Bool("trace", false, "print a transcript summary (few-crashes consensus only)")
+		trace    = fs.Bool("trace", false, "attach the run tracer: per-stage timings plus a transcript summary (any scenario); combines with -json")
 		list     = fs.Bool("list", false, "list the registered scenarios and fault models, then exit")
 		faultArg = fs.String("fault", "", "fault model, kind[:key=value,...] (see -list); overrides -crashes")
 		jsonOut  = fs.Bool("json", false, "emit the run as the {key, report} JSON envelope linearsimd serves")
@@ -75,12 +74,7 @@ func run(args []string) error {
 			return fmt.Errorf("-trace follows a single run; it is not available with -seeds > 1")
 		}
 	}
-	if *trace {
-		if *jsonOut {
-			return fmt.Errorf("-json is not available in -trace mode")
-		}
-		return runTraced(*n, *t, *seed, *crashes, *horizon)
-	}
+	out := output{json: *jsonOut, trace: *trace}
 
 	fault := scenario.FaultModel{}
 	if *crashes > 0 {
@@ -96,16 +90,16 @@ func run(args []string) error {
 
 	switch *problem {
 	case "consensus":
-		return runConsensus(*algo, *n, *t, *ones, *baseline, *seed, fault, *jsonOut, *implicit, *seeds)
+		return runConsensus(*algo, *n, *t, *ones, *baseline, *seed, fault, out, *implicit, *seeds)
 	case "gossip":
-		return runGossip(*n, *t, *baseline, *seed, fault, *jsonOut, *implicit, *seeds)
+		return runGossip(*n, *t, *baseline, *seed, fault, out, *implicit, *seeds)
 	case "checkpoint":
-		return runCheckpoint(*n, *t, *baseline, *seed, fault, *jsonOut, *implicit, *seeds)
+		return runCheckpoint(*n, *t, *baseline, *seed, fault, out, *implicit, *seeds)
 	case "byzantine":
 		if *faultArg != "" {
 			return fmt.Errorf("the byzantine problem configures its faults with -byz/-byzcount, not -fault")
 		}
-		return runByzantine(*n, *t, *byz, *byzCount, *baseline, *seed, *jsonOut, *implicit, *seeds)
+		return runByzantine(*n, *t, *byz, *byzCount, *baseline, *seed, out, *implicit, *seeds)
 	default:
 		return fmt.Errorf("unknown problem %q", *problem)
 	}
@@ -198,19 +192,6 @@ func applyImplicit(def scenario.Definition, sp *scenario.Spec, implicit bool) er
 	return nil
 }
 
-// printJSON emits the run in the exact envelope the daemon serves
-// (serve.RunResponse, keyed by the spec's content address), so scripts
-// parse one format whether they ran locally or queried linearsimd.
-func printJSON(sp scenario.Spec, r *scenario.Report) error {
-	body, err := serve.EncodeRunResponse(sp.Key(), r)
-	if err != nil {
-		return err
-	}
-	body = append(body, '\n')
-	_, err = os.Stdout.Write(body)
-	return err
-}
-
 // listScenarios prints the scenario registry and the fault-model
 // kinds with their -fault spellings.
 func listScenarios() error {
@@ -243,7 +224,7 @@ func scenarioForAlgorithm(name string, baseline bool) (scenario.Definition, erro
 	}
 }
 
-func runConsensus(algoName string, n, t, ones int, baseline bool, seed uint64, fault scenario.FaultModel, jsonOut, implicit bool, seeds int) error {
+func runConsensus(algoName string, n, t, ones int, baseline bool, seed uint64, fault scenario.FaultModel, out output, implicit bool, seeds int) error {
 	def, err := scenarioForAlgorithm(algoName, baseline)
 	if err != nil {
 		return err
@@ -263,21 +244,15 @@ func runConsensus(algoName string, n, t, ones int, baseline bool, seed uint64, f
 	if seeds > 1 {
 		return runSeedsSummary(def.Name, sp, seeds)
 	}
-	r, err := scenario.Run(sp)
-	if err != nil {
-		return err
-	}
-	if jsonOut {
-		return printJSON(sp, r)
-	}
-	fmt.Printf("consensus  algo=%-12s n=%d t=%d\n", r.Algorithm, r.N, r.T)
-	printMetrics(r.Metrics)
-	fmt.Printf("crashed:   %d nodes\n", len(r.Crashed))
-	fmt.Printf("agreement: %v   validity: %v\n", r.Consensus.Agreement, r.Consensus.Validity)
-	return nil
+	return finishRun(sp, out, func(r *scenario.Report) {
+		fmt.Printf("consensus  algo=%-12s n=%d t=%d\n", r.Algorithm, r.N, r.T)
+		printMetrics(r.Metrics)
+		fmt.Printf("crashed:   %d nodes\n", len(r.Crashed))
+		fmt.Printf("agreement: %v   validity: %v\n", r.Consensus.Agreement, r.Consensus.Validity)
+	})
 }
 
-func runGossip(n, t int, baseline bool, seed uint64, fault scenario.FaultModel, jsonOut, implicit bool, seeds int) error {
+func runGossip(n, t int, baseline bool, seed uint64, fault scenario.FaultModel, out output, implicit bool, seeds int) error {
 	name, kind := "gossip/expander", "gossip(§5)"
 	if baseline {
 		name, kind = "gossip/all-to-all", "gossip(all-to-all)"
@@ -296,21 +271,15 @@ func runGossip(n, t int, baseline bool, seed uint64, fault scenario.FaultModel, 
 	if seeds > 1 {
 		return runSeedsSummary(kind, sp, seeds)
 	}
-	r, err := scenario.Run(sp)
-	if err != nil {
-		return err
-	}
-	if jsonOut {
-		return printJSON(sp, r)
-	}
-	fmt.Printf("%-10s n=%d t=%d\n", kind, r.N, r.T)
-	printMetrics(r.Metrics)
-	fmt.Printf("crashed:   %d nodes\n", len(r.Crashed))
-	fmt.Printf("complete:  %v\n", r.Gossip.Complete)
-	return nil
+	return finishRun(sp, out, func(r *scenario.Report) {
+		fmt.Printf("%-10s n=%d t=%d\n", kind, r.N, r.T)
+		printMetrics(r.Metrics)
+		fmt.Printf("crashed:   %d nodes\n", len(r.Crashed))
+		fmt.Printf("complete:  %v\n", r.Gossip.Complete)
+	})
 }
 
-func runCheckpoint(n, t int, baseline bool, seed uint64, fault scenario.FaultModel, jsonOut, implicit bool, seeds int) error {
+func runCheckpoint(n, t int, baseline bool, seed uint64, fault scenario.FaultModel, out output, implicit bool, seeds int) error {
 	name, kind := "checkpoint/expander", "checkpoint(§6)"
 	if baseline {
 		name, kind = "checkpoint/direct", "checkpoint(direct)"
@@ -324,21 +293,15 @@ func runCheckpoint(n, t int, baseline bool, seed uint64, fault scenario.FaultMod
 	if seeds > 1 {
 		return runSeedsSummary(kind, sp, seeds)
 	}
-	r, err := scenario.Run(sp)
-	if err != nil {
-		return err
-	}
-	if jsonOut {
-		return printJSON(sp, r)
-	}
-	fmt.Printf("%-10s n=%d t=%d\n", kind, r.N, r.T)
-	printMetrics(r.Metrics)
-	fmt.Printf("crashed:   %d nodes\n", len(r.Crashed))
-	fmt.Printf("agreement: %v   extant set size: %d\n", r.Checkpoint.Agreement, len(r.Checkpoint.ExtantSet))
-	return nil
+	return finishRun(sp, out, func(r *scenario.Report) {
+		fmt.Printf("%-10s n=%d t=%d\n", kind, r.N, r.T)
+		printMetrics(r.Metrics)
+		fmt.Printf("crashed:   %d nodes\n", len(r.Crashed))
+		fmt.Printf("agreement: %v   extant set size: %d\n", r.Checkpoint.Agreement, len(r.Checkpoint.ExtantSet))
+	})
 }
 
-func runByzantine(n, t int, strategy string, count int, baseline bool, seed uint64, jsonOut, implicit bool, seeds int) error {
+func runByzantine(n, t int, strategy string, count int, baseline bool, seed uint64, out output, implicit bool, seeds int) error {
 	var strat scenario.ByzantineStrategy
 	switch strategy {
 	case "silence":
@@ -377,17 +340,11 @@ func runByzantine(n, t int, strategy string, count int, baseline bool, seed uint
 	if seeds > 1 {
 		return runSeedsSummary(kind, sp, seeds)
 	}
-	r, err := scenario.Run(sp)
-	if err != nil {
-		return err
-	}
-	if jsonOut {
-		return printJSON(sp, r)
-	}
-	fmt.Printf("%-10s n=%d t=%d little=%d corrupted=%d (%s)\n", kind, r.N, r.T, r.Byzantine.L, count, strategy)
-	printMetrics(r.Metrics)
-	fmt.Printf("agreement: %v   byz messages: %d\n", r.Byzantine.Agreement, r.Metrics.ByzMessages)
-	return nil
+	return finishRun(sp, out, func(r *scenario.Report) {
+		fmt.Printf("%-10s n=%d t=%d little=%d corrupted=%d (%s)\n", kind, r.N, r.T, r.Byzantine.L, count, strategy)
+		printMetrics(r.Metrics)
+		fmt.Printf("agreement: %v   byz messages: %d\n", r.Byzantine.Agreement, r.Metrics.ByzMessages)
+	})
 }
 
 func printMetrics(m scenario.Metrics) {

@@ -194,15 +194,70 @@ func TestJSONOutputMatchesDaemonEncoding(t *testing.T) {
 	}
 }
 
-func TestJSONTraceConflict(t *testing.T) {
-	if err := run([]string{"-trace", "-json", "-n", "50", "-t", "10"}); err == nil {
-		t.Fatal("-trace -json accepted")
+// TestJSONTrace pins the lifted -trace/-json exclusion: together they
+// emit the daemon envelope with the stage transcript under the "trace"
+// key — and plain -json still omits the key entirely, keeping its
+// bytes daemon-identical.
+func TestJSONTrace(t *testing.T) {
+	out := captureStdout(t, func() error {
+		return run([]string{"-problem", "gossip", "-n", "50", "-t", "10", "-trace", "-json"})
+	})
+	var env struct {
+		Key   string `json:"key"`
+		Trace *struct {
+			Engine  string `json:"engine"`
+			Outcome string `json:"outcome"`
+			Rounds  int    `json:"rounds"`
+			Spans   []struct {
+				Name string `json:"name"`
+			} `json:"spans"`
+		} `json:"trace"`
+	}
+	if err := json.Unmarshal(out, &env); err != nil {
+		t.Fatalf("traced envelope is not JSON: %v\n%s", err, out)
+	}
+	if env.Trace == nil {
+		t.Fatalf("traced envelope has no trace key: %s", out)
+	}
+	if env.Trace.Engine != "sequential" || env.Trace.Outcome != "ok" || env.Trace.Rounds <= 0 {
+		t.Fatalf("trace = %+v", env.Trace)
+	}
+	names := make(map[string]bool)
+	for _, s := range env.Trace.Spans {
+		names[s.Name] = true
+	}
+	for _, want := range []string{"setup", "rounds", "decode"} {
+		if !names[want] {
+			t.Fatalf("trace spans missing %q: %+v", want, env.Trace.Spans)
+		}
+	}
+
+	plain := captureStdout(t, func() error {
+		return run([]string{"-problem", "gossip", "-n", "50", "-t", "10", "-json"})
+	})
+	if bytes.Contains(plain, []byte(`"trace"`)) {
+		t.Fatalf("plain -json grew a trace key: %s", plain)
 	}
 }
 
+// TestRunTraced checks -trace works for every registry problem, not
+// just the hand-built few-crashes stack it used to be limited to.
 func TestRunTraced(t *testing.T) {
-	if err := run([]string{"-trace", "-n", "50", "-t", "10", "-crashes", "10"}); err != nil {
-		t.Fatal(err)
+	cases := [][]string{
+		{"-trace", "-n", "50", "-t", "10", "-crashes", "10"},
+		{"-problem", "gossip", "-trace", "-n", "50", "-t", "10"},
+		{"-problem", "checkpoint", "-trace", "-n", "50", "-t", "10"},
+		{"-problem", "byzantine", "-trace", "-n", "40", "-t", "4", "-byzcount", "4"},
+	}
+	for _, args := range cases {
+		t.Run(strings.Join(args, " "), func(t *testing.T) {
+			out := captureStdout(t, func() error { return run(args) })
+			for _, want := range []string{"stages (engine=sequential", "rounds", "setup"} {
+				if !strings.Contains(string(out), want) {
+					t.Fatalf("trace output missing %q:\n%s", want, out)
+				}
+			}
+		})
 	}
 	if err := run([]string{"-trace", "-n", "10", "-t", "9"}); err == nil {
 		t.Fatal("invalid topology accepted in trace mode")

@@ -2,60 +2,85 @@ package main
 
 import (
 	"fmt"
+	"os"
 
-	"lineartime/internal/consensus"
-	"lineartime/internal/crash"
+	"lineartime/internal/obs"
 	"lineartime/internal/scenario"
-	"lineartime/internal/sim"
+	"lineartime/internal/serve"
 	"lineartime/internal/trace"
 )
 
-// runTraced runs Few-Crashes-Consensus with the transcript recorder
-// attached and prints the traffic analysis: per-part attribution plus
-// the recorder's per-round/per-node profile. It builds the stack
-// directly on the internal packages because the observer hook is an
-// engine-level diagnostic, not part of the public API.
-func runTraced(n, t int, seed uint64, crashes, horizon int) error {
-	top, err := consensus.NewTopology(n, t, consensus.TopologyOptions{Seed: seed})
+// output selects how a single run is rendered: the daemon's JSON
+// envelope, the stage-timing + transcript trace, both (the trace rides
+// the envelope's "trace" key), or the default text report.
+type output struct {
+	json  bool
+	trace bool
+}
+
+// finishRun is the CLI's single run-and-render path. With -trace it
+// installs the engine-level hooks on the spec — the transcript
+// recorder (message/crash timeline) and the span tracer (per-stage
+// wall-clock) — so tracing works for every scenario registry row, not
+// just one hand-built stack. printText renders the problem-specific
+// text report when JSON output is off.
+func finishRun(sp scenario.Spec, out output, printText func(*scenario.Report)) error {
+	var rec *trace.Recorder
+	var spans *obs.SpanTracer
+	if out.trace {
+		rec = trace.NewRecorder(sp.N)
+		sp.Observer = rec
+		spans = obs.NewSpanTracer()
+		sp.Tracer = spans
+	}
+	r, err := scenario.Run(sp)
 	if err != nil {
 		return err
 	}
-	rec := trace.NewRecorder(n)
-	ms := make([]*consensus.FewCrashes, n)
-	ps := make([]sim.Protocol, n)
-	for i := 0; i < n; i++ {
-		ms[i] = consensus.NewFewCrashes(i, top, i%3 == 0)
-		ps[i] = ms[i]
+	if out.json {
+		var tr *obs.Trace
+		if spans != nil {
+			tr = spans.Trace()
+		}
+		return printJSONTrace(sp, r, tr)
 	}
-	var adv sim.LinkFault
-	if crashes > 0 {
-		adv = crash.NewRandom(n, crashes, horizon, seed+101)
+	printText(r)
+	if out.trace {
+		printTrace(rec, spans, r)
 	}
-	res, err := scenario.Execute(sim.Config{
-		Protocols:   ps,
-		Fault:       adv,
-		Observer:    rec,
-		PartLabeler: ms[0].PartAt,
-		MaxRounds:   ms[0].ScheduleLength() + 8,
-	}, scenario.Serial)
-	if err != nil {
-		return err
+	return nil
+}
+
+// printTrace renders the -trace diagnostics below the text report: the
+// stage spans from the run tracer, then the transcript recorder's
+// traffic analysis.
+func printTrace(rec *trace.Recorder, spans *obs.SpanTracer, r *scenario.Report) {
+	tr := spans.Trace()
+	fmt.Printf("\nstages (engine=%s outcome=%s, %.3f ms total):\n", tr.Engine, tr.Outcome, tr.DurationMS)
+	for _, s := range tr.Spans {
+		fmt.Printf("  %-8s %10.3f ms\n", s.Name, s.DurationMS)
 	}
-	fmt.Printf("few-crashes consensus, n=%d t=%d (traced)\n\n", n, t)
+	fmt.Println()
 	fmt.Print(rec.Summary())
-	fmt.Printf("\ntraffic profile (%d buckets over %d rounds):\n  ", 10, res.Metrics.Rounds)
+	fmt.Printf("\ntraffic profile (%d buckets over %d rounds):\n  ", 10, r.Metrics.Rounds)
 	for _, c := range rec.TrafficProfile(10) {
 		fmt.Printf("%6d", c)
 	}
 	fmt.Println()
-	if len(res.Metrics.PerPart) > 0 {
-		fmt.Println("\nper part:")
-		for part, count := range res.Metrics.PerPart {
-			fmt.Printf("  %-16s %d\n", part, count)
-		}
-	}
 	if quiet := rec.QuietNodes(); len(quiet) > 0 {
 		fmt.Printf("\nquiet nodes (never sent): %v\n", quiet)
 	}
-	return nil
+}
+
+// printJSONTrace emits the daemon's run envelope with the optional
+// trace transcript under the "trace" key; a nil trace produces the
+// exact daemon encoding.
+func printJSONTrace(sp scenario.Spec, r *scenario.Report, tr *obs.Trace) error {
+	body, err := serve.EncodeRunResponseTrace(sp.Key(), r, tr)
+	if err != nil {
+		return err
+	}
+	body = append(body, '\n')
+	_, err = os.Stdout.Write(body)
+	return err
 }

@@ -15,9 +15,15 @@
 //	GET    /v1/campaigns       job listing
 //	GET    /v1/campaigns/{id}  job progress; frontier artifact once done
 //	DELETE /v1/campaigns/{id}  cancel a running campaign (checkpointed, resumable)
-//	GET    /healthz            liveness: the process serves HTTP
+//	GET    /healthz            liveness: the process serves HTTP (reports drain state)
 //	GET    /readyz             readiness: 503 during startup and shutdown drain
-//	GET    /statsz             cache / coalescer / queue / campaign counters
+//	GET    /statsz             cache / coalescer / queue / campaign counters (JSON)
+//	GET    /metrics            the same counters plus engine/request metrics, Prometheus text
+//
+// Observability: -log-format json emits one structured line per request
+// (method, path, run key, cache verdict, status, duration); -pprof-addr
+// serves net/http/pprof on a separate, explicitly opted-in listener so
+// profiling never shares the public port.
 //
 // On SIGTERM the daemon flips not-ready, stops the listener, drains
 // running campaigns to checkpoints, and writes them to the -state file;
@@ -30,13 +36,17 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
+	"sync"
 	"syscall"
 	"time"
 
@@ -47,6 +57,48 @@ func main() {
 	if err := run(os.Args[1:], nil); err != nil {
 		fmt.Fprintln(os.Stderr, "linearsimd:", err)
 		os.Exit(1)
+	}
+}
+
+// accessLine is one -log-format json record: enough to reconstruct a
+// request's path through the cache without grepping free text.
+type accessLine struct {
+	Time       string  `json:"time"`
+	Method     string  `json:"method"`
+	Path       string  `json:"path"`
+	Key        string  `json:"key,omitempty"`
+	Cache      string  `json:"cache,omitempty"`
+	Status     int     `json:"status"`
+	DurationMS float64 `json:"duration_ms"`
+}
+
+// accessLogger maps -log-format onto a serve.Config.AccessLog sink:
+// "text" keeps the default (no per-request logging), "json" emits one
+// line per request on w.
+func accessLogger(format string, w io.Writer) (func(serve.AccessRecord), error) {
+	switch format {
+	case "text", "":
+		return nil, nil
+	case "json":
+		var mu sync.Mutex
+		enc := json.NewEncoder(w)
+		return func(r serve.AccessRecord) {
+			// The sink is called from concurrent handlers; the encoder
+			// buffers internally and is not safe to share unlocked.
+			mu.Lock()
+			defer mu.Unlock()
+			enc.Encode(accessLine{
+				Time:       time.Now().UTC().Format(time.RFC3339Nano),
+				Method:     r.Method,
+				Path:       r.Path,
+				Key:        r.Key,
+				Cache:      r.Cache,
+				Status:     r.Status,
+				DurationMS: float64(r.Duration) / float64(time.Millisecond),
+			})
+		}, nil
+	default:
+		return nil, fmt.Errorf(`lineartime: -log-format %q is not "text" or "json"`, format)
 	}
 }
 
@@ -64,8 +116,14 @@ func run(args []string, ready chan<- string) error {
 		shards     = fs.Int("cache-shards", 0, "result cache shard count (0 = 16)")
 		maxJobs    = fs.Int("max-jobs", 0, "campaign job store capacity (0 = 8)")
 		statePath  = fs.String("state", "", "campaign state file: restored on start, written on graceful shutdown")
+		logFormat  = fs.String("log-format", "text", "request log format: text or json (one structured line per request)")
+		pprofAddr  = fs.String("pprof-addr", "", "serve net/http/pprof on this address (empty = disabled)")
 	)
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	accessLog, err := accessLogger(*logFormat, os.Stdout)
+	if err != nil {
 		return err
 	}
 
@@ -75,8 +133,28 @@ func run(args []string, ready chan<- string) error {
 		Workers:     *workers,
 		QueueDepth:  *queueDepth,
 		MaxJobs:     *maxJobs,
+		AccessLog:   accessLog,
 	})
 	defer srv.Close()
+
+	// pprof is opt-in and on its own listener: the public mux never
+	// exposes profiling, and a firewalled pprof port cannot be reached
+	// through the service address.
+	if *pprofAddr != "" {
+		pln, err := net.Listen("tcp", *pprofAddr)
+		if err != nil {
+			return fmt.Errorf("pprof listener: %w", err)
+		}
+		pmux := http.NewServeMux()
+		pmux.HandleFunc("/debug/pprof/", pprof.Index)
+		pmux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		pmux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		pmux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		pmux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		log.Printf("linearsimd: pprof on http://%s/debug/pprof/", pln.Addr())
+		go http.Serve(pln, pmux)
+		defer pln.Close()
+	}
 
 	// Restore before listening so resumed campaigns are already
 	// running (and queryable) when the first request lands.
@@ -107,11 +185,12 @@ func run(args []string, ready chan<- string) error {
 		return err
 	case sig := <-stop:
 		log.Printf("linearsimd: %v, shutting down", sig)
-		// Drain order: stop advertising readiness, stop accepting
+		// Drain order: mark the drain (readiness gate closes, /healthz
+		// and the serve_draining gauge report it), stop accepting
 		// connections, interrupt running campaigns to checkpoints, then
 		// persist them. srv.Close (deferred) waits the drain again —
 		// idempotently — before closing the worker pool.
-		srv.SetReady(false)
+		srv.BeginDrain()
 		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 		defer cancel()
 		if err := hs.Shutdown(ctx); err != nil {

@@ -3,6 +3,7 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"net"
 	"net/http"
 	"os"
 	"path/filepath"
@@ -200,4 +201,117 @@ func TestRunFlagErrors(t *testing.T) {
 	if err := run([]string{"-addr", "256.0.0.1:99999"}, nil); err == nil {
 		t.Fatal("unbindable address accepted")
 	}
+	if err := run([]string{"-log-format", "xml"}, nil); err == nil {
+		t.Fatal("unknown log format accepted")
+	}
+	if err := run([]string{"-pprof-addr", "256.0.0.1:99999"}, nil); err == nil {
+		t.Fatal("unbindable pprof address accepted")
+	}
+}
+
+// TestMetricsEndpoint scrapes the live daemon after one run and checks
+// the exposition carries the request and cache families CI asserts on.
+func TestMetricsEndpoint(t *testing.T) {
+	base, errc := startDaemon(t)
+	body := `{"scenario":"consensus/few-crashes","n":24,"t":4,"seed":3}`
+	for i := 0; i < 2; i++ {
+		resp, err := http.Post(base+"/v1/run", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("run %d status = %d", i, resp.StatusCode)
+		}
+	}
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	buf.ReadFrom(resp.Body)
+	resp.Body.Close()
+	text := buf.String()
+	for _, want := range []string{
+		`lineartime_requests_total{code="2xx",path="/v1/run"} 2`,
+		`lineartime_cache_hits_total 1`,
+		`lineartime_runs_total{engine="sequential",outcome="ok"} 1`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+	sigterm(t, errc)
+}
+
+// TestAccessLoggerJSON pins the structured log line: one JSON object
+// per request with the fields a log pipeline indexes on.
+func TestAccessLoggerJSON(t *testing.T) {
+	var buf bytes.Buffer
+	sink, err := accessLogger("json", &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sink(serve.AccessRecord{
+		Method:   "POST",
+		Path:     "/v1/run",
+		Key:      "k1:abc",
+		Cache:    "hit",
+		Status:   200,
+		Duration: 1500 * time.Microsecond,
+	})
+	var line struct {
+		Time       string  `json:"time"`
+		Method     string  `json:"method"`
+		Path       string  `json:"path"`
+		Key        string  `json:"key"`
+		Cache      string  `json:"cache"`
+		Status     int     `json:"status"`
+		DurationMS float64 `json:"duration_ms"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &line); err != nil {
+		t.Fatalf("log line is not JSON: %v (%q)", err, buf.String())
+	}
+	if line.Method != "POST" || line.Path != "/v1/run" || line.Key != "k1:abc" ||
+		line.Cache != "hit" || line.Status != 200 || line.DurationMS != 1.5 {
+		t.Fatalf("log line = %+v", line)
+	}
+	if _, err := time.Parse(time.RFC3339Nano, line.Time); err != nil {
+		t.Fatalf("log timestamp %q: %v", line.Time, err)
+	}
+
+	if sink, err := accessLogger("text", nil); err != nil || sink != nil {
+		t.Fatalf("text format: sink non-nil=%v err=%v, want nil/nil", sink != nil, err)
+	}
+}
+
+// TestPprofOptIn boots the daemon with -pprof-addr and checks the
+// profiling mux answers there — and is absent from the service port.
+func TestPprofOptIn(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pprofAddr := ln.Addr().String()
+	ln.Close()
+
+	base, errc := startDaemon(t, "-pprof-addr", pprofAddr)
+	resp, err := http.Get("http://" + pprofAddr + "/debug/pprof/cmdline")
+	if err != nil {
+		t.Fatalf("pprof endpoint: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("pprof cmdline status = %d", resp.StatusCode)
+	}
+
+	resp, err = http.Get(base + "/debug/pprof/cmdline")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode == http.StatusOK {
+		t.Fatal("pprof reachable on the service address")
+	}
+	sigterm(t, errc)
 }

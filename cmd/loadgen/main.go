@@ -31,11 +31,11 @@ import (
 	"net/http"
 	"os"
 	"runtime"
-	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"lineartime/internal/obs"
 	"lineartime/internal/serve"
 )
 
@@ -189,7 +189,7 @@ func run(args []string) error {
 // preflight exercises every endpoint once and fails on any non-200:
 // the smoke assertion of the CI serve job.
 func preflight(client *http.Client, addr, scen string, n, t int, seed uint64) error {
-	for _, path := range []string{"/healthz", "/readyz", "/v1/scenarios", "/statsz"} {
+	for _, path := range []string{"/healthz", "/readyz", "/v1/scenarios", "/statsz", "/metrics"} {
 		resp, err := client.Get(addr + path)
 		if err != nil {
 			return fmt.Errorf("GET %s: %w", path, err)
@@ -233,9 +233,12 @@ func measure(client *http.Client, addr string, base serve.RunRequest, concurrenc
 		errs     atomic.Int64
 		rejected atomic.Int64
 		retries  atomic.Int64
-		mu       sync.Mutex
-		lats     []float64
 	)
+	// Latencies go through the same histogram type and bucket layout the
+	// daemon's /metrics uses for its request latencies, so loadgen's
+	// p50/p99 and a scrape of the daemon measure on the same grid.
+	// Observe is atomic; the workers share one histogram lock-free.
+	lat := obs.NewHistogram(obs.LatencyBuckets())
 	seedCtr.Store(base.Seed)
 	deadline := time.Now().Add(window)
 	var wg sync.WaitGroup
@@ -243,7 +246,6 @@ func measure(client *http.Client, addr string, base serve.RunRequest, concurrenc
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			local := make([]float64, 0, 1024)
 			for time.Now().Before(deadline) {
 				req := base
 				if cold {
@@ -302,11 +304,8 @@ func measure(client *http.Client, addr string, base serve.RunRequest, concurrenc
 				if cacheHdr == "hit" {
 					hits.Add(1)
 				}
-				local = append(local, float64(elapsed.Nanoseconds())/1e6)
+				lat.Observe(elapsed.Seconds())
 			}
-			mu.Lock()
-			lats = append(lats, local...)
-			mu.Unlock()
 		}()
 	}
 	startAll := time.Now()
@@ -330,17 +329,7 @@ func measure(client *http.Client, addr string, base serve.RunRequest, concurrenc
 		res.ReqPerSec = float64(res.Requests) / elapsed.Seconds()
 		res.HitRate = float64(hits.Load()) / float64(res.Requests)
 	}
-	sort.Float64s(lats)
-	res.P50Ms = quantile(lats, 0.50)
-	res.P99Ms = quantile(lats, 0.99)
+	res.P50Ms = lat.Quantile(0.50) * 1e3
+	res.P99Ms = lat.Quantile(0.99) * 1e3
 	return res
-}
-
-// quantile reads q from the sorted sample (nearest-rank).
-func quantile(sorted []float64, q float64) float64 {
-	if len(sorted) == 0 {
-		return 0
-	}
-	idx := int(q * float64(len(sorted)-1))
-	return sorted[idx]
 }

@@ -82,6 +82,9 @@ type Controller struct {
 	// batchHook, when set, observes the checkpoint after every batch
 	// (the CLI persists it so a killed process can resume).
 	batchHook func(*Checkpoint)
+	// meter, when set, receives progress counters at batch and wave
+	// boundaries (SetMeter).
+	meter *Meter
 }
 
 // New builds a controller for the spec, seeding the queue with the
@@ -230,6 +233,9 @@ func (c *Controller) Run(ctx context.Context) (*Frontier, error) {
 			}
 			added := c.refineLocked()
 			c.wave++
+			if c.meter != nil {
+				c.meter.Waves.Inc()
+			}
 			if added == 0 {
 				c.mu.Unlock()
 				break
@@ -265,6 +271,7 @@ func (c *Controller) Run(ctx context.Context) (*Frontier, error) {
 		c.mu.Lock()
 		c.results = append(c.results, results...)
 		c.mu.Unlock()
+		c.meter.meterBatch(results)
 		if c.batchHook != nil {
 			c.batchHook(c.Checkpoint())
 		}

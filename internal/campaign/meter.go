@@ -1,0 +1,65 @@
+package campaign
+
+import "lineartime/internal/obs"
+
+// Meter is the controller's progress instrumentation: counters and
+// gauges a host registers once and shares across every campaign it
+// runs, so a scrape shows fleet-wide campaign progress (waves refined,
+// sims charged, candidates evaluated, violations found, worst severity
+// seen). The controller reports at batch and wave boundaries only —
+// the same points the checkpoint hook observes — so metering never
+// perturbs the search.
+type Meter struct {
+	Waves      *obs.Counter
+	Sims       *obs.Counter
+	Evaluated  *obs.Counter
+	Violations *obs.Counter
+	// WorstSeverity is the highest severity any result of any metered
+	// campaign has reached (0 ok, 1 error, 2 no-termination, 3
+	// violated — see severity).
+	WorstSeverity *obs.Gauge
+}
+
+// NewMeter registers the campaign metric families on reg.
+func NewMeter(reg *obs.Registry) *Meter {
+	return &Meter{
+		Waves: reg.Counter("lineartime_campaign_waves_total",
+			"Refinement waves completed across campaigns."),
+		Sims: reg.Counter("lineartime_campaign_sims_total",
+			"Simulation budget charged across campaigns."),
+		Evaluated: reg.Counter("lineartime_campaign_evaluated_total",
+			"Candidates evaluated across campaigns."),
+		Violations: reg.Counter("lineartime_campaign_violations_total",
+			"Violations (liveness or safety) found across campaigns."),
+		WorstSeverity: reg.Gauge("lineartime_campaign_worst_severity",
+			"Highest result severity seen across campaigns (0 ok, 3 violated)."),
+	}
+}
+
+// SetMeter installs the progress meter. Install before Run; a nil
+// meter (the default) disables metering.
+func (c *Controller) SetMeter(m *Meter) { c.meter = m }
+
+// meterBatch reports one completed batch to the meter.
+func (m *Meter) meterBatch(results []Result) {
+	if m == nil {
+		return
+	}
+	m.Sims.Add(int64(len(results)))
+	m.Evaluated.Add(int64(len(results)))
+	violations := 0
+	worst := 0.0
+	for _, r := range results {
+		s := severity(r.Outcome)
+		if s == 2 || s == 3 {
+			violations++
+		}
+		if f := float64(s); f > worst {
+			worst = f
+		}
+	}
+	m.Violations.Add(int64(violations))
+	if worst > m.WorstSeverity.Value() {
+		m.WorstSeverity.Set(worst)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"lineartime/internal/consensus"
+	"lineartime/internal/obs"
 	"lineartime/internal/sim"
 )
 
@@ -88,6 +89,9 @@ func TestRuntimeSlicedGossipSteadyStateAllocs(t *testing.T) {
 		Lanes:     lanes,
 		MaxRounds: sys.ScheduleLength() + 8,
 		Faults:    faults,
+		// A metrics-backed tracer rides along: the guard proves the
+		// observability path is allocation-free too.
+		Tracer: obs.NewEngineTracer(obs.NewRegistry()),
 	}
 	rt := sim.NewRuntime()
 	var runErr error

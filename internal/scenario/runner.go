@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"time"
 
 	"lineartime/internal/bitset"
 	"lineartime/internal/byzantine"
@@ -12,6 +13,7 @@ import (
 	"lineartime/internal/expander"
 	"lineartime/internal/gossip"
 	"lineartime/internal/majority"
+	"lineartime/internal/obs"
 	"lineartime/internal/sim"
 	"lineartime/internal/singleport"
 )
@@ -65,6 +67,15 @@ type Runner struct{}
 // Run materializes the spec into a sim.Config, executes it through
 // Execute, and returns the unified report.
 func (Runner) Run(sp Spec) (*Report, error) {
+	// The runner reports its own stages around the engine's: the spec
+	// materialization (topology + protocol stack + fault layer) counts
+	// as setup, the outcome evaluation as decode. The engine reports
+	// its internal setup/rounds split through the same tracer.
+	tr := sp.Tracer
+	var t0 time.Time
+	if tr != nil {
+		t0 = time.Now()
+	}
 	if sp.N <= 0 {
 		return nil, fmt.Errorf("scenario: n=%d must be positive", sp.N)
 	}
@@ -86,6 +97,9 @@ func (Runner) Run(sp Spec) (*Report, error) {
 	if slack <= 0 {
 		slack = defaultRoundSlack
 	}
+	if tr != nil {
+		tr.StageDuration(obs.StageSetup, time.Since(t0))
+	}
 	res, err := Execute(sim.Config{
 		Protocols:   sys.ps,
 		PartLabeler: partLabelerOf(sys.ps),
@@ -93,9 +107,15 @@ func (Runner) Run(sp Spec) (*Report, error) {
 		Byzantine:   sys.byz,
 		MaxRounds:   sys.schedule + slack,
 		SinglePort:  sys.singlePort,
+		Observer:    sp.Observer,
+		Tracer:      tr,
 	}, sp.Exec)
 	if err != nil {
 		return nil, err
+	}
+	var t1 time.Time
+	if tr != nil {
+		t1 = time.Now()
 	}
 	rep := &Report{
 		Scenario:  sp.Name,
@@ -108,6 +128,9 @@ func (Runner) Run(sp Spec) (*Report, error) {
 		Crashed:   res.Crashed.Elements(),
 	}
 	sys.finish(res, rep)
+	if tr != nil {
+		tr.StageDuration(obs.StageDecode, time.Since(t1))
+	}
 	return rep, nil
 }
 

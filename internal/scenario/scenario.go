@@ -21,6 +21,11 @@
 // sim.Run and sim.RunParallel in the repository.
 package scenario
 
+import (
+	"lineartime/internal/obs"
+	"lineartime/internal/sim"
+)
+
 // Problem identifies which of the paper's problems a scenario solves.
 // AlmostEverywhere and SpreadCommonValue are the §3/§4 subroutines,
 // exposed as scenarios because the paper evaluates them standalone
@@ -214,6 +219,16 @@ type Spec struct {
 
 	// Exec selects the engine.
 	Exec Parallelism
+
+	// Tracer optionally receives stage-level timings (setup, rounds,
+	// decode, merge) and the run outcome; it works on every engine.
+	// Runtime-only: excluded from Key, so traced and untraced runs of
+	// the same scenario share a cache identity.
+	Tracer obs.RunTracer
+	// Observer optionally receives per-message engine events
+	// (sequential engine only — see sim.Observer). Runtime-only:
+	// excluded from Key like Tracer.
+	Observer sim.Observer
 }
 
 // Metrics is the unified performance envelope of a run: the paper's

@@ -3,9 +3,11 @@ package scenario
 import (
 	"runtime"
 	"sync"
+	"time"
 
 	"lineartime/internal/consensus"
 	"lineartime/internal/gossip"
+	"lineartime/internal/obs"
 	"lineartime/internal/sim"
 )
 
@@ -232,6 +234,13 @@ func runSlicedChunk(rt *sim.Runtime, sps []Spec, idx []int, reports []*Report, e
 	}
 
 	shape := sps[idx[0]]
+	// The chunk reports through the first spec's tracer: lanes of one
+	// group share the run, so per-lane attribution is not meaningful.
+	tr := shape.Tracer
+	var t0 time.Time
+	if tr != nil {
+		t0 = time.Now()
+	}
 	faults := make([]sim.LinkFault, len(idx))
 	for lane, i := range idx {
 		sp := sps[i]
@@ -246,11 +255,15 @@ func runSlicedChunk(rt *sim.Runtime, sps []Spec, idx []int, reports []*Report, e
 	}
 
 	sys := consensus.NewSlicedFlooding(shape.N, shape.T, len(idx), shape.BoolInputs)
+	if tr != nil {
+		tr.StageDuration(obs.StageSetup, time.Since(t0))
+	}
 	res, err := rt.RunSliced(sim.SlicedConfig{
 		System:    sys,
 		Lanes:     len(idx),
 		MaxRounds: sys.ScheduleLength() + slackOf(shape),
 		Faults:    faults,
+		Tracer:    tr,
 	})
 	if err != nil {
 		// ErrNotSliceable and config errors: the scalar engine is the
@@ -269,6 +282,10 @@ func runSlicedChunk(rt *sim.Runtime, sps []Spec, idx []int, reports []*Report, e
 	}
 	// Reports must be materialized before the Runtime's next sliced run:
 	// the lane results alias arena memory.
+	var t1 time.Time
+	if tr != nil {
+		t1 = time.Now()
+	}
 	var escaped []int
 	for lane, i := range idx {
 		lr := &res.Lanes[lane]
@@ -281,6 +298,9 @@ func runSlicedChunk(rt *sim.Runtime, sps []Spec, idx []int, reports []*Report, e
 			continue
 		}
 		reports[i] = laneReport(sps[i], sys, lane, lr, any0, any1)
+	}
+	if tr != nil {
+		tr.StageDuration(obs.StageMerge, time.Since(t1))
 	}
 	fallback(escaped...)
 }
@@ -301,6 +321,11 @@ func runSlicedGossipChunk(rt *sim.Runtime, sps []Spec, idx []int, reports []*Rep
 	}
 
 	shape := sps[idx[0]]
+	tr := shape.Tracer
+	var t0 time.Time
+	if tr != nil {
+		t0 = time.Now()
+	}
 	top, err := shape.newTopology(shape.N, shape.T)
 	if err != nil {
 		fallback(all...)
@@ -328,17 +353,25 @@ func runSlicedGossipChunk(rt *sim.Runtime, sps []Spec, idx []int, reports []*Rep
 		fallback(all...)
 		return
 	}
+	if tr != nil {
+		tr.StageDuration(obs.StageSetup, time.Since(t0))
+	}
 	res, err := rt.RunSliced(sim.SlicedConfig{
 		System:    sys,
 		Lanes:     len(idx),
 		MaxRounds: sys.ScheduleLength() + slackOf(shape),
 		Faults:    faults,
+		Tracer:    tr,
 	})
 	if err != nil {
 		fallback(all...)
 		return
 	}
 
+	var t1 time.Time
+	if tr != nil {
+		t1 = time.Now()
+	}
 	var escaped []int
 	for lane, i := range idx {
 		lr := &res.Lanes[lane]
@@ -351,6 +384,9 @@ func runSlicedGossipChunk(rt *sim.Runtime, sps []Spec, idx []int, reports []*Rep
 			continue
 		}
 		reports[i] = gossipLaneReport(sps[i], sys, lane, lr)
+	}
+	if tr != nil {
+		tr.StageDuration(obs.StageMerge, time.Since(t1))
 	}
 	fallback(escaped...)
 }

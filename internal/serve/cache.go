@@ -148,6 +148,39 @@ func (c *Cache) Put(key string, val []byte) {
 	}
 }
 
+// Entries counts resident entries across shards.
+func (c *Cache) Entries() int64 {
+	var n int64
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		n += int64(len(s.byKey))
+		s.mu.Unlock()
+	}
+	return n
+}
+
+// Bytes sums resident bytes across shards.
+func (c *Cache) Bytes() int64 {
+	var n int64
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		n += s.bytes
+		s.mu.Unlock()
+	}
+	return n
+}
+
+// Capacity sums the per-shard byte budgets (fixed at construction).
+func (c *Cache) Capacity() int64 {
+	var n int64
+	for i := range c.shards {
+		n += c.shards[i].budget
+	}
+	return n
+}
+
 // Stats snapshots the counters. Entries and Bytes sum over shards
 // under their locks; the atomic counters are read without
 // synchronization, so a concurrent snapshot is approximate (each

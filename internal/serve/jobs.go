@@ -378,6 +378,7 @@ func (s *Server) RestoreJobs(path string) error {
 				j.status = JobFailed
 				j.errMsg = cErr.Error()
 			} else {
+				ctrl.SetMeter(s.metrics.campaign)
 				j.ctx, j.cancel = context.WithCancel(s.jobs.root)
 				j.ctrl = ctrl
 				j.status = JobRunning
@@ -425,7 +426,7 @@ func (s *Server) jobsStats() JobsStats {
 func (s *Server) campaignRun(ctx context.Context, sp scenario.Spec) (*scenario.Report, error) {
 	backoff := campaignRetryBase
 	for {
-		body, _, err := s.runCached(sp)
+		body, _, _, err := s.runCached(sp)
 		if err == nil {
 			var rr RunResponse
 			if derr := json.Unmarshal(body, &rr); derr != nil {
@@ -474,6 +475,7 @@ func (s *Server) handleCampaignPost(w http.ResponseWriter, r *http.Request) {
 		writeError(w, err)
 		return
 	}
+	ctrl.SetMeter(s.metrics.campaign)
 	j := &campaignJob{id: id, spec: norm, status: JobRunning, ctrl: ctrl}
 	j.ctx, j.cancel = context.WithCancel(s.jobs.root)
 	if err := s.jobs.insert(j, false); err != nil {

@@ -1,0 +1,160 @@
+package serve
+
+import (
+	"net/http"
+	"strings"
+	"testing"
+)
+
+// TestMetricsExposition drives one miss and one hit through /v1/run and
+// asserts the Prometheus exposition reflects them: the serve families
+// (requests, latency), the component families (cache, queue), and the
+// engine families fed by the tracer installed on every served Spec.
+func TestMetricsExposition(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	req := RunRequest{Scenario: "consensus/few-crashes", N: 60, T: 10, Seed: 1}
+	readAll(t, postRun(t, ts.URL, req))
+	readAll(t, postRun(t, ts.URL, req))
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "text/plain; version=0.0.4; charset=utf-8" {
+		t.Fatalf("Content-Type = %q", ct)
+	}
+	text := string(readAll(t, resp))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics = %d", resp.StatusCode)
+	}
+
+	for _, want := range []string{
+		"# TYPE lineartime_requests_total counter",
+		"# TYPE lineartime_request_duration_seconds histogram",
+		`lineartime_requests_total{code="2xx",path="/v1/run"} 2`,
+		`lineartime_cache_hits_total 1`,
+		`lineartime_cache_misses_total 1`,
+		`lineartime_queue_completed_total 1`,
+		`lineartime_runs_total{engine="sequential",outcome="ok"} 1`,
+		`lineartime_run_stage_duration_seconds_bucket{stage="rounds",le="+Inf"} 1`,
+		`lineartime_run_rounds_count 1`,
+		`lineartime_serve_draining 0`,
+		"lineartime_uptime_seconds ",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("exposition missing %q", want)
+		}
+	}
+
+	// Exposition shape: every non-comment line is "name{labels} value"
+	// or "name value", and every family has HELP before TYPE.
+	var lastHelp, lastType string
+	for _, line := range strings.Split(strings.TrimRight(text, "\n"), "\n") {
+		switch {
+		case strings.HasPrefix(line, "# HELP "):
+			lastHelp = strings.Fields(line)[2]
+		case strings.HasPrefix(line, "# TYPE "):
+			lastType = strings.Fields(line)[2]
+			if lastHelp != lastType {
+				t.Fatalf("TYPE %s not preceded by its HELP (last HELP %s)", lastType, lastHelp)
+			}
+		case line == "":
+			t.Fatal("blank line in exposition")
+		default:
+			if !strings.Contains(line, " ") {
+				t.Fatalf("sample line without value: %q", line)
+			}
+		}
+	}
+}
+
+// TestMetricsNamingConvention pins the namespace: every family the
+// server registers carries the lineartime_ prefix, so dashboards can
+// select the whole surface with one matcher.
+func TestMetricsNamingConvention(t *testing.T) {
+	s, _ := newTestServer(t, Config{})
+	names := s.metrics.reg.Names()
+	if len(names) == 0 {
+		t.Fatal("registry has no families")
+	}
+	for _, name := range names {
+		if !strings.HasPrefix(name, "lineartime_") {
+			t.Errorf("family %q lacks the lineartime_ prefix", name)
+		}
+	}
+}
+
+// TestDrainStateObservable walks the SIGTERM sequence: after BeginDrain
+// the liveness body reports the drain (still 200), readiness turns 503
+// with a drain-specific message, and the gauges flip.
+func TestDrainStateObservable(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+	s.SetReady(true)
+
+	resp, err := http.Get(ts.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if body := readAll(t, resp); resp.StatusCode != http.StatusOK || string(body) != `{"status":"ready"}` {
+		t.Fatalf("readyz before drain = %d %q", resp.StatusCode, body)
+	}
+
+	s.BeginDrain()
+
+	resp, err = http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if body := readAll(t, resp); resp.StatusCode != http.StatusOK || string(body) != `{"status":"ok","draining":true}` {
+		t.Fatalf("healthz during drain = %d %q", resp.StatusCode, body)
+	}
+
+	resp, err = http.Get(ts.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := readAll(t, resp)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("readyz during drain = %d %q", resp.StatusCode, body)
+	}
+	if !strings.Contains(string(body), "draining for shutdown") {
+		t.Fatalf("readyz drain body does not name the drain: %q", body)
+	}
+
+	if v, ok := s.metrics.reg.Value("lineartime_serve_draining"); !ok || v != 1 {
+		t.Fatalf("lineartime_serve_draining = %v, %v", v, ok)
+	}
+	if v, ok := s.metrics.reg.Value("lineartime_serve_ready"); !ok || v != 0 {
+		t.Fatalf("lineartime_serve_ready = %v, %v", v, ok)
+	}
+}
+
+// TestStatszMatchesMetrics pins the single-source-of-truth property:
+// the /statsz JSON gauges are Value() lookups of the same registry that
+// renders /metrics, so the two surfaces agree after traffic.
+func TestStatszMatchesMetrics(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+	req := RunRequest{Scenario: "consensus/few-crashes", N: 60, T: 10, Seed: 7}
+	readAll(t, postRun(t, ts.URL, req))
+	readAll(t, postRun(t, ts.URL, req))
+
+	st := s.Stats()
+	for _, check := range []struct {
+		name string
+		got  float64
+	}{
+		{"lineartime_cache_hits_total", float64(st.Cache.Hits)},
+		{"lineartime_cache_misses_total", float64(st.Cache.Misses)},
+		{"lineartime_cache_entries", float64(st.Cache.Entries)},
+		{"lineartime_coalesced_total", float64(st.Coalesced)},
+		{"lineartime_queue_completed_total", float64(st.Queue.Completed)},
+		{"lineartime_campaign_jobs_capacity", float64(st.Campaigns.Capacity)},
+	} {
+		if v, ok := s.metrics.reg.Value(check.name); !ok || v != check.got {
+			t.Errorf("%s: registry %v (present %v) != statsz %v", check.name, v, ok, check.got)
+		}
+	}
+	if st.Cache.Hits != 1 || st.Cache.Misses != 1 {
+		t.Fatalf("cache counters after miss+hit: %+v", st.Cache)
+	}
+}

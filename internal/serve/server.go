@@ -9,6 +9,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"lineartime/internal/obs"
 	"lineartime/internal/scenario"
 )
 
@@ -40,6 +41,10 @@ type Config struct {
 	// ones.
 	MaxJobs int
 
+	// AccessLog, when set, receives one AccessRecord per request after
+	// the response is written (the daemon's -log-format json sink).
+	AccessLog func(AccessRecord)
+
 	// run substitutes the engine entry point in tests; nil means
 	// scenario.Run.
 	run func(scenario.Spec) (*scenario.Report, error)
@@ -55,10 +60,18 @@ type Server struct {
 	jobs    *jobStore
 	mux     *http.ServeMux
 	started time.Time
+	// metrics is the obs registry plus every pre-registered handle;
+	// /metrics and /statsz both render from it.
+	metrics   *serveMetrics
+	accessLog func(AccessRecord)
 	// ready gates /readyz: false during startup (until the owner calls
 	// SetReady) and again during shutdown drain, so orchestrators stop
 	// routing new traffic while in-flight work finishes.
 	ready atomic.Bool
+	// draining marks a graceful shutdown in progress (BeginDrain):
+	// /healthz and /readyz report it in their bodies and the
+	// lineartime_serve_draining gauge exports it.
+	draining atomic.Bool
 }
 
 // RunRequest is the body of POST /v1/run: a registry scenario
@@ -78,9 +91,13 @@ type RunRequest struct {
 // RunResponse is the body of POST /v1/run: the content address of the
 // run and its unified report. The daemon serves exactly these bytes
 // from cache on a hit, and linearsim -json emits the same encoding.
+// Trace carries the stage-timing transcript of linearsim -trace -json;
+// the daemon never sets it, and omitempty keeps the daemon encoding
+// byte-identical to the traceless CLI one.
 type RunResponse struct {
 	Key    string           `json:"key"`
 	Report *scenario.Report `json:"report"`
+	Trace  *obs.Trace       `json:"trace,omitempty"`
 }
 
 // EncodeRunResponse is the one encoder of the run envelope, shared by
@@ -88,6 +105,13 @@ type RunResponse struct {
 // format.
 func EncodeRunResponse(key string, rep *scenario.Report) ([]byte, error) {
 	return json.Marshal(RunResponse{Key: key, Report: rep})
+}
+
+// EncodeRunResponseTrace is EncodeRunResponse with the optional trace
+// transcript attached; a nil trace encodes identically to
+// EncodeRunResponse.
+func EncodeRunResponseTrace(key string, rep *scenario.Report, tr *obs.Trace) ([]byte, error) {
+	return json.Marshal(RunResponse{Key: key, Report: rep, Trace: tr})
 }
 
 // SweepPoint is one size of a sweep request.
@@ -147,23 +171,27 @@ type ErrorDetail struct {
 // New builds a Server from the config.
 func New(cfg Config) *Server {
 	s := &Server{
-		cache:   NewCache(cfg.CacheBytes, cfg.CacheShards),
-		flight:  newFlightGroup(),
-		pool:    newWorkPool(cfg.Workers, cfg.QueueDepth, cfg.run),
-		mux:     http.NewServeMux(),
-		started: time.Now(),
+		cache:     NewCache(cfg.CacheBytes, cfg.CacheShards),
+		flight:    newFlightGroup(),
+		pool:      newWorkPool(cfg.Workers, cfg.QueueDepth, cfg.run),
+		mux:       http.NewServeMux(),
+		started:   time.Now(),
+		accessLog: cfg.AccessLog,
 	}
+	s.metrics = newServeMetrics(s)
 	s.jobs = newJobStore(cfg.MaxJobs, s.pool.workers, s.campaignRun)
-	s.mux.HandleFunc("POST /v1/run", s.handleRun)
-	s.mux.HandleFunc("POST /v1/sweep", s.handleSweep)
-	s.mux.HandleFunc("GET /v1/scenarios", s.handleScenarios)
-	s.mux.HandleFunc("POST /v1/campaigns", s.handleCampaignPost)
-	s.mux.HandleFunc("GET /v1/campaigns", s.handleCampaignList)
-	s.mux.HandleFunc("GET /v1/campaigns/{id}", s.handleCampaignGet)
-	s.mux.HandleFunc("DELETE /v1/campaigns/{id}", s.handleCampaignCancel)
-	s.mux.HandleFunc("GET /healthz", s.handleHealth)
-	s.mux.HandleFunc("GET /readyz", s.handleReady)
-	s.mux.HandleFunc("GET /statsz", s.handleStats)
+	s.metrics.registerJobsMetrics(s)
+	s.route("POST /v1/run", s.handleRun)
+	s.route("POST /v1/sweep", s.handleSweep)
+	s.route("GET /v1/scenarios", s.handleScenarios)
+	s.route("POST /v1/campaigns", s.handleCampaignPost)
+	s.route("GET /v1/campaigns", s.handleCampaignList)
+	s.route("GET /v1/campaigns/{id}", s.handleCampaignGet)
+	s.route("DELETE /v1/campaigns/{id}", s.handleCampaignCancel)
+	s.route("GET /healthz", s.handleHealth)
+	s.route("GET /readyz", s.handleReady)
+	s.route("GET /statsz", s.handleStats)
+	s.route("GET /metrics", s.handleMetrics)
 	return s
 }
 
@@ -175,6 +203,14 @@ func (s *Server) Handler() http.Handler { return s.mux }
 // the start of a graceful shutdown.
 func (s *Server) SetReady(ready bool) { s.ready.Store(ready) }
 
+// BeginDrain marks the start of a graceful shutdown: the readiness
+// gate closes and /healthz, /readyz and the lineartime_serve_draining
+// gauge report the drain so the SIGTERM sequence is observable.
+func (s *Server) BeginDrain() {
+	s.draining.Store(true)
+	s.ready.Store(false)
+}
+
 // Close stops the server's workers. Campaign jobs drain first —
 // running campaigns checkpoint as interrupted — because their
 // controllers submit to the worker pool until their in-flight batch
@@ -184,14 +220,45 @@ func (s *Server) Close() {
 	s.pool.Close()
 }
 
-// Stats snapshots the server counters.
+// Stats snapshots the server counters. The snapshot is generated from
+// the same obs registry that renders /metrics — every field is a
+// Value() lookup of the corresponding family — so the JSON gauge dump
+// and the Prometheus exposition cannot drift apart.
 func (s *Server) Stats() Stats {
+	iv := func(name string) int64 {
+		v, _ := s.metrics.reg.Value(name)
+		return int64(v)
+	}
+	fv := func(name string) float64 {
+		v, _ := s.metrics.reg.Value(name)
+		return v
+	}
 	return Stats{
-		UptimeSeconds: time.Since(s.started).Seconds(),
-		Cache:         s.cache.Stats(),
-		Coalesced:     s.flight.Coalesced(),
-		Queue:         s.pool.Stats(),
-		Campaigns:     s.jobsStats(),
+		UptimeSeconds: fv("lineartime_uptime_seconds"),
+		Cache: CacheStats{
+			Hits:      iv("lineartime_cache_hits_total"),
+			Misses:    iv("lineartime_cache_misses_total"),
+			Evictions: iv("lineartime_cache_evictions_total"),
+			Entries:   iv("lineartime_cache_entries"),
+			Bytes:     iv("lineartime_cache_bytes"),
+			Capacity:  iv("lineartime_cache_capacity_bytes"),
+		},
+		Coalesced: iv("lineartime_coalesced_total"),
+		Queue: QueueStats{
+			Workers:   int(iv("lineartime_queue_workers")),
+			Depth:     int(iv("lineartime_queue_depth")),
+			Capacity:  int(iv("lineartime_queue_capacity")),
+			Rejected:  iv("lineartime_queue_rejected_total"),
+			Completed: iv("lineartime_queue_completed_total"),
+			Errored:   iv("lineartime_queue_errored_total"),
+		},
+		Campaigns: JobsStats{
+			Capacity: int(iv("lineartime_campaign_jobs_capacity")),
+			Jobs:     int(iv("lineartime_campaign_jobs")),
+			Running:  int(iv("lineartime_campaign_jobs_running")),
+			Launched: iv("lineartime_campaign_jobs_launched_total"),
+			Resumed:  iv("lineartime_campaign_jobs_resumed_total"),
+		},
 	}
 }
 
@@ -295,12 +362,16 @@ const (
 // cache lookup, then a coalesced engine run through the bounded pool,
 // then cache fill. The returned bytes are the exact response body — a
 // hit replays byte-identical output.
-func (s *Server) runCached(sp scenario.Spec) ([]byte, cacheState, error) {
+func (s *Server) runCached(sp scenario.Spec) ([]byte, string, cacheState, error) {
 	key := sp.Key()
 	if body, ok := s.cache.Get(key); ok {
-		return body, cacheHit, nil
+		return body, key, cacheHit, nil
 	}
 	body, shared, err := s.flight.Do(key, func() ([]byte, error) {
+		// Every served run reports stage timings and outcome through
+		// the shared engine tracer. Installed after Key(): the tracer
+		// is runtime-only state, never part of the cache identity.
+		sp.Tracer = s.metrics.tracer
 		rep, err := s.pool.Submit(sp)
 		if err != nil {
 			return nil, err
@@ -313,12 +384,12 @@ func (s *Server) runCached(sp scenario.Spec) ([]byte, cacheState, error) {
 		return body, nil
 	})
 	if err != nil {
-		return nil, cacheMiss, err
+		return nil, key, cacheMiss, err
 	}
 	if shared {
-		return body, cacheCoalesced, nil
+		return body, key, cacheCoalesced, nil
 	}
-	return body, cacheMiss, nil
+	return body, key, cacheMiss, nil
 }
 
 func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
@@ -336,11 +407,12 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		writeError(w, err)
 		return
 	}
-	body, state, err := s.runCached(sp)
+	body, key, state, err := s.runCached(sp)
 	if err != nil {
 		writeError(w, err)
 		return
 	}
+	setRunKey(w, key)
 	w.Header().Set("Content-Type", "application/json")
 	w.Header().Set("X-Cache", string(state))
 	w.Write(body)
@@ -379,7 +451,7 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 			writeError(w, err)
 			return
 		}
-		body, _, err := s.runCached(sp)
+		body, _, _, err := s.runCached(sp)
 		if err != nil {
 			writeError(w, err)
 			return
@@ -411,22 +483,30 @@ func (s *Server) handleScenarios(w http.ResponseWriter, _ *http.Request) {
 // handleHealth is liveness: the process is up and serving HTTP. It
 // stays 200 through startup and drain; orchestrators restart on
 // liveness failure, so flapping it during a graceful shutdown would
-// turn every deploy into a kill.
+// turn every deploy into a kill. During a drain the body additionally
+// reports "draining":true (omitted otherwise, so the steady-state body
+// stays exactly {"status":"ok"}).
 func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, struct {
-		Status string `json:"status"`
-	}{"ok"})
+		Status   string `json:"status"`
+		Draining bool   `json:"draining,omitempty"`
+	}{Status: "ok", Draining: s.draining.Load()})
 }
 
 // handleReady is readiness: whether new traffic should be routed
 // here. Not-ready (503) during startup until the daemon flips
-// SetReady, and again once a graceful shutdown begins draining.
+// SetReady, and again once a graceful shutdown begins draining; the
+// body says which, so the SIGTERM sequence is observable.
 func (s *Server) handleReady(w http.ResponseWriter, _ *http.Request) {
 	if !s.ready.Load() {
+		msg := "lineartime: daemon is starting up or draining"
+		if s.draining.Load() {
+			msg = "lineartime: daemon is draining for shutdown"
+		}
 		writeError(w, &apiError{
 			status:  http.StatusServiceUnavailable,
 			code:    "not_ready",
-			message: "lineartime: daemon is starting up or draining",
+			message: msg,
 		})
 		return
 	}

@@ -1,6 +1,11 @@
 package sim
 
-import "runtime"
+import (
+	"runtime"
+	"time"
+
+	"lineartime/internal/obs"
+)
 
 // Runtime is a reusable run arena: the full engine state — the CSR
 // scratch workspace, the wire-plane escape table, the single-port
@@ -52,14 +57,37 @@ func NewRuntime() *Runtime {
 // Run executes the configured system on the sequential engine, reusing
 // the arena's buffers. See Runtime for the result-aliasing contract.
 func (rt *Runtime) Run(cfg Config) (*Result, error) {
+	// Capture the tracer before reset/detach: detach clears the
+	// captured cfg, and the nil fast path must stay branch-only.
+	tr := cfg.Tracer
+	var t0, t1 time.Time
+	if tr != nil {
+		t0 = time.Now()
+	}
 	if err := rt.st.reset(cfg); err != nil {
 		// reset already captured cfg; drop it so a pooled arena does
 		// not pin the caller's protocol system after a failed run.
 		rt.st.detach()
+		if tr != nil {
+			tr.RunDone(obs.EngineSequential, obs.OutcomeError, 0, time.Since(t0))
+		}
 		return nil, err
+	}
+	if tr != nil {
+		t1 = time.Now()
+		tr.StageDuration(obs.StageSetup, t1.Sub(t0))
 	}
 	res, err := rt.st.run()
 	rt.st.detach()
+	if tr != nil {
+		now := time.Now()
+		tr.StageDuration(obs.StageRounds, now.Sub(t1))
+		rounds := cfg.MaxRounds
+		if res != nil {
+			rounds = res.Metrics.Rounds
+		}
+		tr.RunDone(obs.EngineSequential, runOutcome(err), rounds, now.Sub(t0))
+	}
 	return res, err
 }
 
@@ -68,11 +96,22 @@ func (rt *Runtime) Run(cfg Config) (*Result, error) {
 // constraints of the package-level RunParallel apply. See Runtime for
 // the result-aliasing contract.
 func (rt *Runtime) RunParallel(cfg Config, workers int) (*Result, error) {
+	tr := cfg.Tracer
+	var t0, t1 time.Time
+	if tr != nil {
+		t0 = time.Now()
+	}
 	if err := validateParallelConfig(cfg); err != nil {
+		if tr != nil {
+			tr.RunDone(obs.EngineParallel, obs.OutcomeError, 0, time.Since(t0))
+		}
 		return nil, err
 	}
 	if err := rt.st.reset(cfg); err != nil {
 		rt.st.detach()
+		if tr != nil {
+			tr.RunDone(obs.EngineParallel, obs.OutcomeError, 0, time.Since(t0))
+		}
 		return nil, err
 	}
 	w := resolveWorkers(workers, rt.st.n)
@@ -98,8 +137,21 @@ func (rt *Runtime) RunParallel(cfg Config, workers int) (*Result, error) {
 		pl.prepare(rt.st)
 	}
 	rt.st.pool = rt.slot.p
+	if tr != nil {
+		t1 = time.Now()
+		tr.StageDuration(obs.StageSetup, t1.Sub(t0))
+	}
 	res, err := rt.st.run()
 	rt.st.detach()
+	if tr != nil {
+		now := time.Now()
+		tr.StageDuration(obs.StageRounds, now.Sub(t1))
+		rounds := cfg.MaxRounds
+		if res != nil {
+			rounds = res.Metrics.Rounds
+		}
+		tr.RunDone(obs.EngineParallel, runOutcome(err), rounds, now.Sub(t0))
+	}
 	return res, err
 }
 

@@ -3,9 +3,11 @@ package sim
 import (
 	"fmt"
 	"slices"
+	"time"
 
 	"lineartime/internal/bitset"
 	"lineartime/internal/graph"
+	"lineartime/internal/obs"
 )
 
 // This file is the neighborcast engine: the streamed execution mode
@@ -71,6 +73,9 @@ type CastConfig struct {
 	// park a delayed bit in. Drops apply per (round, from, to) edge,
 	// exactly as on the general engine.
 	Filter LinkFilter
+	// Tracer optionally receives stage timings and the run outcome;
+	// the steady state stays allocation-free with one installed.
+	Tracer obs.RunTracer
 }
 
 // CastResult is the outcome envelope of a neighborcast run. Like
@@ -277,15 +282,32 @@ func (cs *castState) run() *CastResult {
 // allocation-free. The returned result is owned by the arena and
 // valid until the next cast run on this Runtime.
 func (rt *Runtime) RunCast(cfg CastConfig) (*CastResult, error) {
+	tr := cfg.Tracer
+	var t0, t1 time.Time
+	if tr != nil {
+		t0 = time.Now()
+	}
 	if rt.cs == nil {
 		rt.cs = &castState{}
 	}
 	if err := rt.cs.reset(cfg); err != nil {
 		rt.cs.detach()
+		if tr != nil {
+			tr.RunDone(obs.EngineCast, obs.OutcomeError, 0, time.Since(t0))
+		}
 		return nil, err
+	}
+	if tr != nil {
+		t1 = time.Now()
+		tr.StageDuration(obs.StageSetup, t1.Sub(t0))
 	}
 	res := rt.cs.run()
 	rt.cs.detach()
+	if tr != nil {
+		now := time.Now()
+		tr.StageDuration(obs.StageRounds, now.Sub(t1))
+		tr.RunDone(obs.EngineCast, obs.OutcomeOK, res.Rounds, now.Sub(t0))
+	}
 	return res, nil
 }
 

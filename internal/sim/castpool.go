@@ -1,6 +1,11 @@
 package sim
 
-import "runtime"
+import (
+	"runtime"
+	"time"
+
+	"lineartime/internal/obs"
+)
 
 // The parallel neighborcast engine shards the node range over a
 // persistent worker pool. Each round has two barriers, matching the
@@ -154,12 +159,20 @@ func (cs *castState) runParallel(p *castPool) *CastResult {
 // is owned by the arena and valid until the next cast run on this
 // Runtime.
 func (rt *Runtime) RunCastParallel(cfg CastConfig, workers int) (*CastResult, error) {
+	tr := cfg.Tracer
+	var t0, t1 time.Time
+	if tr != nil {
+		t0 = time.Now()
+	}
 	if rt.cs == nil {
 		rt.cs = &castState{}
 	}
 	cs := rt.cs
 	if err := cs.reset(cfg); err != nil {
 		cs.detach()
+		if tr != nil {
+			tr.RunDone(obs.EngineCastParallel, obs.OutcomeError, 0, time.Since(t0))
+		}
 		return nil, err
 	}
 	w := resolveWorkers(workers, cs.n)
@@ -182,8 +195,17 @@ func (rt *Runtime) RunCastParallel(cfg CastConfig, workers int) (*CastResult, er
 		pl.shutdown()
 		rt.castSlot.p = newCastPool(cs, w)
 	}
+	if tr != nil {
+		t1 = time.Now()
+		tr.StageDuration(obs.StageSetup, t1.Sub(t0))
+	}
 	res := cs.runParallel(rt.castSlot.p)
 	cs.detach()
+	if tr != nil {
+		now := time.Now()
+		tr.StageDuration(obs.StageRounds, now.Sub(t1))
+		tr.RunDone(obs.EngineCastParallel, obs.OutcomeOK, res.Rounds, now.Sub(t0))
+	}
 	return res, nil
 }
 

@@ -3,9 +3,11 @@ package sim
 import (
 	"fmt"
 	mathbits "math/bits"
+	"time"
 
 	"lineartime/internal/bitset"
 	"lineartime/internal/graph"
+	"lineartime/internal/obs"
 )
 
 // The bit-sliced neighborcast engine runs up to 64 independent
@@ -47,6 +49,9 @@ type CastSlicedConfig struct {
 	MaxRounds int
 	// Lanes is the number of replicas, in [1, MaxLanes].
 	Lanes int
+	// Tracer optionally receives stage timings and the run outcome;
+	// the steady state stays allocation-free with one installed.
+	Tracer obs.RunTracer
 }
 
 // CastSlicedResult is the outcome of a sliced neighborcast run.
@@ -157,15 +162,32 @@ func (s *castSlicedState) run() *CastSlicedResult {
 // The returned result aliases arena memory and is valid until the next
 // sliced cast run on this Runtime.
 func (rt *Runtime) RunCastSliced(cfg CastSlicedConfig) (*CastSlicedResult, error) {
+	tr := cfg.Tracer
+	var t0, t1 time.Time
+	if tr != nil {
+		t0 = time.Now()
+	}
 	if rt.csl == nil {
 		rt.csl = &castSlicedState{}
 	}
 	if err := rt.csl.reset(cfg); err != nil {
 		rt.csl.detach()
+		if tr != nil {
+			tr.RunDone(obs.EngineCastSliced, obs.OutcomeError, 0, time.Since(t0))
+		}
 		return nil, err
+	}
+	if tr != nil {
+		t1 = time.Now()
+		tr.StageDuration(obs.StageSetup, t1.Sub(t0))
 	}
 	res := rt.csl.run()
 	rt.csl.detach()
+	if tr != nil {
+		now := time.Now()
+		tr.StageDuration(obs.StageRounds, now.Sub(t1))
+		tr.RunDone(obs.EngineCastSliced, obs.OutcomeOK, res.Rounds, now.Sub(t0))
+	}
 	return res, nil
 }
 

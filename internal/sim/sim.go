@@ -35,6 +35,7 @@ import (
 	"slices"
 
 	"lineartime/internal/bitset"
+	"lineartime/internal/obs"
 )
 
 // NodeID names a node; nodes are 0..N-1. (The paper uses 1..n; we use
@@ -128,6 +129,12 @@ type Config struct {
 	// are sent, crashes, halts). Sequential engine only; observers see
 	// events in deterministic order.
 	Observer Observer
+	// Tracer optionally receives stage-level timings (setup, rounds)
+	// and the run outcome. Unlike Observer it works on every engine,
+	// and the engines' steady state stays allocation-free with one
+	// installed (obs.EngineTracer uses pre-registered handles). Nil
+	// disables tracing at the cost of a branch.
+	Tracer obs.RunTracer
 }
 
 // Observer receives engine events during a sequential run.

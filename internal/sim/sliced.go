@@ -5,8 +5,10 @@ import (
 	"fmt"
 	"math/bits"
 	"slices"
+	"time"
 
 	"lineartime/internal/bitset"
+	"lineartime/internal/obs"
 )
 
 // The bit-sliced engine: 64 independent replicas ("lanes") of one
@@ -132,6 +134,10 @@ type SlicedConfig struct {
 	Lanes     int
 	MaxRounds int
 	Faults    []LinkFault
+	// Tracer optionally receives stage timings and the run outcome
+	// (one RunDone for the whole 64-lane word, not per lane). The
+	// steady state stays allocation-free with one installed.
+	Tracer obs.RunTracer
 }
 
 // LaneResult is one lane's outcome, mirroring the scalar Result.
@@ -172,15 +178,40 @@ func RunSliced(cfg SlicedConfig) (*SlicedResult, error) {
 // allocation-free. The result aliases arena memory and is valid only
 // until the Runtime's next sliced run.
 func (rt *Runtime) RunSliced(cfg SlicedConfig) (*SlicedResult, error) {
+	tr := cfg.Tracer
+	var t0, t1 time.Time
+	if tr != nil {
+		t0 = time.Now()
+	}
 	if rt.sl == nil {
 		rt.sl = &slicedState{}
 	}
 	if err := rt.sl.reset(cfg); err != nil {
 		rt.sl.detach()
+		if tr != nil {
+			tr.RunDone(obs.EngineSliced, obs.OutcomeError, 0, time.Since(t0))
+		}
 		return nil, err
+	}
+	if tr != nil {
+		t1 = time.Now()
+		tr.StageDuration(obs.StageSetup, t1.Sub(t0))
 	}
 	res, err := rt.sl.run()
 	rt.sl.detach()
+	if tr != nil {
+		now := time.Now()
+		tr.StageDuration(obs.StageRounds, now.Sub(t1))
+		rounds := 0
+		if res != nil {
+			for i := range res.Lanes {
+				if r := res.Lanes[i].Metrics.Rounds; r > rounds {
+					rounds = r
+				}
+			}
+		}
+		tr.RunDone(obs.EngineSliced, runOutcome(err), rounds, now.Sub(t0))
+	}
 	return res, err
 }
 

@@ -1,0 +1,19 @@
+package sim
+
+import (
+	"errors"
+
+	"lineartime/internal/obs"
+)
+
+// runOutcome classifies a run error for the tracer's outcome label.
+func runOutcome(err error) obs.Outcome {
+	switch {
+	case err == nil:
+		return obs.OutcomeOK
+	case errors.Is(err, ErrNoTermination):
+		return obs.OutcomeNoTermination
+	default:
+		return obs.OutcomeError
+	}
+}
